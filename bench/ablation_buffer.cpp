@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Ablation study (beyond the paper's figures): DRAM traffic and runtime
+ * of each dataflow as the on-chip data memory sweeps from the minimum
+ * feasible size to 512 MiB. This isolates the design choice DESIGN.md
+ * calls out — OC's advantage should be largest at small capacities and
+ * all dataflows should converge to compulsory traffic once everything
+ * fits on-chip.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "rpu/experiment.h"
+
+using namespace ciflow;
+
+int
+main()
+{
+    benchutil::header("Ablation: on-chip data capacity sweep "
+                      "(evks streamed, 64 GB/s)");
+
+    const double sizes_mib[] = {8, 16, 32, 64, 128, 256, 512};
+    for (const char *name : {"ARK", "BTS3"}) {
+        const HksParams &b = benchmarkByName(name);
+        std::printf("\n# %s  (input %.0f MiB, evk %.0f MiB, temp %.0f "
+                    "MiB)\n",
+                    name, b.inputBytes() / 1048576.0,
+                    b.evkBytes() / 1048576.0,
+                    b.tempBytes() / 1048576.0);
+        std::printf("capacity_mib,mp_traffic_mb,dc_traffic_mb,"
+                    "oc_traffic_mb,mp_ms,dc_ms,oc_ms\n");
+        for (double mib : sizes_mib) {
+            MemoryConfig mem{
+                static_cast<std::uint64_t>(mib * 1024 * 1024), false};
+            bool feasible = true;
+            for (Dataflow d : allDataflows())
+                feasible &= mem.dataCapacityBytes >=
+                            minDataCapacity(b, d);
+            if (!feasible) {
+                std::printf("%g,(below minimum capacity)\n", mib);
+                continue;
+            }
+            double traffic[3], ms[3];
+            int i = 0;
+            for (Dataflow d : allDataflows()) {
+                HksExperiment exp(b, d, mem);
+                traffic[i] =
+                    exp.graph().trafficBytes() / 1048576.0;
+                ms[i] = exp.simulate(64.0).runtimeMs();
+                ++i;
+            }
+            std::printf("%g,%.0f,%.0f,%.0f,%.2f,%.2f,%.2f\n", mib,
+                        traffic[0], traffic[1], traffic[2], ms[0], ms[1],
+                        ms[2]);
+        }
+    }
+    std::printf("\nExpectation: the MP/OC traffic gap shrinks as "
+                "capacity grows and vanishes once the full working set "
+                "fits (cf. §IV: with unlimited memory the dataflows "
+                "converge).\n");
+    return 0;
+}

@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks for the HE kernels underlying HKS:
+ * modular arithmetic, (i)NTT, basis conversion, automorphisms, encoding
+ * and the full functional hybrid key switch under all three schedules.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "ckks/encoder.h"
+#include "ckks/encryptor.h"
+#include "ckks/evaluator.h"
+#include "hemath/bconv.h"
+#include "hemath/ntt.h"
+#include "hemath/primes.h"
+#include "rpu/experiment.h"
+
+using namespace ciflow;
+
+namespace
+{
+
+std::vector<u64>
+randomResidues(std::size_t n, u64 q, std::uint64_t seed)
+{
+    std::mt19937_64 gen(seed);
+    std::vector<u64> v(n);
+    for (auto &x : v)
+        x = gen() % q;
+    return v;
+}
+
+} // namespace
+
+static void
+BM_MulMod(benchmark::State &state)
+{
+    const u64 q = generateNttPrimes(1, 50, 1 << 12)[0];
+    std::mt19937_64 gen(1);
+    u64 a = gen() % q, b = gen() % q;
+    for (auto _ : state) {
+        a = mulMod(a, b, q);
+        benchmark::DoNotOptimize(a);
+    }
+}
+BENCHMARK(BM_MulMod);
+
+static void
+BM_MulModPrecon(benchmark::State &state)
+{
+    const u64 q = generateNttPrimes(1, 50, 1 << 12)[0];
+    std::mt19937_64 gen(2);
+    u64 a = gen() % q, w = gen() % q;
+    u64 wp = preconMulMod(w, q);
+    for (auto _ : state) {
+        a = mulModPrecon(a, w, wp, q);
+        benchmark::DoNotOptimize(a);
+    }
+}
+BENCHMARK(BM_MulModPrecon);
+
+static void
+BM_NttForward(benchmark::State &state)
+{
+    const std::size_t n = 1ull << state.range(0);
+    const u64 q = generateNttPrimes(1, 50, n)[0];
+    NttTable t(n, q);
+    auto a = randomResidues(n, q, 3);
+    for (auto _ : state) {
+        t.forward(a.data());
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_NttForward)->Arg(12)->Arg(14)->Arg(16);
+
+static void
+BM_NttInverse(benchmark::State &state)
+{
+    const std::size_t n = 1ull << state.range(0);
+    const u64 q = generateNttPrimes(1, 50, n)[0];
+    NttTable t(n, q);
+    auto a = randomResidues(n, q, 4);
+    for (auto _ : state) {
+        t.inverse(a.data());
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_NttInverse)->Arg(12)->Arg(14)->Arg(16);
+
+static void
+BM_BConvFull(benchmark::State &state)
+{
+    const std::size_t n = 1 << 12;
+    const std::size_t a = state.range(0), bsz = state.range(1);
+    auto fp = generateNttPrimes(a, 45, n);
+    auto tp = generateNttPrimes(bsz, 50, n, fp);
+    RnsBase from(fp), to(tp);
+    BaseConverter conv(from, to);
+    std::vector<std::vector<u64>> src(a);
+    for (std::size_t i = 0; i < a; ++i)
+        src[i] = randomResidues(n, fp[i], 5 + i);
+    std::vector<std::vector<u64>> dst;
+    for (auto _ : state) {
+        conv.convert(src, dst);
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(state.iterations() * n * a * bsz);
+}
+BENCHMARK(BM_BConvFull)->Args({3, 8})->Args({6, 12});
+
+static void
+BM_BConvColumn(benchmark::State &state)
+{
+    const std::size_t n = 1 << 12;
+    const std::size_t a = 6;
+    auto fp = generateNttPrimes(a, 45, n);
+    auto tp = generateNttPrimes(12, 50, n, fp);
+    RnsBase from(fp), to(tp);
+    BaseConverter conv(from, to);
+    std::vector<std::vector<u64>> src(a);
+    for (std::size_t i = 0; i < a; ++i)
+        src[i] = randomResidues(n, fp[i], 7 + i);
+    std::size_t j = 0;
+    for (auto _ : state) {
+        auto col = conv.convertTower(src, j % 12);
+        benchmark::DoNotOptimize(col);
+        ++j;
+    }
+    state.SetItemsProcessed(state.iterations() * n * a);
+}
+BENCHMARK(BM_BConvColumn);
+
+static void
+BM_Automorphism(benchmark::State &state)
+{
+    const std::size_t n = 1 << 13;
+    auto primes = generateNttPrimes(4, 45, n);
+    RnsPoly p(n, primes, Domain::Coeff);
+    std::mt19937_64 gen(8);
+    for (std::size_t i = 0; i < primes.size(); ++i)
+        p.tower(i) = randomResidues(n, primes[i], 9 + i);
+    for (auto _ : state) {
+        RnsPoly q = p.automorphism(5);
+        benchmark::DoNotOptimize(q);
+    }
+}
+BENCHMARK(BM_Automorphism);
+
+namespace
+{
+
+/** Shared CKKS fixture for the heavyweight benchmarks. */
+struct CkksFixture
+{
+    CkksFixture()
+        : ctx(makeParams()), enc(ctx), keygen(ctx, 9),
+          sk(keygen.secretKey()), pk(keygen.publicKey(sk)),
+          rlk(keygen.relinKey(sk)), encryptor(ctx, pk), eval(ctx)
+    {
+        std::vector<double> z(enc.slots(), 0.5);
+        ct = encryptor.encrypt(enc.encode(z, ctx.maxLevel()),
+                               ctx.scale());
+    }
+
+    static CkksParams
+    makeParams()
+    {
+        CkksParams p;
+        p.logN = 12;
+        p.maxLevel = 5;
+        p.dnum = 3;
+        return p;
+    }
+
+    static CkksFixture &
+    instance()
+    {
+        static CkksFixture f;
+        return f;
+    }
+
+    CkksContext ctx;
+    Encoder enc;
+    KeyGenerator keygen;
+    SecretKey sk;
+    PublicKey pk;
+    EvalKey rlk;
+    Encryptor encryptor;
+    Evaluator eval;
+    Ciphertext ct;
+};
+
+} // namespace
+
+static void
+BM_Encode(benchmark::State &state)
+{
+    auto &f = CkksFixture::instance();
+    std::vector<double> z(f.enc.slots(), 0.25);
+    for (auto _ : state) {
+        RnsPoly pt = f.enc.encode(z, f.ctx.maxLevel());
+        benchmark::DoNotOptimize(pt);
+    }
+}
+BENCHMARK(BM_Encode);
+
+static void
+BM_KeySwitchSchedule(benchmark::State &state)
+{
+    auto &f = CkksFixture::instance();
+    const auto order = static_cast<ScheduleOrder>(state.range(0));
+    const KeySwitcher &ks = f.eval.keySwitcher();
+    for (auto _ : state) {
+        auto r = ks.keySwitch(f.ct.c1, f.rlk, f.ct.level, order);
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetLabel(scheduleName(order));
+}
+BENCHMARK(BM_KeySwitchSchedule)->Arg(0)->Arg(1)->Arg(2);
+
+static void
+BM_RotationsNaive(benchmark::State &state)
+{
+    // k independent rotations, each paying a full ModUp.
+    auto &f = CkksFixture::instance();
+    KeyGenerator kg(f.ctx, 77);
+    GaloisKeys gk = kg.galoisKeys(f.sk, {1, 2, 3, 4});
+    for (auto _ : state) {
+        for (long r : {1L, 2L, 3L, 4L}) {
+            Ciphertext rot = f.eval.rotate(f.ct, r, gk);
+            benchmark::DoNotOptimize(rot);
+        }
+    }
+}
+BENCHMARK(BM_RotationsNaive);
+
+static void
+BM_RotationsHoisted(benchmark::State &state)
+{
+    // The same k rotations sharing one ModUp extension.
+    auto &f = CkksFixture::instance();
+    KeyGenerator kg(f.ctx, 77);
+    GaloisKeys gk = kg.galoisKeys(f.sk, {1, 2, 3, 4});
+    for (auto _ : state) {
+        auto rots = f.eval.rotateHoisted(f.ct, {1, 2, 3, 4}, gk);
+        benchmark::DoNotOptimize(rots);
+    }
+}
+BENCHMARK(BM_RotationsHoisted);
+
+static void
+BM_HomomorphicMultiply(benchmark::State &state)
+{
+    auto &f = CkksFixture::instance();
+    for (auto _ : state) {
+        Ciphertext prod = f.eval.multiply(f.ct, f.ct, f.rlk);
+        benchmark::DoNotOptimize(prod);
+    }
+}
+BENCHMARK(BM_HomomorphicMultiply);
+
+static void
+BM_BuildGraph(benchmark::State &state)
+{
+    const HksParams &b = benchmarkByName("BTS3");
+    MemoryConfig mem{32ull << 20, false};
+    for (auto _ : state) {
+        TaskGraph g = buildHksGraph(b, Dataflow::OC, mem);
+        benchmark::DoNotOptimize(g);
+    }
+}
+BENCHMARK(BM_BuildGraph);
+
+static void
+BM_SimulateGraph(benchmark::State &state)
+{
+    const HksParams &b = benchmarkByName("BTS3");
+    HksExperiment exp(b, Dataflow::OC, MemoryConfig{32ull << 20, false});
+    for (auto _ : state) {
+        SimStats s = exp.simulate(64.0);
+        benchmark::DoNotOptimize(s);
+    }
+}
+BENCHMARK(BM_SimulateGraph);
+
+BENCHMARK_MAIN();

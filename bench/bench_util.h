@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harnesses: formatted table printing
+ * and paper reference values for side-by-side comparison.
+ */
+
+#ifndef CIFLOW_BENCH_BENCH_UTIL_H
+#define CIFLOW_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace ciflow::benchutil
+{
+
+/** Print a rule line of the given width. */
+inline void
+rule(int width = 78)
+{
+    for (int i = 0; i < width; ++i)
+        std::putchar('-');
+    std::putchar('\n');
+}
+
+/** Print a centred header between rules. */
+inline void
+header(const std::string &title, int width = 78)
+{
+    rule(width);
+    int pad = (width - static_cast<int>(title.size())) / 2;
+    std::printf("%*s%s\n", pad > 0 ? pad : 0, "", title.c_str());
+    rule(width);
+}
+
+/** "x.xx" ratio formatting with a trailing 'x'. */
+inline std::string
+times(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2fx", v);
+    return buf;
+}
+
+} // namespace ciflow::benchutil
+
+#endif // CIFLOW_BENCH_BENCH_UTIL_H

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Reproduces paper Figure 9: ARK (bandwidth, MODOPS) configurations
+ * with evks *streamed* and 32 MiB on-chip memory that are equivalent to
+ * (a) ARK's saturation point and (b) the MP/64 GB/s baseline.
+ * Paper: matching saturation while streaming takes 2.6x more bandwidth
+ * at 2x MODOPS (vs evks on-chip), or 20x more at 1x MODOPS; for the
+ * baseline, doubling MODOPS saves ~1.2x bandwidth.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "rpu/experiment.h"
+
+using namespace ciflow;
+
+int
+main()
+{
+    benchutil::header("Figure 9: ARK equivalent configurations with "
+                      "streamed evks");
+
+    const HksParams &b = benchmarkByName("ARK");
+    MemoryConfig on{32ull << 20, true};
+    MemoryConfig off{32ull << 20, false};
+    HksExperiment oc_on(b, Dataflow::OC, on);
+    HksExperiment oc_off(b, Dataflow::OC, off);
+
+    const double sat = oc_on.simulate(128.0, 1.0).runtime;
+    const double base = baselineRuntime(b);
+
+    std::printf("(a) equivalent to the saturation point (%.2f ms):\n",
+                sat * 1e3);
+    std::printf("%8s | %14s\n", "MODOPS", "BW (GB/s)");
+    for (double m : {1.0, 2.0, 4.0, 8.0}) {
+        double bw = bandwidthToMatch(oc_off, sat, 1.0, 8000.0, m);
+        std::printf("%7.0fx | %14.2f\n", m, bw);
+    }
+    double bw_on_2x = bandwidthToMatch(oc_on, sat, 1.0, 8000.0, 2.0);
+    double bw_off_2x = bandwidthToMatch(oc_off, sat, 1.0, 8000.0, 2.0);
+    std::printf("streaming premium at 2x MODOPS: %.2fx more bandwidth "
+                "(paper: 2.6x)\n\n",
+                bw_off_2x / bw_on_2x);
+
+    std::printf("(b) equivalent to the baseline (MP @64 GB/s, evks "
+                "on-chip; %.2f ms):\n",
+                base * 1e3);
+    std::printf("%8s | %14s\n", "MODOPS", "BW (GB/s)");
+    double prev = 0;
+    for (double m : {1.0, 2.0, 4.0}) {
+        double bw = bandwidthToMatch(oc_off, base, 1.0, 8000.0, m);
+        std::printf("%7.0fx | %14.2f\n", m, bw);
+        if (m == 2.0 && prev > 0)
+            std::printf("doubling MODOPS saves %.2fx bandwidth "
+                        "(paper: ~1.2x)\n",
+                        prev / bw);
+        prev = bw;
+    }
+    std::printf("\nAll rows keep only 32 MiB on-chip: 12.25x SRAM "
+                "saving against the 392 MiB design.\n");
+    return 0;
+}

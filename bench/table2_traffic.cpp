@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Reproduces paper Table II: DRAM transfers (MB, including streamed
+ * evks, 32 MiB on-chip data memory) and arithmetic intensity for every
+ * benchmark under the MP, DC and OC dataflows.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "hksflow/traffic.h"
+
+using namespace ciflow;
+
+int
+main()
+{
+    benchutil::header("Table II: DRAM transfers (MB) and arithmetic "
+                      "intensity, 32 MiB on-chip, evk streamed");
+
+    // Paper reference values for side-by-side comparison.
+    struct Ref
+    {
+        double mb[3];
+        double ai[3];
+    };
+    const std::vector<std::pair<std::string, Ref>> paper = {
+        {"BTS1", {{600, 600, 420}, {1.81, 1.81, 2.59}}},
+        {"BTS2", {{1352, 1278, 716}, {1.14, 1.20, 2.15}}},
+        {"BTS3", {{1850, 1766, 1119}, {1.00, 1.04, 1.65}}},
+        {"ARK", {{432, 356, 180}, {1.05, 1.27, 2.52}}},
+        {"DPRIVE", {{365, 336, 170}, {1.26, 1.37, 2.71}}},
+    };
+
+    std::printf("%-9s | %21s | %21s | %21s\n", "", "MP", "DC", "OC");
+    std::printf("%-9s | %10s %10s | %10s %10s | %10s %10s\n", "Benchmark",
+                "MB", "AI", "MB", "AI", "MB", "AI");
+    benchutil::rule();
+
+    MemoryConfig mem{32ull << 20, false};
+    for (const auto &[name, ref] : paper) {
+        const HksParams &b = benchmarkByName(name);
+        double mb[3], ai[3];
+        int i = 0;
+        for (Dataflow d : allDataflows()) {
+            TrafficSummary s = analyzeTraffic(b, d, mem);
+            mb[i] = s.trafficMb();
+            ai[i] = s.arithmeticIntensity;
+            ++i;
+        }
+        std::printf("%-9s | %10.0f %10.2f | %10.0f %10.2f | %10.0f "
+                    "%10.2f\n",
+                    name.c_str(), mb[0], ai[0], mb[1], ai[1], mb[2],
+                    ai[2]);
+        std::printf("%-9s | %10.0f %10.2f | %10.0f %10.2f | %10.0f "
+                    "%10.2f   (paper)\n",
+                    "", ref.mb[0], ref.ai[0], ref.mb[1], ref.ai[1],
+                    ref.mb[2], ref.ai[2]);
+    }
+    benchutil::rule();
+
+    // The paper's §IV-D headline: OC has 1.43x-2.4x more AI than MP.
+    double lo = 1e9, hi = 0;
+    for (const auto &b : paperBenchmarks()) {
+        double gain = analyzeTraffic(b, Dataflow::OC, mem)
+                          .arithmeticIntensity /
+                      analyzeTraffic(b, Dataflow::MP, mem)
+                          .arithmeticIntensity;
+        lo = std::min(lo, gain);
+        hi = std::max(hi, gain);
+    }
+    std::printf("OC arithmetic-intensity gain over MP: %.2fx .. %.2fx "
+                "(paper: 1.43x .. 2.40x)\n",
+                lo, hi);
+
+    // §IV-D extension: seeded key compression halves evk traffic and
+    // lifts OC's best arithmetic intensity toward the projected 3.82.
+    MemoryConfig comp{32ull << 20, false, true};
+    std::printf("\nWith key compression (OC):\n");
+    double best_ai = 0;
+    for (const auto &b : paperBenchmarks()) {
+        TrafficSummary s = analyzeTraffic(b, Dataflow::OC, comp);
+        std::printf("  %-7s %7.0f MB  AI=%.2f\n", b.name.c_str(),
+                    s.trafficMb(), s.arithmeticIntensity);
+        best_ai = std::max(best_ai, s.arithmeticIntensity);
+    }
+    std::printf("  best OC+compression AI = %.2f (paper projects "
+                "3.82)\n",
+                best_ai);
+    return 0;
+}

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Reproduces paper Table III: the five 128-bit-secure benchmark
+ * parameterizations with their derived evk and peak-temporary sizes.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/units.h"
+#include "hksflow/hks_params.h"
+
+using namespace ciflow;
+
+int
+main()
+{
+    benchutil::header(
+        "Table III: benchmark parameters (128-bit security)");
+
+    // Paper reference: evk MB, temp MB.
+    const std::vector<std::pair<double, double>> paper = {
+        {112, 196}, {240, 400}, {360, 585}, {120, 192}, {99, 163}};
+
+    std::printf("%-9s %6s %4s %4s %5s %6s | %9s %9s | %9s %9s\n",
+                "Benchmark", "N", "kl", "kp", "dnum", "alpha", "evk(MB)",
+                "paper", "temp(MB)", "paper");
+    benchutil::rule();
+    std::size_t i = 0;
+    for (const auto &b : paperBenchmarks()) {
+        std::printf("%-9s 2^%-4zu %4zu %4zu %5zu %6zu | %9.0f %9.0f | "
+                    "%9.1f %9.0f\n",
+                    b.name.c_str(), b.logN, b.kl, b.kp, b.dnum, b.alpha,
+                    toMib(b.evkBytes()), paper[i].first,
+                    toMib(b.tempBytes()), paper[i].second);
+        ++i;
+    }
+    benchutil::rule();
+    std::printf("evk = dnum * 2 * (kl+kp) towers; temp = INTT outputs + "
+                "extended polys + per-digit key products.\n");
+    std::printf("One tower = N * 8 bytes (1 MiB at N = 2^17).\n");
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Reproduces paper Table IV: the bandwidth OCbase at which the OC
+ * dataflow matches the baseline (MP at 64 GB/s, evks on-chip), the
+ * bandwidth saving, and OC's speedup over MP at that bandwidth.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "rpu/experiment.h"
+
+using namespace ciflow;
+
+int
+main()
+{
+    benchutil::header("Table IV: OC bandwidth for baseline-equivalent "
+                      "performance (evks on-chip)");
+
+    struct Ref
+    {
+        double bw, oc_ms, mp_ms, speedup;
+    };
+    const std::vector<std::pair<std::string, Ref>> paper = {
+        {"BTS1", {25.6, 30.08, 39.13, 1.30}},
+        {"BTS2", {12.8, 43.24, 104.85, 2.42}},
+        {"BTS3", {32.0, 51.87, 71.50, 1.37}},
+        {"ARK", {8.0, 9.01, 37.54, 4.16}},
+        {"DPRIVE", {12.8, 7.81, 23.15, 2.96}},
+    };
+
+    std::printf("%-9s | %8s %8s | %6s %6s | %9s %9s | %8s %8s\n",
+                "Benchmark", "OCbase", "paper", "Saved", "paper",
+                "OC (ms)", "MP (ms)", "Speedup", "paper");
+    benchutil::rule();
+
+    MemoryConfig mem{32ull << 20, true};
+    for (const auto &[name, ref] : paper) {
+        const HksParams &b = benchmarkByName(name);
+        double ocbase = ocBaseBandwidth(b);
+        HksExperiment oc(b, Dataflow::OC, mem);
+        HksExperiment mp(b, Dataflow::MP, mem);
+        SimStats soc = oc.simulate(ocbase);
+        SimStats smp = mp.simulate(ocbase);
+        std::printf("%-9s | %8.1f %8.1f | %5.1fx %5.1fx | %9.2f %9.2f | "
+                    "%7.2fx %7.2fx\n",
+                    name.c_str(), ocbase, ref.bw, 64.0 / ocbase,
+                    64.0 / ref.bw, soc.runtimeMs(), smp.runtimeMs(),
+                    smp.runtime / soc.runtime, ref.speedup);
+    }
+    benchutil::rule();
+    std::printf("Baseline = MP dataflow at 64 GB/s (peak DDR5) with all "
+                "evks pre-loaded on-chip.\n");
+    std::printf("Runtimes are reported at the OCbase bandwidth, as in "
+                "the paper.\n");
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Workload-scale projection (paper §I motivation): a ResNet-20-shaped
+ * stream of 3,306 rotations (Lee et al., cited by the paper) runs one
+ * hybrid key switch each. This harness projects end-to-end key-switching
+ * time per dataflow and quantifies ARK-style inter-operation key reuse.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "rpu/workload.h"
+
+using namespace ciflow;
+
+int
+main()
+{
+    benchutil::header("Workload projection: ResNet-20 rotation stream "
+                      "(3,306 rotations, ARK parameters)");
+
+    const HksParams &ark = benchmarkByName("ARK");
+    HeWorkload wl = HeWorkload::resnet20(3306, 64, /*blocked=*/true);
+    MemoryConfig streamed{32ull << 20, false};
+
+    std::printf("Workload: %zu key switches, %zu distinct Galois "
+                "keys\n\n",
+                wl.keySwitchCount(), wl.distinctKeyCount());
+
+    std::printf("%-9s | %14s | %14s | %12s\n", "Dataflow",
+                "time @16GB/s", "time @64GB/s", "traffic@16");
+    benchutil::rule();
+    for (Dataflow d : allDataflows()) {
+        WorkloadStats lo =
+            simulateWorkload(wl, ark, d, streamed, 16.0);
+        WorkloadStats hi =
+            simulateWorkload(wl, ark, d, streamed, 64.0);
+        std::printf("%-9s | %11.2f s  | %11.2f s  | %9.1f GB\n",
+                    dataflowName(d), lo.runtime, hi.runtime,
+                    lo.trafficBytes / 1e9);
+    }
+    benchutil::rule();
+
+    // Inter-operation key reuse (ARK's technique): provision a key
+    // cache for the distinct rotation keys.
+    std::printf("\nWith an inter-op key cache (OC dataflow, 16 GB/s):\n");
+    std::printf("%-26s | %10s | %10s | %10s\n", "cache size", "time (s)",
+                "hits", "key GB");
+    benchutil::rule();
+    for (std::size_t keys : {0, 1, 2, 4}) {
+        KeyCacheConfig cache{keys * ark.evkBytes()};
+        WorkloadStats s = simulateWorkload(wl, ark, Dataflow::OC,
+                                           streamed, 16.0, cache);
+        std::printf("%3zu keys (%5.1f MiB SRAM)   | %10.2f | %10zu | "
+                    "%10.1f\n",
+                    keys, keys * ark.evkBytes() / 1048576.0, s.runtime,
+                    s.keyCacheHits, s.evkBytes / 1e9);
+    }
+    benchutil::rule();
+    std::printf("Key-switching at 70%% of end-to-end time (paper §I) "
+                "puts a full inference at ~1.4x the times above.\n");
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Dataflow explorer: a small CLI over the analysis stack.
+ *
+ * Usage:
+ *   dataflow_explorer [benchmark] [dataflow] [bandwidth_gbps]
+ *                     [capacity_mib] [stream|onchip] [modops_mult]
+ *
+ * Defaults: BTS3 OC 64 32 stream 1. Prints the task-graph composition,
+ * per-stage operation breakdown, DRAM traffic, and the simulated
+ * schedule (runtime, busy/idle time of both channels).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/units.h"
+#include "rpu/experiment.h"
+
+using namespace ciflow;
+
+int
+main(int argc, char **argv)
+{
+    std::string bench = argc > 1 ? argv[1] : "BTS3";
+    std::string flow = argc > 2 ? argv[2] : "OC";
+    double bw = argc > 3 ? std::atof(argv[3]) : 64.0;
+    double cap_mib = argc > 4 ? std::atof(argv[4]) : 32.0;
+    bool stream = argc > 5 ? std::string(argv[5]) == "stream" : true;
+    double mult = argc > 6 ? std::atof(argv[6]) : 1.0;
+
+    const HksParams &par = benchmarkByName(bench);
+    Dataflow d = Dataflow::OC;
+    for (Dataflow cand : allDataflows())
+        if (flow == dataflowName(cand))
+            d = cand;
+
+    MemoryConfig mem{static_cast<std::uint64_t>(cap_mib * 1048576.0),
+                     !stream};
+    if (mem.dataCapacityBytes < minDataCapacity(par, d)) {
+        std::printf("capacity %.0f MiB is below the minimum %.0f MiB "
+                    "for %s/%s\n",
+                    cap_mib, toMib(minDataCapacity(par, d)),
+                    bench.c_str(), flow.c_str());
+        return 1;
+    }
+
+    std::printf("%s\n", par.describe().c_str());
+    std::printf("dataflow=%s bandwidth=%.1fGB/s capacity=%.0fMiB "
+                "evk=%s modops=%.0fx\n\n",
+                dataflowName(d), bw, cap_mib,
+                stream ? "streamed" : "on-chip", mult);
+
+    HksExperiment exp(par, d, mem);
+    const TaskGraph &g = exp.graph();
+
+    std::printf("Task graph: %zu tasks (%zu loads, %zu stores, %zu "
+                "compute)\n",
+                g.size(), g.countKind(TaskKind::MemLoad),
+                g.countKind(TaskKind::MemStore),
+                g.countKind(TaskKind::Compute));
+    std::printf("DRAM traffic: %s (%s loads / %s stores, evk %s)\n",
+                formatBytes(g.trafficBytes()).c_str(),
+                formatBytes(g.loadBytes()).c_str(),
+                formatBytes(g.storeBytes()).c_str(),
+                formatBytes(g.evkBytes()).c_str());
+    std::printf("Arithmetic intensity: %.2f ops/byte\n\n",
+                static_cast<double>(g.totalModOps()) /
+                    static_cast<double>(g.trafficBytes()));
+
+    std::printf("Per-stage modular operations:\n");
+    for (StageId s :
+         {StageId::ModUpIntt, StageId::ModUpBconv, StageId::ModUpNtt,
+          StageId::ModUpKeyMul, StageId::ModUpReduce,
+          StageId::ModDownIntt, StageId::ModDownBconv,
+          StageId::ModDownNtt, StageId::ModDownFinish}) {
+        std::uint64_t ops = g.stageModOps(s);
+        std::printf("  %-26s %12llu  (%4.1f%%)\n", stageName(s),
+                    static_cast<unsigned long long>(ops),
+                    100.0 * static_cast<double>(ops) /
+                        static_cast<double>(g.totalModOps()));
+    }
+
+    SimStats s = exp.simulate(bw, mult);
+    std::printf("\nSimulated on the RPU (%zu HPLEs @ %.1f GHz, x%.0f "
+                "MODOPS):\n",
+                RpuConfig{}.hples, RpuConfig{}.freqGHz, mult);
+    std::printf("  runtime        %9.3f ms\n", s.runtimeMs());
+    std::printf("  DRAM busy      %9.3f ms (%.1f%% idle)\n",
+                s.memBusy * 1e3, s.memIdleFraction() * 100);
+    std::printf("  compute busy   %9.3f ms (%.1f%% idle)\n",
+                s.compBusy * 1e3, s.computeIdleFraction() * 100);
+    return 0;
+}

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Private-inference workload: an encrypted fully-connected layer.
+ *
+ * The paper motivates HKS with private neural inference — a single HE
+ * ResNet-20 inference performs 3,306 rotations, and key switching is
+ * ~70% of its runtime. This example evaluates one FC layer
+ * (y = ReLU~(W x + b), with a degree-2 polynomial activation) entirely
+ * under CKKS using the rotate-and-accumulate ("diagonal") method, then
+ * uses the RPU model to estimate how the layer's key-switching time
+ * scales across the three dataflows.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <random>
+#include <vector>
+
+#include "ckks/encoder.h"
+#include "ckks/encryptor.h"
+#include "ckks/evaluator.h"
+#include "rpu/experiment.h"
+
+using namespace ciflow;
+
+namespace
+{
+
+constexpr std::size_t kDim = 16; // FC layer: 16 -> 16
+
+/** Plain reference: y = act(W x + b), act(t) = 0.5 t + 0.25 t^2. */
+std::vector<double>
+reference(const std::vector<std::vector<double>> &w,
+          const std::vector<double> &b, const std::vector<double> &x)
+{
+    std::vector<double> y(kDim, 0);
+    for (std::size_t i = 0; i < kDim; ++i) {
+        double acc = b[i];
+        for (std::size_t j = 0; j < kDim; ++j)
+            acc += w[i][j] * x[j];
+        y[i] = 0.5 * acc + 0.25 * acc * acc;
+    }
+    return y;
+}
+
+} // namespace
+
+int
+main()
+{
+    CkksParams params;
+    params.logN = 12;
+    params.maxLevel = 5;
+    params.dnum = 3;
+    CkksContext ctx(params);
+
+    KeyGenerator keygen(ctx, 2024);
+    SecretKey sk = keygen.secretKey();
+    PublicKey pk = keygen.publicKey(sk);
+    EvalKey rlk = keygen.relinKey(sk);
+
+    // The diagonal method needs rotations 1..kDim-1.
+    std::vector<long> rots;
+    for (std::size_t r = 1; r < kDim; ++r)
+        rots.push_back(static_cast<long>(r));
+    GaloisKeys gk = keygen.galoisKeys(sk, rots);
+
+    Encoder enc(ctx);
+    Encryptor encryptor(ctx, pk);
+    Decryptor decryptor(ctx, sk);
+    Evaluator eval(ctx);
+
+    // Random layer and input.
+    std::mt19937_64 gen(7);
+    std::uniform_real_distribution<double> dist(-0.5, 0.5);
+    std::vector<std::vector<double>> w(kDim, std::vector<double>(kDim));
+    std::vector<double> bias(kDim), x(kDim);
+    for (auto &row : w)
+        for (auto &v : row)
+            v = dist(gen) / kDim;
+    for (auto &v : bias)
+        v = dist(gen);
+    for (auto &v : x)
+        v = dist(gen);
+
+    // Pack x into the first kDim slots, replicated so rotations wrap
+    // within the window.
+    std::vector<double> packed(ctx.slots(), 0.0);
+    for (std::size_t i = 0; i < ctx.slots(); ++i)
+        packed[i] = x[i % kDim];
+    Ciphertext cx =
+        encryptor.encrypt(enc.encode(packed, ctx.maxLevel()),
+                          ctx.scale());
+
+    // y = sum_d diag_d(W) * rotate(x, d): kDim-1 rotations, each one a
+    // full hybrid key switch.
+    std::size_t key_switches = 0;
+    Ciphertext acc = eval.mulPlain(
+        cx,
+        enc.encode(
+            [&] {
+                std::vector<double> diag(ctx.slots());
+                for (std::size_t i = 0; i < ctx.slots(); ++i)
+                    diag[i] = w[i % kDim][i % kDim];
+                return diag;
+            }(),
+            ctx.maxLevel()),
+        ctx.scale());
+    for (std::size_t d = 1; d < kDim; ++d) {
+        Ciphertext rot = eval.rotate(cx, static_cast<long>(d), gk);
+        ++key_switches;
+        std::vector<double> diag(ctx.slots());
+        for (std::size_t i = 0; i < ctx.slots(); ++i)
+            diag[i] = w[i % kDim][(i + d) % kDim];
+        Ciphertext term = eval.mulPlain(
+            rot, enc.encode(diag, ctx.maxLevel()), ctx.scale());
+        acc = eval.add(acc, term);
+    }
+    acc = eval.rescale(acc);
+
+    // + bias, then act(t) = 0.5 t + 0.25 t^2 (one more key switch).
+    std::vector<double> bias_packed(ctx.slots());
+    for (std::size_t i = 0; i < ctx.slots(); ++i)
+        bias_packed[i] = bias[i % kDim];
+    acc = eval.addPlain(
+        acc, enc.encode(bias_packed, acc.level, acc.scale));
+
+    Ciphertext sq = eval.rescale(eval.multiply(acc, acc, rlk));
+    ++key_switches;
+    std::vector<double> half(ctx.slots(), 0.5);
+    Ciphertext lin = eval.rescale(eval.mulPlain(
+        acc, enc.encode(half, acc.level), ctx.scale()));
+    std::vector<double> quarter(ctx.slots(), 0.25);
+    Ciphertext quad = eval.rescale(eval.mulPlain(
+        sq, enc.encode(quarter, sq.level), ctx.scale()));
+    // Align levels: lin is one level above quad; bring it down.
+    Ciphertext lin_aligned = eval.rescale(eval.mulPlain(
+        lin, enc.encode(std::vector<double>(ctx.slots(), 1.0),
+                        lin.level),
+        ctx.scale()));
+    Ciphertext out = eval.add(lin_aligned, quad);
+
+    // Verify against the plaintext layer.
+    auto result = enc.decode(decryptor.decrypt(out), out.scale);
+    auto expect = reference(w, bias, x);
+    double max_err = 0;
+    for (std::size_t i = 0; i < kDim; ++i)
+        max_err = std::max(max_err,
+                           std::abs(result[i].real() - expect[i]));
+    std::printf("Encrypted FC layer (%zux%zu, degree-2 activation): "
+                "max error %.3e over %zu outputs\n",
+                kDim, kDim, max_err, kDim);
+    std::printf("Hybrid key switches executed: %zu rotations + 1 "
+                "relinearization\n",
+                key_switches - 1);
+
+    // RPU-model projection: what this layer's key-switching costs on
+    // the accelerator at production parameters (ARK) per dataflow.
+    std::printf("\nProjected accelerator time for %zu key switches "
+                "(ARK parameters, 32 GB/s, evk streamed):\n",
+                key_switches);
+    for (Dataflow d : allDataflows()) {
+        HksExperiment exp(benchmarkByName("ARK"), d,
+                          MemoryConfig{32ull << 20, false});
+        double per_ks = exp.simulate(32.0).runtime;
+        std::printf("  %s: %.2f ms/key-switch -> %.1f ms for the "
+                    "layer\n",
+                    dataflowName(d), per_ks * 1e3,
+                    per_ks * 1e3 * static_cast<double>(key_switches));
+    }
+    std::printf("\nAt ResNet-20 scale (3,306 rotations, §I), the "
+                "MP->OC saving compounds to seconds per inference.\n");
+    return 0;
+}

@@ -1,0 +1,264 @@
+#include "bigint/ubigint.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ciflow
+{
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+UBigInt::UBigInt(u64 v)
+{
+    if (v)
+        limbs.push_back(v);
+}
+
+void
+UBigInt::trim()
+{
+    while (!limbs.empty() && limbs.back() == 0)
+        limbs.pop_back();
+}
+
+UBigInt
+UBigInt::fromDecimal(const std::string &s)
+{
+    UBigInt r;
+    for (char c : s) {
+        panicIf(c < '0' || c > '9', "fromDecimal: non-digit character");
+        r = r * UBigInt(10) + UBigInt(static_cast<u64>(c - '0'));
+    }
+    return r;
+}
+
+std::size_t
+UBigInt::bitLength() const
+{
+    if (limbs.empty())
+        return 0;
+    std::size_t top_bits = 64 - __builtin_clzll(limbs.back());
+    return (limbs.size() - 1) * 64 + top_bits;
+}
+
+bool
+UBigInt::bit(std::size_t i) const
+{
+    std::size_t limb = i / 64;
+    if (limb >= limbs.size())
+        return false;
+    return (limbs[limb] >> (i % 64)) & 1;
+}
+
+int
+UBigInt::compare(const UBigInt &o) const
+{
+    if (limbs.size() != o.limbs.size())
+        return limbs.size() < o.limbs.size() ? -1 : 1;
+    for (std::size_t i = limbs.size(); i-- > 0;) {
+        if (limbs[i] != o.limbs[i])
+            return limbs[i] < o.limbs[i] ? -1 : 1;
+    }
+    return 0;
+}
+
+UBigInt
+UBigInt::operator+(const UBigInt &o) const
+{
+    UBigInt r;
+    std::size_t n = std::max(limbs.size(), o.limbs.size());
+    r.limbs.resize(n, 0);
+    u64 carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        u128 sum = static_cast<u128>(i < limbs.size() ? limbs[i] : 0) +
+                   (i < o.limbs.size() ? o.limbs[i] : 0) + carry;
+        r.limbs[i] = static_cast<u64>(sum);
+        carry = static_cast<u64>(sum >> 64);
+    }
+    if (carry)
+        r.limbs.push_back(carry);
+    return r;
+}
+
+UBigInt
+UBigInt::operator-(const UBigInt &o) const
+{
+    panicIf(*this < o, "UBigInt subtraction underflow");
+    UBigInt r;
+    r.limbs.resize(limbs.size(), 0);
+    u64 borrow = 0;
+    for (std::size_t i = 0; i < limbs.size(); ++i) {
+        u128 lhs = limbs[i];
+        u128 rhs = static_cast<u128>(i < o.limbs.size() ? o.limbs[i] : 0) +
+                   borrow;
+        if (lhs >= rhs) {
+            r.limbs[i] = static_cast<u64>(lhs - rhs);
+            borrow = 0;
+        } else {
+            r.limbs[i] = static_cast<u64>((static_cast<u128>(1) << 64) +
+                                          lhs - rhs);
+            borrow = 1;
+        }
+    }
+    r.trim();
+    return r;
+}
+
+UBigInt
+UBigInt::operator*(const UBigInt &o) const
+{
+    if (isZero() || o.isZero())
+        return UBigInt();
+    UBigInt r;
+    r.limbs.assign(limbs.size() + o.limbs.size(), 0);
+    for (std::size_t i = 0; i < limbs.size(); ++i) {
+        u64 carry = 0;
+        for (std::size_t j = 0; j < o.limbs.size(); ++j) {
+            u128 cur = static_cast<u128>(limbs[i]) * o.limbs[j] +
+                       r.limbs[i + j] + carry;
+            r.limbs[i + j] = static_cast<u64>(cur);
+            carry = static_cast<u64>(cur >> 64);
+        }
+        std::size_t k = i + o.limbs.size();
+        while (carry) {
+            u128 cur = static_cast<u128>(r.limbs[k]) + carry;
+            r.limbs[k] = static_cast<u64>(cur);
+            carry = static_cast<u64>(cur >> 64);
+            ++k;
+        }
+    }
+    r.trim();
+    return r;
+}
+
+UBigInt
+UBigInt::shiftLeft(std::size_t bits) const
+{
+    if (isZero() || bits == 0)
+        return bits == 0 ? *this : UBigInt();
+    std::size_t limb_shift = bits / 64;
+    std::size_t bit_shift = bits % 64;
+    UBigInt r;
+    r.limbs.assign(limbs.size() + limb_shift + 1, 0);
+    for (std::size_t i = 0; i < limbs.size(); ++i) {
+        r.limbs[i + limb_shift] |= limbs[i] << bit_shift;
+        if (bit_shift)
+            r.limbs[i + limb_shift + 1] |= limbs[i] >> (64 - bit_shift);
+    }
+    r.trim();
+    return r;
+}
+
+UBigInt
+UBigInt::shiftRight(std::size_t bits) const
+{
+    std::size_t limb_shift = bits / 64;
+    std::size_t bit_shift = bits % 64;
+    if (limb_shift >= limbs.size())
+        return UBigInt();
+    UBigInt r;
+    r.limbs.assign(limbs.size() - limb_shift, 0);
+    for (std::size_t i = 0; i < r.limbs.size(); ++i) {
+        r.limbs[i] = limbs[i + limb_shift] >> bit_shift;
+        if (bit_shift && i + limb_shift + 1 < limbs.size())
+            r.limbs[i] |= limbs[i + limb_shift + 1] << (64 - bit_shift);
+    }
+    r.trim();
+    return r;
+}
+
+void
+UBigInt::divMod(const UBigInt &d, UBigInt &q, UBigInt &r) const
+{
+    panicIf(d.isZero(), "UBigInt division by zero");
+    q = UBigInt();
+    r = UBigInt();
+    if (*this < d) {
+        r = *this;
+        return;
+    }
+    // Bitwise long division; adequate for precomputation-time use.
+    std::size_t n = bitLength();
+    q.limbs.assign((n + 63) / 64, 0);
+    for (std::size_t i = n; i-- > 0;) {
+        r = r.shiftLeft(1);
+        if (bit(i)) {
+            if (r.limbs.empty())
+                r.limbs.push_back(1);
+            else
+                r.limbs[0] |= 1;
+        }
+        if (r >= d) {
+            r -= d;
+            q.limbs[i / 64] |= (1ull << (i % 64));
+        }
+    }
+    q.trim();
+}
+
+UBigInt
+UBigInt::operator/(const UBigInt &o) const
+{
+    UBigInt q, r;
+    divMod(o, q, r);
+    return q;
+}
+
+UBigInt
+UBigInt::operator%(const UBigInt &o) const
+{
+    UBigInt q, r;
+    divMod(o, q, r);
+    return r;
+}
+
+u64
+UBigInt::mod64(u64 m) const
+{
+    panicIf(m == 0, "UBigInt mod64 by zero");
+    u128 rem = 0;
+    for (std::size_t i = limbs.size(); i-- > 0;)
+        rem = ((rem << 64) | limbs[i]) % m;
+    return static_cast<u64>(rem);
+}
+
+double
+UBigInt::toDouble() const
+{
+    double r = 0.0;
+    for (std::size_t i = limbs.size(); i-- > 0;)
+        r = r * 18446744073709551616.0 + static_cast<double>(limbs[i]);
+    return r;
+}
+
+std::string
+UBigInt::toDecimal() const
+{
+    if (isZero())
+        return "0";
+    UBigInt tmp = *this;
+    const UBigInt ten(10);
+    std::string s;
+    while (!tmp.isZero()) {
+        UBigInt q, r;
+        tmp.divMod(ten, q, r);
+        s.push_back(static_cast<char>('0' + r.low64()));
+        tmp = q;
+    }
+    std::reverse(s.begin(), s.end());
+    return s;
+}
+
+UBigInt
+productOf(const std::vector<u64> &values)
+{
+    UBigInt p(1);
+    for (u64 v : values)
+        p *= UBigInt(v);
+    return p;
+}
+
+} // namespace ciflow

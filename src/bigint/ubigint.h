@@ -1,0 +1,105 @@
+/**
+ * @file
+ * UBigInt: a small arbitrary-precision unsigned integer.
+ *
+ * ciflow needs exact multi-word arithmetic in a few *non-hot* places:
+ *   - CRT reconstruction of RNS polynomials during CKKS decryption,
+ *   - precomputation of hybrid key-switching constants
+ *     (P mod q_i, F_j mod q_i, punctured products),
+ *   - exact references for the approximate basis-conversion tests.
+ *
+ * The representation is a little-endian vector of 64-bit limbs with no
+ * leading zero limbs (zero is an empty vector). Only the operations the
+ * library needs are provided; this is deliberately not a general bignum.
+ */
+
+#ifndef CIFLOW_BIGINT_UBIGINT_H
+#define CIFLOW_BIGINT_UBIGINT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ciflow
+{
+
+/** Arbitrary-precision unsigned integer (little-endian 64-bit limbs). */
+class UBigInt
+{
+  public:
+    /** Constructs zero. */
+    UBigInt() = default;
+
+    /** Constructs from a single 64-bit value. */
+    UBigInt(std::uint64_t v);
+
+    /** Constructs from a decimal string (digits only). */
+    static UBigInt fromDecimal(const std::string &s);
+
+    /** True when the value is zero. */
+    bool isZero() const { return limbs.empty(); }
+
+    /** Number of significant bits (0 for zero). */
+    std::size_t bitLength() const;
+
+    /** Value of bit i (0 = LSB). */
+    bool bit(std::size_t i) const;
+
+    /** Comparison: negative/zero/positive like memcmp. */
+    int compare(const UBigInt &o) const;
+
+    bool operator==(const UBigInt &o) const { return compare(o) == 0; }
+    bool operator!=(const UBigInt &o) const { return compare(o) != 0; }
+    bool operator<(const UBigInt &o) const { return compare(o) < 0; }
+    bool operator<=(const UBigInt &o) const { return compare(o) <= 0; }
+    bool operator>(const UBigInt &o) const { return compare(o) > 0; }
+    bool operator>=(const UBigInt &o) const { return compare(o) >= 0; }
+
+    UBigInt operator+(const UBigInt &o) const;
+    /** Subtraction; panics if o > *this (values are unsigned). */
+    UBigInt operator-(const UBigInt &o) const;
+    UBigInt operator*(const UBigInt &o) const;
+    /** Quotient of schoolbook long division. */
+    UBigInt operator/(const UBigInt &o) const;
+    /** Remainder of schoolbook long division. */
+    UBigInt operator%(const UBigInt &o) const;
+
+    UBigInt &operator+=(const UBigInt &o) { return *this = *this + o; }
+    UBigInt &operator-=(const UBigInt &o) { return *this = *this - o; }
+    UBigInt &operator*=(const UBigInt &o) { return *this = *this * o; }
+
+    /** Left shift by an arbitrary bit count. */
+    UBigInt shiftLeft(std::size_t bits) const;
+    /** Right shift by an arbitrary bit count. */
+    UBigInt shiftRight(std::size_t bits) const;
+
+    /** Reduce modulo a 64-bit modulus. */
+    std::uint64_t mod64(std::uint64_t m) const;
+
+    /** Quotient and remainder in one pass. */
+    void divMod(const UBigInt &d, UBigInt &q, UBigInt &r) const;
+
+    /** Approximate conversion to double (may overflow to inf). */
+    double toDouble() const;
+
+    /** Lowest 64 bits of the value. */
+    std::uint64_t low64() const { return limbs.empty() ? 0 : limbs[0]; }
+
+    /** Decimal string rendering. */
+    std::string toDecimal() const;
+
+    /** Access to raw limbs (testing). */
+    const std::vector<std::uint64_t> &rawLimbs() const { return limbs; }
+
+  private:
+    void trim();
+
+    std::vector<std::uint64_t> limbs;
+};
+
+/** Product of a list of 64-bit moduli as a UBigInt. */
+UBigInt productOf(const std::vector<std::uint64_t> &values);
+
+} // namespace ciflow
+
+#endif // CIFLOW_BIGINT_UBIGINT_H

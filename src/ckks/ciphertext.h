@@ -1,0 +1,34 @@
+/**
+ * @file
+ * CKKS ciphertext: a pair of RNS polynomials plus scale/level metadata.
+ */
+
+#ifndef CIFLOW_CKKS_CIPHERTEXT_H
+#define CIFLOW_CKKS_CIPHERTEXT_H
+
+#include <cstddef>
+
+#include "hemath/poly.h"
+
+namespace ciflow
+{
+
+/** An encryption of a plaintext under some secret key. */
+struct Ciphertext
+{
+    /** Message component: c0 = b·v + e0 + m (Eval, basis B_level). */
+    RnsPoly c0;
+    /** Mask component: c1 = a·v + e1 (Eval, basis B_level). */
+    RnsPoly c1;
+    /** Current encoding scale. */
+    double scale = 0.0;
+    /** Current multiplicative level (towers = level + 1). */
+    std::size_t level = 0;
+
+    /** Byte size of the ciphertext payload. */
+    std::size_t byteSize() const { return c0.byteSize() + c1.byteSize(); }
+};
+
+} // namespace ciflow
+
+#endif // CIFLOW_CKKS_CIPHERTEXT_H

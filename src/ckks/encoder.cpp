@@ -1,0 +1,164 @@
+#include "ckks/encoder.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ciflow
+{
+
+namespace
+{
+
+void
+bitReverseArray(std::vector<cplx> &vals)
+{
+    const std::size_t n = vals.size();
+    for (std::size_t i = 1, j = 0; i < n; ++i) {
+        std::size_t bit = n >> 1;
+        for (; j & bit; bit >>= 1)
+            j ^= bit;
+        j ^= bit;
+        if (i < j)
+            std::swap(vals[i], vals[j]);
+    }
+}
+
+} // namespace
+
+Encoder::Encoder(const CkksContext &ctx_)
+    : ctx(ctx_), degree(ctx_.n()), nSlots(ctx_.n() / 2), m(2 * ctx_.n())
+{
+    rotGroup.resize(nSlots);
+    std::size_t five = 1;
+    for (std::size_t i = 0; i < nSlots; ++i) {
+        rotGroup[i] = five;
+        five = (five * 5) % m;
+    }
+    ksiPows.resize(m + 1);
+    for (std::size_t k = 0; k <= m; ++k) {
+        double angle = 2.0 * M_PI * static_cast<double>(k) /
+                       static_cast<double>(m);
+        ksiPows[k] = cplx(std::cos(angle), std::sin(angle));
+    }
+}
+
+void
+Encoder::fftSpecial(std::vector<cplx> &vals) const
+{
+    const std::size_t size = vals.size();
+    bitReverseArray(vals);
+    for (std::size_t len = 2; len <= size; len <<= 1) {
+        for (std::size_t i = 0; i < size; i += len) {
+            const std::size_t lenh = len >> 1;
+            const std::size_t lenq = len << 2;
+            for (std::size_t j = 0; j < lenh; ++j) {
+                std::size_t idx = (rotGroup[j] % lenq) * (m / lenq);
+                cplx u = vals[i + j];
+                cplx v = vals[i + j + lenh] * ksiPows[idx];
+                vals[i + j] = u + v;
+                vals[i + j + lenh] = u - v;
+            }
+        }
+    }
+}
+
+void
+Encoder::fftSpecialInv(std::vector<cplx> &vals) const
+{
+    const std::size_t size = vals.size();
+    for (std::size_t len = size; len >= 2; len >>= 1) {
+        for (std::size_t i = 0; i < size; i += len) {
+            const std::size_t lenh = len >> 1;
+            const std::size_t lenq = len << 2;
+            for (std::size_t j = 0; j < lenh; ++j) {
+                std::size_t idx =
+                    (lenq - (rotGroup[j] % lenq)) * (m / lenq);
+                cplx u = vals[i + j] + vals[i + j + lenh];
+                cplx v = (vals[i + j] - vals[i + j + lenh]) * ksiPows[idx];
+                vals[i + j] = u;
+                vals[i + j + lenh] = v;
+            }
+        }
+    }
+    bitReverseArray(vals);
+    for (auto &v : vals)
+        v /= static_cast<double>(size);
+}
+
+RnsPoly
+Encoder::encode(const std::vector<cplx> &z, std::size_t level,
+                double scale) const
+{
+    fatalIf(z.size() > nSlots, "too many slots to encode");
+    if (scale == 0.0)
+        scale = ctx.scale();
+
+    std::vector<cplx> u(nSlots, cplx(0, 0));
+    for (std::size_t i = 0; i < z.size(); ++i)
+        u[i] = z[i];
+    fftSpecialInv(u);
+
+    RnsPoly pt(degree, ctx.basisQ(level), Domain::Coeff);
+    for (std::size_t k = 0; k < nSlots; ++k) {
+        long long re = llround(u[k].real() * scale);
+        long long im = llround(u[k].imag() * scale);
+        for (std::size_t i = 0; i < pt.towerCount(); ++i) {
+            const u64 q = pt.modulus(i);
+            pt.tower(i)[k] = signedToMod(re, q);
+            pt.tower(i)[k + nSlots] = signedToMod(im, q);
+        }
+    }
+    return pt;
+}
+
+RnsPoly
+Encoder::encode(const std::vector<double> &z, std::size_t level,
+                double scale) const
+{
+    std::vector<cplx> zc(z.size());
+    for (std::size_t i = 0; i < z.size(); ++i)
+        zc[i] = cplx(z[i], 0.0);
+    return encode(zc, level, scale);
+}
+
+std::vector<cplx>
+Encoder::decode(const RnsPoly &pt, double scale) const
+{
+    panicIf(pt.domain() != Domain::Coeff,
+            "decode expects coefficient domain");
+    RnsBase base(pt.primes());
+    std::vector<cplx> u(nSlots);
+    std::vector<u64> residues(pt.towerCount());
+    for (std::size_t k = 0; k < nSlots; ++k) {
+        double re, im;
+        for (int half = 0; half < 2; ++half) {
+            std::size_t idx = half == 0 ? k : k + nSlots;
+            for (std::size_t i = 0; i < pt.towerCount(); ++i)
+                residues[i] = pt.tower(i)[idx];
+            UBigInt mag;
+            bool neg;
+            base.reconstructCentered(residues, mag, neg);
+            double v = mag.toDouble();
+            if (neg)
+                v = -v;
+            (half == 0 ? re : im) = v / scale;
+        }
+        u[k] = cplx(re, im);
+    }
+    fftSpecial(u);
+    return u;
+}
+
+std::size_t
+Encoder::galoisForRotation(long r) const
+{
+    long n_slots = static_cast<long>(nSlots);
+    long rr = ((r % n_slots) + n_slots) % n_slots;
+    std::size_t g = 1;
+    for (long i = 0; i < rr; ++i)
+        g = (g * 5) % m;
+    return g;
+}
+
+} // namespace ciflow

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * CKKS canonical-embedding encoder/decoder.
+ *
+ * A slot vector z in C^{N/2} is mapped to a real polynomial m(X) whose
+ * evaluations at the primitive 2N-th roots of unity indexed by the
+ * rotation group {5^j mod 2N} equal z (up to the scale Delta). The
+ * "special FFT" pair below follows the structure of the original HEAAN
+ * implementation; cyclic slot rotation by r corresponds to the Galois
+ * automorphism X -> X^{5^r mod 2N}, and complex conjugation of all slots
+ * to X -> X^{2N-1}.
+ */
+
+#ifndef CIFLOW_CKKS_ENCODER_H
+#define CIFLOW_CKKS_ENCODER_H
+
+#include <complex>
+#include <vector>
+
+#include "ckks/params.h"
+#include "hemath/poly.h"
+
+namespace ciflow
+{
+
+using cplx = std::complex<double>;
+
+/** Encode/decode between slot vectors and RNS plaintext polynomials. */
+class Encoder
+{
+  public:
+    explicit Encoder(const CkksContext &ctx);
+
+    /** Number of usable slots (N/2). */
+    std::size_t slots() const { return nSlots; }
+
+    /**
+     * Encode a slot vector (length <= slots(); shorter vectors are
+     * zero-padded) into a coefficient-domain RNS plaintext at `level`
+     * with scale `scale` (0 = context default).
+     */
+    RnsPoly encode(const std::vector<cplx> &z, std::size_t level,
+                   double scale = 0.0) const;
+
+    /** Real-vector convenience overload. */
+    RnsPoly encode(const std::vector<double> &z, std::size_t level,
+                   double scale = 0.0) const;
+
+    /**
+     * Decode a coefficient-domain RNS plaintext back to slots, dividing
+     * by `scale`.
+     */
+    std::vector<cplx> decode(const RnsPoly &pt, double scale) const;
+
+    /** Galois element for a cyclic left rotation by r slots. */
+    std::size_t galoisForRotation(long r) const;
+
+    /** Galois element for slot-wise complex conjugation. */
+    std::size_t galoisForConjugation() const { return 2 * degree - 1; }
+
+  private:
+    /** Decode-direction special FFT (coefficients -> slots). */
+    void fftSpecial(std::vector<cplx> &vals) const;
+    /** Encode-direction inverse special FFT (slots -> coefficients). */
+    void fftSpecialInv(std::vector<cplx> &vals) const;
+
+    const CkksContext &ctx;
+    std::size_t degree;
+    std::size_t nSlots;
+    std::size_t m; // 2N
+    std::vector<std::size_t> rotGroup; // 5^j mod 2N
+    std::vector<cplx> ksiPows;         // e^{2 pi i k / M}, k in [0, M]
+};
+
+} // namespace ciflow
+
+#endif // CIFLOW_CKKS_ENCODER_H

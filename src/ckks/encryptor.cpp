@@ -1,0 +1,68 @@
+#include "ckks/encryptor.h"
+
+#include "common/logging.h"
+
+namespace ciflow
+{
+
+Encryptor::Encryptor(const CkksContext &ctx_, PublicKey pk_,
+                     std::uint64_t seed)
+    : ctx(ctx_), pk(std::move(pk_)), rng(seed)
+{
+}
+
+Ciphertext
+Encryptor::encrypt(const RnsPoly &pt, double scale)
+{
+    const std::size_t level = pt.towerCount() - 1;
+    fatalIf(level > ctx.maxLevel(), "plaintext level out of range");
+    const std::vector<u64> primes = ctx.basisQ(level);
+    fatalIf(pt.primes() != primes, "plaintext basis mismatch");
+
+    // Ephemeral ternary v and two error polys, lifted to Eval domain.
+    auto lift = [&](const std::vector<int> &coeffs) {
+        RnsPoly p(ctx.n(), primes, Domain::Coeff);
+        for (std::size_t i = 0; i < primes.size(); ++i)
+            for (std::size_t k = 0; k < ctx.n(); ++k)
+                p.tower(i)[k] = signedToMod(coeffs[k], primes[i]);
+        p.toEval(ctx.ntt());
+        return p;
+    };
+    RnsPoly v = lift(rng.ternaryPoly(ctx.n()));
+    RnsPoly e0 = lift(rng.errorPoly(ctx.n()));
+    RnsPoly e1 = lift(rng.errorPoly(ctx.n()));
+
+    RnsPoly m = pt;
+    m.toEval(ctx.ntt());
+
+    Ciphertext ct;
+    ct.c0 = pk.b.firstTowers(primes.size());
+    ct.c0.mulPointwiseInPlace(v);
+    ct.c0.addInPlace(e0);
+    ct.c0.addInPlace(m);
+
+    ct.c1 = pk.a.firstTowers(primes.size());
+    ct.c1.mulPointwiseInPlace(v);
+    ct.c1.addInPlace(e1);
+
+    ct.scale = scale;
+    ct.level = level;
+    return ct;
+}
+
+Decryptor::Decryptor(const CkksContext &ctx_, const SecretKey &sk_)
+    : ctx(ctx_), sk(sk_)
+{
+}
+
+RnsPoly
+Decryptor::decrypt(const Ciphertext &ct) const
+{
+    RnsPoly m = ct.c1;
+    m.mulPointwiseInPlace(sk.s.firstTowers(ct.level + 1));
+    m.addInPlace(ct.c0);
+    m.toCoeff(ctx.ntt());
+    return m;
+}
+
+} // namespace ciflow

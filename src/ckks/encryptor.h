@@ -1,0 +1,55 @@
+/**
+ * @file
+ * CKKS public-key encryption and secret-key decryption.
+ */
+
+#ifndef CIFLOW_CKKS_ENCRYPTOR_H
+#define CIFLOW_CKKS_ENCRYPTOR_H
+
+#include "ckks/ciphertext.h"
+#include "ckks/keys.h"
+#include "ckks/params.h"
+#include "common/rng.h"
+
+namespace ciflow
+{
+
+/** Encrypts coefficient-domain plaintexts under a public key. */
+class Encryptor
+{
+  public:
+    Encryptor(const CkksContext &ctx, PublicKey pk,
+              std::uint64_t seed = 7);
+
+    /**
+     * Encrypt a plaintext (coefficient or Eval domain RnsPoly over
+     * B_level) at the given scale.
+     */
+    Ciphertext encrypt(const RnsPoly &pt, double scale);
+
+  private:
+    const CkksContext &ctx;
+    PublicKey pk;
+    Rng rng;
+};
+
+/** Decrypts ciphertexts with the secret key. */
+class Decryptor
+{
+  public:
+    Decryptor(const CkksContext &ctx, const SecretKey &sk);
+
+    /**
+     * Decrypt to a coefficient-domain plaintext over B_level
+     * (m ≈ c0 + c1 s).
+     */
+    RnsPoly decrypt(const Ciphertext &ct) const;
+
+  private:
+    const CkksContext &ctx;
+    const SecretKey &sk;
+};
+
+} // namespace ciflow
+
+#endif // CIFLOW_CKKS_ENCRYPTOR_H

@@ -1,0 +1,331 @@
+#include "ckks/evaluator.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ciflow
+{
+
+namespace
+{
+
+void
+checkAligned(const Ciphertext &a, const Ciphertext &b)
+{
+    fatalIf(a.level != b.level, "ciphertext level mismatch");
+    fatalIf(std::abs(a.scale - b.scale) > 1e-6 * a.scale,
+            "ciphertext scale mismatch");
+}
+
+} // namespace
+
+Ciphertext
+Evaluator::add(const Ciphertext &ct1, const Ciphertext &ct2) const
+{
+    checkAligned(ct1, ct2);
+    Ciphertext out = ct1;
+    out.c0.addInPlace(ct2.c0);
+    out.c1.addInPlace(ct2.c1);
+    return out;
+}
+
+Ciphertext
+Evaluator::sub(const Ciphertext &ct1, const Ciphertext &ct2) const
+{
+    checkAligned(ct1, ct2);
+    Ciphertext out = ct1;
+    out.c0.subInPlace(ct2.c0);
+    out.c1.subInPlace(ct2.c1);
+    return out;
+}
+
+Ciphertext
+Evaluator::addPlain(const Ciphertext &ct, const RnsPoly &pt) const
+{
+    Ciphertext out = ct;
+    RnsPoly m = pt;
+    m.toEval(ctx.ntt());
+    out.c0.addInPlace(m);
+    return out;
+}
+
+Ciphertext
+Evaluator::mulPlain(const Ciphertext &ct, const RnsPoly &pt,
+                    double pt_scale) const
+{
+    Ciphertext out = ct;
+    RnsPoly m = pt;
+    m.toEval(ctx.ntt());
+    out.c0.mulPointwiseInPlace(m);
+    out.c1.mulPointwiseInPlace(m);
+    out.scale = ct.scale * pt_scale;
+    return out;
+}
+
+Ciphertext
+Evaluator::multiply(const Ciphertext &ct1, const Ciphertext &ct2,
+                    const EvalKey &rlk, ScheduleOrder order) const
+{
+    fatalIf(ct1.level != ct2.level, "multiply level mismatch");
+
+    // Tensor product: (d0, d1, d2) = (c0 c0', c0 c1' + c1 c0', c1 c1').
+    RnsPoly d0 = ct1.c0;
+    d0.mulPointwiseInPlace(ct2.c0);
+
+    RnsPoly t01 = ct1.c0;
+    t01.mulPointwiseInPlace(ct2.c1);
+    RnsPoly t10 = ct1.c1;
+    t10.mulPointwiseInPlace(ct2.c0);
+    t01.addInPlace(t10);
+
+    RnsPoly d2 = ct1.c1;
+    d2.mulPointwiseInPlace(ct2.c1);
+
+    // Relinearize d2: one full hybrid key switch.
+    auto ks = switcher.keySwitch(d2, rlk, ct1.level, order);
+
+    Ciphertext out;
+    out.c0 = std::move(d0);
+    out.c0.addInPlace(ks.first);
+    out.c1 = std::move(t01);
+    out.c1.addInPlace(ks.second);
+    out.scale = ct1.scale * ct2.scale;
+    out.level = ct1.level;
+    return out;
+}
+
+Ciphertext
+Evaluator::rescale(const Ciphertext &ct) const
+{
+    fatalIf(ct.level == 0, "cannot rescale at level 0");
+    const std::size_t ell = ct.level;
+    const u64 q_last = ct.c0.modulus(ell);
+
+    Ciphertext out;
+    out.level = ct.level - 1;
+    out.scale = ct.scale / static_cast<double>(q_last);
+
+    for (int which = 0; which < 2; ++which) {
+        const RnsPoly &src = which == 0 ? ct.c0 : ct.c1;
+        // Bring the dropped tower to coefficient form to re-reduce it
+        // modulo the remaining primes with a centered lift.
+        std::vector<u64> last = src.tower(ell);
+        ctx.ntt().table(ctx.n(), q_last).inverse(last);
+
+        RnsPoly dst(ctx.n(), ctx.basisQ(out.level), Domain::Eval);
+        for (std::size_t i = 0; i <= out.level; ++i) {
+            const u64 q = dst.modulus(i);
+            const u64 inv = invMod(q_last % q, q);
+            const u64 invp = preconMulMod(inv, q);
+            std::vector<u64> lift(ctx.n());
+            for (std::size_t k = 0; k < ctx.n(); ++k) {
+                long long c = toCentered(last[k], q_last);
+                lift[k] = signedToMod(c, q);
+            }
+            ctx.ntt().table(ctx.n(), q).forward(lift);
+            for (std::size_t k = 0; k < ctx.n(); ++k) {
+                u64 v = subMod(src.tower(i)[k], lift[k], q);
+                dst.tower(i)[k] = mulModPrecon(v, inv, invp, q);
+            }
+        }
+        (which == 0 ? out.c0 : out.c1) = std::move(dst);
+    }
+    return out;
+}
+
+Ciphertext
+Evaluator::levelReduce(const Ciphertext &ct,
+                       std::size_t target_level) const
+{
+    fatalIf(target_level > ct.level, "levelReduce cannot raise levels");
+    Ciphertext out;
+    out.c0 = ct.c0.firstTowers(target_level + 1);
+    out.c1 = ct.c1.firstTowers(target_level + 1);
+    out.scale = ct.scale;
+    out.level = target_level;
+    return out;
+}
+
+Ciphertext
+Evaluator::addScalar(const Ciphertext &ct, double c) const
+{
+    // A constant polynomial evaluates to the constant in every slot, so
+    // in the evaluation domain it is added to every position.
+    Ciphertext out = ct;
+    long long v = llround(c * ct.scale);
+    for (std::size_t i = 0; i < out.c0.towerCount(); ++i) {
+        const u64 q = out.c0.modulus(i);
+        const u64 vm = signedToMod(v, q);
+        for (std::size_t k = 0; k < ctx.n(); ++k)
+            out.c0.tower(i)[k] = addMod(out.c0.tower(i)[k], vm, q);
+    }
+    return out;
+}
+
+Ciphertext
+Evaluator::mulScalar(const Ciphertext &ct, double c) const
+{
+    fatalIf(ct.level == 0, "mulScalar needs a level for rescaling");
+    Ciphertext out = ct;
+    long long v = llround(c * ctx.scale());
+    for (int which = 0; which < 2; ++which) {
+        RnsPoly &p = which == 0 ? out.c0 : out.c1;
+        std::vector<u64> scalars(p.towerCount());
+        for (std::size_t i = 0; i < p.towerCount(); ++i)
+            scalars[i] = signedToMod(v, p.modulus(i));
+        p.mulScalarInPlace(scalars);
+    }
+    out.scale = ct.scale * ctx.scale();
+    return rescale(out);
+}
+
+Ciphertext
+Evaluator::negate(const Ciphertext &ct) const
+{
+    Ciphertext out = ct;
+    out.c0.negateInPlace();
+    out.c1.negateInPlace();
+    return out;
+}
+
+Ciphertext
+Evaluator::square(const Ciphertext &ct, const EvalKey &rlk,
+                  ScheduleOrder order) const
+{
+    RnsPoly d0 = ct.c0;
+    d0.mulPointwiseInPlace(ct.c0);
+
+    RnsPoly d1 = ct.c0;
+    d1.mulPointwiseInPlace(ct.c1);
+    RnsPoly two = d1;
+    d1.addInPlace(two); // 2 c0 c1
+
+    RnsPoly d2 = ct.c1;
+    d2.mulPointwiseInPlace(ct.c1);
+
+    auto ks = switcher.keySwitch(d2, rlk, ct.level, order);
+    Ciphertext out;
+    out.c0 = std::move(d0);
+    out.c0.addInPlace(ks.first);
+    out.c1 = std::move(d1);
+    out.c1.addInPlace(ks.second);
+    out.scale = ct.scale * ct.scale;
+    out.level = ct.level;
+    return out;
+}
+
+Ciphertext
+Evaluator::evalPoly(const Ciphertext &ct,
+                    const std::vector<double> &coeffs,
+                    const EvalKey &rlk) const
+{
+    fatalIf(coeffs.size() < 2, "evalPoly needs degree >= 1");
+    const std::size_t deg = coeffs.size() - 1;
+    fatalIf(ct.level < deg, "not enough levels for this degree");
+
+    // Horner: acc = c_d * x + c_{d-1}; acc = acc * x + c_i ...
+    Ciphertext acc = mulScalar(ct, coeffs[deg]);
+    acc = addScalar(acc, coeffs[deg - 1]);
+    for (std::size_t i = deg - 1; i-- > 0;) {
+        Ciphertext x_aligned = levelReduce(ct, acc.level);
+        acc = rescale(multiply(acc, x_aligned, rlk));
+        acc = addScalar(acc, coeffs[i]);
+    }
+    return acc;
+}
+
+Ciphertext
+Evaluator::applyGalois(const Ciphertext &ct, std::size_t g,
+                       const GaloisKeys &gk, ScheduleOrder order) const
+{
+    auto it = gk.keys.find(g);
+    fatalIf(it == gk.keys.end(),
+            "missing Galois key for requested rotation");
+
+    // Apply the automorphism in coefficient domain.
+    RnsPoly c0 = ct.c0;
+    c0.toCoeff(ctx.ntt());
+    c0 = c0.automorphism(g);
+    c0.toEval(ctx.ntt());
+
+    RnsPoly c1 = ct.c1;
+    c1.toCoeff(ctx.ntt());
+    c1 = c1.automorphism(g);
+    c1.toEval(ctx.ntt());
+
+    // (c0^g, c1^g) decrypts under s(X^g); switch c1^g back to s.
+    auto ks = switcher.keySwitch(c1, it->second, ct.level, order);
+
+    Ciphertext out;
+    out.c0 = std::move(c0);
+    out.c0.addInPlace(ks.first);
+    out.c1 = std::move(ks.second);
+    out.scale = ct.scale;
+    out.level = ct.level;
+    return out;
+}
+
+Ciphertext
+Evaluator::rotate(const Ciphertext &ct, long r, const GaloisKeys &gk,
+                  ScheduleOrder order) const
+{
+    const std::size_t m = 2 * ctx.n();
+    long n_slots = static_cast<long>(ctx.slots());
+    long rr = ((r % n_slots) + n_slots) % n_slots;
+    std::size_t g = 1;
+    for (long i = 0; i < rr; ++i)
+        g = (g * 5) % m;
+    return applyGalois(ct, g, gk, order);
+}
+
+Ciphertext
+Evaluator::conjugate(const Ciphertext &ct, const GaloisKeys &gk,
+                     ScheduleOrder order) const
+{
+    return applyGalois(ct, 2 * ctx.n() - 1, gk, order);
+}
+
+std::vector<Ciphertext>
+Evaluator::rotateHoisted(const Ciphertext &ct,
+                         const std::vector<long> &rotations,
+                         const GaloisKeys &gk) const
+{
+    // One ModUp extension shared by every rotation: the automorphism
+    // commutes with digit decomposition, basis conversion and the NTT
+    // (they are all coefficient-index-wise maps), so permuting the
+    // extended digits equals extending the permuted polynomial.
+    std::vector<RnsPoly> ext =
+        switcher.modUpExtend(ct.c1, ct.level);
+
+    const std::size_t m = 2 * ctx.n();
+    const long n_slots = static_cast<long>(ctx.slots());
+    std::vector<Ciphertext> out;
+    out.reserve(rotations.size());
+    for (long r : rotations) {
+        long rr = ((r % n_slots) + n_slots) % n_slots;
+        std::size_t g = 1;
+        for (long i = 0; i < rr; ++i)
+            g = (g * 5) % m;
+        auto it = gk.keys.find(g);
+        fatalIf(it == gk.keys.end(),
+                "missing Galois key for hoisted rotation");
+
+        std::vector<RnsPoly> ext_g;
+        ext_g.reserve(ext.size());
+        for (const RnsPoly &e : ext)
+            ext_g.push_back(e.automorphismEval(g));
+        auto ks = switcher.applyExtended(ext_g, it->second, ct.level);
+
+        Ciphertext res;
+        res.c0 = ct.c0.automorphismEval(g);
+        res.c0.addInPlace(ks.first);
+        res.c1 = std::move(ks.second);
+        res.scale = ct.scale;
+        res.level = ct.level;
+        out.push_back(std::move(res));
+    }
+    return out;
+}
+
+} // namespace ciflow

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * CKKS homomorphic evaluator.
+ *
+ * Supports ciphertext add/sub, plaintext add/mult, ciphertext-ciphertext
+ * multiply with hybrid-key-switching relinearization, rescaling, and slot
+ * rotations / conjugation via Galois keys. Every key switch goes through
+ * KeySwitcher and therefore through one of the three CiFlow schedules
+ * (default MaxParallel, selectable per call for cross-checking).
+ */
+
+#ifndef CIFLOW_CKKS_EVALUATOR_H
+#define CIFLOW_CKKS_EVALUATOR_H
+
+#include "ckks/ciphertext.h"
+#include "ckks/encoder.h"
+#include "ckks/keys.h"
+#include "ckks/keyswitch.h"
+#include "ckks/params.h"
+
+namespace ciflow
+{
+
+/** Homomorphic operations on CKKS ciphertexts. */
+class Evaluator
+{
+  public:
+    explicit Evaluator(const CkksContext &ctx)
+        : ctx(ctx), switcher(ctx)
+    {
+    }
+
+    /** ct1 + ct2 (levels and scales must match). */
+    Ciphertext add(const Ciphertext &ct1, const Ciphertext &ct2) const;
+
+    /** ct1 - ct2 (levels and scales must match). */
+    Ciphertext sub(const Ciphertext &ct1, const Ciphertext &ct2) const;
+
+    /** ct + pt (pt over the ciphertext basis, same scale). */
+    Ciphertext addPlain(const Ciphertext &ct, const RnsPoly &pt) const;
+
+    /** ct * pt pointwise; output scale multiplies. */
+    Ciphertext mulPlain(const Ciphertext &ct, const RnsPoly &pt,
+                        double pt_scale) const;
+
+    /**
+     * Ciphertext-ciphertext multiply with immediate relinearization via
+     * the given evk (s^2 -> s). No rescale; call rescale() after.
+     */
+    Ciphertext multiply(const Ciphertext &ct1, const Ciphertext &ct2,
+                        const EvalKey &rlk,
+                        ScheduleOrder order =
+                            ScheduleOrder::MaxParallel) const;
+
+    /** Drop the last tower, dividing the scale by q_last. */
+    Ciphertext rescale(const Ciphertext &ct) const;
+
+    /**
+     * Drop towers without rescaling: re-express the ciphertext at
+     * `target_level` (< ct.level) with the same scale. Used to align
+     * operands produced at different depths.
+     */
+    Ciphertext levelReduce(const Ciphertext &ct,
+                           std::size_t target_level) const;
+
+    /** ct + c applied to every slot (exact, no key switch). */
+    Ciphertext addScalar(const Ciphertext &ct, double c) const;
+
+    /**
+     * ct * c for a real scalar; consumes one level (the scalar is
+     * encoded at the context scale and the result rescaled).
+     */
+    Ciphertext mulScalar(const Ciphertext &ct, double c) const;
+
+    /** -ct. */
+    Ciphertext negate(const Ciphertext &ct) const;
+
+    /** ct^2 with relinearization (cheaper tensor than multiply). */
+    Ciphertext square(const Ciphertext &ct, const EvalKey &rlk,
+                      ScheduleOrder order =
+                          ScheduleOrder::MaxParallel) const;
+
+    /**
+     * Evaluate a real polynomial sum_i coeffs[i] * x^i by Horner's
+     * rule under encryption. Needs degree(coeffs) levels.
+     */
+    Ciphertext evalPoly(const Ciphertext &ct,
+                        const std::vector<double> &coeffs,
+                        const EvalKey &rlk) const;
+
+    /** Cyclic left rotation of the slot vector by r. */
+    Ciphertext rotate(const Ciphertext &ct, long r, const GaloisKeys &gk,
+                      ScheduleOrder order =
+                          ScheduleOrder::MaxParallel) const;
+
+    /**
+     * Hoisted rotations (Halevi–Shoup): performs the expensive,
+     * key-independent ModUp extension of c1 once and shares it across
+     * all requested rotations, applying each Galois map as an
+     * evaluation-domain permutation. The outputs decrypt identically to
+     * rotate() (the ciphertext bits differ only by the fast-BConv u*F
+     * slack, which cancels against the evk structure at decryption).
+     */
+    std::vector<Ciphertext> rotateHoisted(
+        const Ciphertext &ct, const std::vector<long> &rotations,
+        const GaloisKeys &gk) const;
+
+    /** Slot-wise complex conjugation. */
+    Ciphertext conjugate(const Ciphertext &ct, const GaloisKeys &gk,
+                         ScheduleOrder order =
+                             ScheduleOrder::MaxParallel) const;
+
+    /** Access the underlying key switcher (for tests/benches). */
+    const KeySwitcher &keySwitcher() const { return switcher; }
+
+  private:
+    Ciphertext applyGalois(const Ciphertext &ct, std::size_t g,
+                           const GaloisKeys &gk,
+                           ScheduleOrder order) const;
+
+    const CkksContext &ctx;
+    KeySwitcher switcher;
+};
+
+} // namespace ciflow
+
+#endif // CIFLOW_CKKS_EVALUATOR_H

@@ -1,0 +1,200 @@
+#include "ckks/keys.h"
+
+#include "common/logging.h"
+
+namespace ciflow
+{
+
+std::size_t
+EvalKey::byteSize() const
+{
+    std::size_t total = 0;
+    for (const auto &d : digits)
+        total += d.b.byteSize() + d.a.byteSize();
+    return total;
+}
+
+KeyGenerator::KeyGenerator(const CkksContext &ctx_, std::uint64_t seed)
+    : ctx(ctx_), rng(seed)
+{
+}
+
+RnsPoly
+KeyGenerator::liftSigned(const std::vector<int> &coeffs,
+                         const std::vector<u64> &primes)
+{
+    RnsPoly p(ctx.n(), primes, Domain::Coeff);
+    for (std::size_t i = 0; i < primes.size(); ++i) {
+        const u64 q = primes[i];
+        for (std::size_t k = 0; k < ctx.n(); ++k)
+            p.tower(i)[k] = signedToMod(coeffs[k], q);
+    }
+    p.toEval(ctx.ntt());
+    return p;
+}
+
+SecretKey
+KeyGenerator::secretKey()
+{
+    SecretKey sk;
+    sk.coeffs = rng.ternaryPoly(ctx.n());
+    sk.s = liftSigned(sk.coeffs, ctx.basisFull());
+    return sk;
+}
+
+PublicKey
+KeyGenerator::publicKey(const SecretKey &sk)
+{
+    const std::vector<u64> primes = ctx.basisQ(ctx.maxLevel());
+    PublicKey pk;
+    pk.a = RnsPoly(ctx.n(), primes, Domain::Eval);
+    for (std::size_t i = 0; i < primes.size(); ++i)
+        pk.a.tower(i) = rng.uniformPoly(ctx.n(), primes[i]);
+
+    RnsPoly e = liftSigned(rng.errorPoly(ctx.n()), primes);
+    // b = -a s + e over B_L.
+    RnsPoly s_q = sk.s.firstTowers(primes.size());
+    pk.b = pk.a;
+    pk.b.mulPointwiseInPlace(s_q);
+    pk.b.negateInPlace();
+    pk.b.addInPlace(e);
+    return pk;
+}
+
+EvalKey
+KeyGenerator::makeEvalKey(const SecretKey &sk, const RnsPoly &s_prime)
+{
+    const std::vector<u64> primes = ctx.basisFull();
+    panicIf(s_prime.primes() != primes || s_prime.domain() != Domain::Eval,
+            "s' must be in Eval domain over D_L");
+
+    EvalKey evk;
+    evk.digits.resize(ctx.dnum());
+    for (std::size_t j = 0; j < ctx.dnum(); ++j) {
+        EvalKeyDigit &d = evk.digits[j];
+        d.a = RnsPoly(ctx.n(), primes, Domain::Eval);
+        for (std::size_t i = 0; i < primes.size(); ++i)
+            d.a.tower(i) = rng.uniformPoly(ctx.n(), primes[i]);
+
+        RnsPoly e = liftSigned(rng.errorPoly(ctx.n()), primes);
+
+        // b = -a s + e + (P F_j) s'.
+        d.b = d.a;
+        d.b.mulPointwiseInPlace(sk.s);
+        d.b.negateInPlace();
+        d.b.addInPlace(e);
+
+        RnsPoly pf_s = s_prime;
+        pf_s.mulScalarInPlace(ctx.pFGarner(j));
+        d.b.addInPlace(pf_s);
+    }
+    return evk;
+}
+
+std::size_t
+CompressedEvalKey::byteSize() const
+{
+    std::size_t total = 0;
+    for (const auto &d : digits)
+        total += d.b.byteSize() + sizeof(d.seed);
+    return total;
+}
+
+RnsPoly
+expandKeyHalf(const CkksContext &ctx, std::uint64_t seed)
+{
+    Rng prg(seed);
+    const std::vector<u64> primes = ctx.basisFull();
+    RnsPoly a(ctx.n(), primes, Domain::Eval);
+    for (std::size_t i = 0; i < primes.size(); ++i)
+        a.tower(i) = prg.uniformPoly(ctx.n(), primes[i]);
+    return a;
+}
+
+EvalKey
+expandEvalKey(const CkksContext &ctx, const CompressedEvalKey &cevk)
+{
+    EvalKey evk;
+    evk.digits.resize(cevk.digits.size());
+    for (std::size_t j = 0; j < cevk.digits.size(); ++j) {
+        evk.digits[j].b = cevk.digits[j].b;
+        evk.digits[j].a = expandKeyHalf(ctx, cevk.digits[j].seed);
+    }
+    return evk;
+}
+
+CompressedEvalKey
+KeyGenerator::makeCompressedEvalKey(const SecretKey &sk,
+                                    const RnsPoly &s_prime)
+{
+    const std::vector<u64> primes = ctx.basisFull();
+    panicIf(s_prime.primes() != primes || s_prime.domain() != Domain::Eval,
+            "s' must be in Eval domain over D_L");
+
+    CompressedEvalKey cevk;
+    cevk.digits.resize(ctx.dnum());
+    for (std::size_t j = 0; j < ctx.dnum(); ++j) {
+        CompressedEvalKeyDigit &d = cevk.digits[j];
+        d.seed = rng.next();
+        RnsPoly a = expandKeyHalf(ctx, d.seed);
+
+        RnsPoly e = liftSigned(rng.errorPoly(ctx.n()), primes);
+        d.b = std::move(a);
+        d.b.mulPointwiseInPlace(sk.s);
+        d.b.negateInPlace();
+        d.b.addInPlace(e);
+
+        RnsPoly pf_s = s_prime;
+        pf_s.mulScalarInPlace(ctx.pFGarner(j));
+        d.b.addInPlace(pf_s);
+    }
+    return cevk;
+}
+
+EvalKey
+KeyGenerator::relinKey(const SecretKey &sk)
+{
+    RnsPoly s2 = sk.s;
+    s2.mulPointwiseInPlace(sk.s);
+    return makeEvalKey(sk, s2);
+}
+
+GaloisKeys
+KeyGenerator::galoisKeys(const SecretKey &sk,
+                         const std::vector<long> &rotations,
+                         bool conjugation)
+{
+    GaloisKeys gk;
+    std::vector<std::size_t> elements;
+    const std::size_t m = 2 * ctx.n();
+    for (long r : rotations) {
+        long n_slots = static_cast<long>(ctx.slots());
+        long rr = ((r % n_slots) + n_slots) % n_slots;
+        std::size_t g = 1;
+        for (long i = 0; i < rr; ++i)
+            g = (g * 5) % m;
+        elements.push_back(g);
+    }
+    if (conjugation)
+        elements.push_back(m - 1);
+
+    for (std::size_t g : elements) {
+        if (gk.keys.count(g))
+            continue;
+        // s' = s(X^g), built from the signed coefficients so the lift is
+        // exact over every prime of D_L.
+        std::vector<int> permuted(ctx.n(), 0);
+        for (std::size_t k = 0; k < ctx.n(); ++k) {
+            std::size_t idx = (k * g) % m;
+            if (idx < ctx.n())
+                permuted[idx] += sk.coeffs[k];
+            else
+                permuted[idx - ctx.n()] -= sk.coeffs[k];
+        }
+        RnsPoly s_g = liftSigned(permuted, ctx.basisFull());
+        gk.keys.emplace(g, makeEvalKey(sk, s_g));
+    }
+    return gk;
+}
+
+} // namespace ciflow

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * CKKS key material and key generation.
+ *
+ * The evaluation key (EvalKey) is the hybrid key-switching key of
+ * Han–Ki: dnum pairs (b_j, a_j) over the full extended basis
+ * D_L = {q_0..q_L} ∪ {p_0..p_{K-1}}, where
+ *     b_j = -a_j s + e_j + P F_j s'   (mod every prime of D_L)
+ * and F_j is the CRT garner factor of digit j w.r.t. the full Q. One key
+ * serves every level (see DESIGN.md §3.1).
+ */
+
+#ifndef CIFLOW_CKKS_KEYS_H
+#define CIFLOW_CKKS_KEYS_H
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "ckks/params.h"
+#include "common/rng.h"
+#include "hemath/poly.h"
+
+namespace ciflow
+{
+
+/** Ternary secret key; stored in Eval domain over the full basis D_L. */
+struct SecretKey
+{
+    /** s over D_L (Eval). */
+    RnsPoly s;
+    /** Signed ternary coefficients (kept for automorphism-derived keys). */
+    std::vector<int> coeffs;
+};
+
+/** Public encryption key (pair over B_L, Eval domain). */
+struct PublicKey
+{
+    RnsPoly b; // -a s + e
+    RnsPoly a;
+};
+
+/** One digit of a hybrid key-switching key. */
+struct EvalKeyDigit
+{
+    RnsPoly b; // over D_L, Eval
+    RnsPoly a; // over D_L, Eval
+};
+
+/** Hybrid key-switching key: dnum digits. */
+struct EvalKey
+{
+    std::vector<EvalKeyDigit> digits;
+
+    /** Total byte size (the paper's dnum*2*N*(L+1+K)*8). */
+    std::size_t byteSize() const;
+};
+
+/** Galois keys for a set of rotations (+ optional conjugation). */
+struct GaloisKeys
+{
+    /** Map from Galois element g to the evk switching s(X^g) -> s. */
+    std::map<std::size_t, EvalKey> keys;
+};
+
+/**
+ * One digit of a compressed (seeded) key-switching key: the uniform
+ * half a_j is replaced by the PRNG seed that generates it, halving key
+ * storage and off-chip key traffic (the key-compression technique of
+ * MAD that §IV-D says lifts OC's arithmetic intensity to 3.82).
+ */
+struct CompressedEvalKeyDigit
+{
+    RnsPoly b; ///< -a s + e + P F_j s' over D_L, Eval
+    std::uint64_t seed = 0; ///< regenerates a_j
+};
+
+/** Compressed hybrid key-switching key: dnum seeded digits. */
+struct CompressedEvalKey
+{
+    std::vector<CompressedEvalKeyDigit> digits;
+
+    /** Stored bytes: half of EvalKey::byteSize() plus the seeds. */
+    std::size_t byteSize() const;
+};
+
+/**
+ * Deterministically expand a seed into the uniform key half over the
+ * full basis D_L (Eval domain). Used by both generation and expansion.
+ */
+RnsPoly expandKeyHalf(const CkksContext &ctx, std::uint64_t seed);
+
+/** Rebuild the full EvalKey from a compressed one. */
+EvalKey expandEvalKey(const CkksContext &ctx,
+                      const CompressedEvalKey &cevk);
+
+/** Generates all key material from a seeded RNG. */
+class KeyGenerator
+{
+  public:
+    KeyGenerator(const CkksContext &ctx, std::uint64_t seed = 1);
+
+    /** Sample a fresh ternary secret. */
+    SecretKey secretKey();
+
+    /** Public key for a secret. */
+    PublicKey publicKey(const SecretKey &sk);
+
+    /** Relinearization key: switches s^2 -> s. */
+    EvalKey relinKey(const SecretKey &sk);
+
+    /** Compressed (seeded) variant of makeEvalKey. */
+    CompressedEvalKey makeCompressedEvalKey(const SecretKey &sk,
+                                            const RnsPoly &s_prime);
+
+    /** Galois keys for the given rotation amounts. */
+    GaloisKeys galoisKeys(const SecretKey &sk,
+                          const std::vector<long> &rotations,
+                          bool conjugation = false);
+
+    /**
+     * Generic evk generation: switches the key s' (given in Eval domain
+     * over D_L) to sk.
+     */
+    EvalKey makeEvalKey(const SecretKey &sk, const RnsPoly &s_prime);
+
+  private:
+    /** Lift signed coefficients into an RnsPoly over `primes` (Eval). */
+    RnsPoly liftSigned(const std::vector<int> &coeffs,
+                       const std::vector<u64> &primes);
+
+    const CkksContext &ctx;
+    Rng rng;
+};
+
+} // namespace ciflow
+
+#endif // CIFLOW_CKKS_KEYS_H

@@ -1,0 +1,332 @@
+#include "ckks/keyswitch.h"
+
+#include "common/logging.h"
+
+namespace ciflow
+{
+
+const char *
+scheduleName(ScheduleOrder s)
+{
+    switch (s) {
+      case ScheduleOrder::MaxParallel:
+        return "MP";
+      case ScheduleOrder::DigitCentric:
+        return "DC";
+      case ScheduleOrder::OutputCentric:
+        return "OC";
+    }
+    panic("unknown schedule order");
+}
+
+std::vector<std::vector<u64>>
+KeySwitcher::digitIntt(const RnsPoly &a, std::size_t level,
+                       std::size_t j) const
+{
+    std::size_t first, count;
+    ctx.digitRange(level, j, first, count);
+    std::vector<std::vector<u64>> out(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        out[i] = a.tower(first + i);
+        ctx.ntt().table(ctx.n(), a.modulus(first + i)).inverse(out[i]);
+    }
+    return out;
+}
+
+std::vector<std::size_t>
+KeySwitcher::keyTowerIndices(std::size_t level) const
+{
+    // D_level tower t -> index into the full key basis D_L.
+    std::vector<std::size_t> idx;
+    for (std::size_t t = 0; t <= level; ++t)
+        idx.push_back(t);
+    for (std::size_t k = 0; k < ctx.numP(); ++k)
+        idx.push_back(ctx.maxLevel() + 1 + k);
+    return idx;
+}
+
+namespace
+{
+
+/** acc += ext * key, elementwise mod q. */
+void
+fmaTower(std::vector<u64> &acc, const std::vector<u64> &ext,
+         const std::vector<u64> &key, u64 q)
+{
+    for (std::size_t k = 0; k < acc.size(); ++k)
+        acc[k] = addMod(acc[k], mulMod(ext[k], key[k], q), q);
+}
+
+} // namespace
+
+std::pair<RnsPoly, RnsPoly>
+KeySwitcher::modUpMaxParallel(const RnsPoly &a, const EvalKey &evk,
+                              std::size_t level) const
+{
+    const std::size_t digits = ctx.activeDigits(level);
+    const std::vector<u64> d_primes = ctx.basisD(level);
+    const std::vector<std::size_t> key_idx = keyTowerIndices(level);
+
+    RnsPoly acc0(ctx.n(), d_primes, Domain::Eval);
+    RnsPoly acc1(ctx.n(), d_primes, Domain::Eval);
+
+    // P1: INTT every digit.
+    std::vector<std::vector<std::vector<u64>>> digit_coeff(digits);
+    for (std::size_t j = 0; j < digits; ++j)
+        digit_coeff[j] = digitIntt(a, level, j);
+
+    // P2: full basis conversion of every digit (the MP blow-up).
+    std::vector<std::vector<std::vector<u64>>> conv(digits);
+    std::vector<std::vector<u64>> target_primes(digits);
+    for (std::size_t j = 0; j < digits; ++j) {
+        ctx.modUpConverter(level, j).convert(digit_coeff[j], conv[j]);
+        target_primes[j] = ctx.modUpTargetPrimes(level, j);
+    }
+
+    // P3: NTT every converted tower.
+    for (std::size_t j = 0; j < digits; ++j)
+        for (std::size_t c = 0; c < conv[j].size(); ++c)
+            ctx.ntt().table(ctx.n(), target_primes[j][c])
+                .forward(conv[j][c]);
+
+    // P4/P5: apply key and reduce.
+    for (std::size_t j = 0; j < digits; ++j) {
+        std::size_t first, count;
+        ctx.digitRange(level, j, first, count);
+        std::size_t c = 0;
+        for (std::size_t t = 0; t < d_primes.size(); ++t) {
+            const bool bypass = (t >= first && t < first + count);
+            const std::vector<u64> &ext =
+                bypass ? a.tower(t) : conv[j][c++];
+            const u64 q = d_primes[t];
+            fmaTower(acc0.tower(t), ext,
+                     evk.digits[j].b.tower(key_idx[t]), q);
+            fmaTower(acc1.tower(t), ext,
+                     evk.digits[j].a.tower(key_idx[t]), q);
+        }
+    }
+    return {std::move(acc0), std::move(acc1)};
+}
+
+std::pair<RnsPoly, RnsPoly>
+KeySwitcher::modUpDigitCentric(const RnsPoly &a, const EvalKey &evk,
+                               std::size_t level) const
+{
+    const std::size_t digits = ctx.activeDigits(level);
+    const std::vector<u64> d_primes = ctx.basisD(level);
+    const std::vector<std::size_t> key_idx = keyTowerIndices(level);
+
+    RnsPoly acc0(ctx.n(), d_primes, Domain::Eval);
+    RnsPoly acc1(ctx.n(), d_primes, Domain::Eval);
+
+    for (std::size_t j = 0; j < digits; ++j) {
+        // All of P1..P5 for this digit before touching the next.
+        std::vector<std::vector<u64>> digit_coeff = digitIntt(a, level, j);
+        std::vector<std::vector<u64>> conv;
+        ctx.modUpConverter(level, j).convert(digit_coeff, conv);
+        const std::vector<u64> target = ctx.modUpTargetPrimes(level, j);
+        for (std::size_t c = 0; c < conv.size(); ++c)
+            ctx.ntt().table(ctx.n(), target[c]).forward(conv[c]);
+
+        std::size_t first, count;
+        ctx.digitRange(level, j, first, count);
+        std::size_t c = 0;
+        for (std::size_t t = 0; t < d_primes.size(); ++t) {
+            const bool bypass = (t >= first && t < first + count);
+            const std::vector<u64> &ext =
+                bypass ? a.tower(t) : conv[c++];
+            const u64 q = d_primes[t];
+            fmaTower(acc0.tower(t), ext,
+                     evk.digits[j].b.tower(key_idx[t]), q);
+            fmaTower(acc1.tower(t), ext,
+                     evk.digits[j].a.tower(key_idx[t]), q);
+        }
+    }
+    return {std::move(acc0), std::move(acc1)};
+}
+
+std::pair<RnsPoly, RnsPoly>
+KeySwitcher::modUpOutputCentric(const RnsPoly &a, const EvalKey &evk,
+                                std::size_t level) const
+{
+    const std::size_t digits = ctx.activeDigits(level);
+    const std::vector<u64> d_primes = ctx.basisD(level);
+    const std::vector<std::size_t> key_idx = keyTowerIndices(level);
+
+    RnsPoly acc0(ctx.n(), d_primes, Domain::Eval);
+    RnsPoly acc1(ctx.n(), d_primes, Domain::Eval);
+
+    // P1: the digit INTT outputs are the only large live state.
+    std::vector<std::vector<std::vector<u64>>> digit_coeff(digits);
+    for (std::size_t j = 0; j < digits; ++j)
+        digit_coeff[j] = digitIntt(a, level, j);
+
+    // Precompute, per digit, the mapping from D_level tower index to the
+    // converter's target column.
+    std::vector<std::vector<long>> col_of(digits,
+                                          std::vector<long>(
+                                              d_primes.size(), -1));
+    for (std::size_t j = 0; j < digits; ++j) {
+        std::size_t first, count;
+        ctx.digitRange(level, j, first, count);
+        long c = 0;
+        for (std::size_t t = 0; t < d_primes.size(); ++t) {
+            if (t >= first && t < first + count)
+                continue;
+            col_of[j][t] = c++;
+        }
+    }
+
+    // One output tower at a time; only single-column conversions.
+    for (std::size_t t = 0; t < d_primes.size(); ++t) {
+        const u64 q = d_primes[t];
+        for (std::size_t j = 0; j < digits; ++j) {
+            if (col_of[j][t] < 0) {
+                // Section 1 bypass: this output tower belongs to digit j.
+                fmaTower(acc0.tower(t), a.tower(t),
+                         evk.digits[j].b.tower(key_idx[t]), q);
+                fmaTower(acc1.tower(t), a.tower(t),
+                         evk.digits[j].a.tower(key_idx[t]), q);
+            } else {
+                std::vector<u64> col =
+                    ctx.modUpConverter(level, j)
+                        .convertTower(digit_coeff[j],
+                                      static_cast<std::size_t>(
+                                          col_of[j][t]));
+                ctx.ntt().table(ctx.n(), q).forward(col);
+                fmaTower(acc0.tower(t), col,
+                         evk.digits[j].b.tower(key_idx[t]), q);
+                fmaTower(acc1.tower(t), col,
+                         evk.digits[j].a.tower(key_idx[t]), q);
+            }
+        }
+    }
+    return {std::move(acc0), std::move(acc1)};
+}
+
+std::pair<RnsPoly, RnsPoly>
+KeySwitcher::modUp(const RnsPoly &a, const EvalKey &evk, std::size_t level,
+                   ScheduleOrder order) const
+{
+    panicIf(a.domain() != Domain::Eval, "modUp expects Eval domain");
+    panicIf(a.towerCount() != level + 1, "modUp level/basis mismatch");
+    panicIf(evk.digits.size() != ctx.dnum(), "evk digit count mismatch");
+    switch (order) {
+      case ScheduleOrder::MaxParallel:
+        return modUpMaxParallel(a, evk, level);
+      case ScheduleOrder::DigitCentric:
+        return modUpDigitCentric(a, evk, level);
+      case ScheduleOrder::OutputCentric:
+        return modUpOutputCentric(a, evk, level);
+    }
+    panic("unknown schedule order");
+}
+
+RnsPoly
+KeySwitcher::modDown(const RnsPoly &x, std::size_t level) const
+{
+    panicIf(x.domain() != Domain::Eval, "modDown expects Eval domain");
+    const std::size_t ell = level + 1;
+    const std::size_t kp = ctx.numP();
+    panicIf(x.towerCount() != ell + kp, "modDown basis mismatch");
+
+    // P1: INTT the P-part towers.
+    std::vector<std::vector<u64>> p_part(kp);
+    for (std::size_t k = 0; k < kp; ++k) {
+        p_part[k] = x.tower(ell + k);
+        ctx.ntt().table(ctx.n(), x.modulus(ell + k)).inverse(p_part[k]);
+    }
+
+    // P2: basis conversion C -> B_level.
+    std::vector<std::vector<u64>> conv;
+    ctx.modDownConverter(level).convert(p_part, conv);
+
+    // P3: back to Eval domain.
+    const std::vector<u64> q_primes = ctx.basisQ(level);
+    for (std::size_t i = 0; i < ell; ++i)
+        ctx.ntt().table(ctx.n(), q_primes[i]).forward(conv[i]);
+
+    // P4: (x_Q - conv) * P^{-1} mod q_i.
+    RnsPoly out(ctx.n(), q_primes, Domain::Eval);
+    for (std::size_t i = 0; i < ell; ++i) {
+        const u64 q = q_primes[i];
+        const u64 pinv = ctx.pInvModQ()[i];
+        const u64 pp = preconMulMod(pinv, q);
+        for (std::size_t k = 0; k < ctx.n(); ++k) {
+            u64 v = subMod(x.tower(i)[k], conv[i][k], q);
+            out.tower(i)[k] = mulModPrecon(v, pinv, pp, q);
+        }
+    }
+    return out;
+}
+
+std::pair<RnsPoly, RnsPoly>
+KeySwitcher::keySwitch(const RnsPoly &a, const EvalKey &evk,
+                       std::size_t level, ScheduleOrder order) const
+{
+    auto up = modUp(a, evk, level, order);
+    RnsPoly ks0 = modDown(up.first, level);
+    RnsPoly ks1 = modDown(up.second, level);
+    return {std::move(ks0), std::move(ks1)};
+}
+
+std::vector<RnsPoly>
+KeySwitcher::modUpExtend(const RnsPoly &a, std::size_t level) const
+{
+    panicIf(a.domain() != Domain::Eval, "modUpExtend expects Eval");
+    panicIf(a.towerCount() != level + 1, "modUpExtend level mismatch");
+    const std::size_t digits = ctx.activeDigits(level);
+    const std::vector<u64> d_primes = ctx.basisD(level);
+
+    std::vector<RnsPoly> ext;
+    ext.reserve(digits);
+    for (std::size_t j = 0; j < digits; ++j) {
+        std::vector<std::vector<u64>> digit_coeff = digitIntt(a, level, j);
+        std::vector<std::vector<u64>> conv;
+        ctx.modUpConverter(level, j).convert(digit_coeff, conv);
+        const std::vector<u64> target = ctx.modUpTargetPrimes(level, j);
+        for (std::size_t c = 0; c < conv.size(); ++c)
+            ctx.ntt().table(ctx.n(), target[c]).forward(conv[c]);
+
+        std::size_t first, count;
+        ctx.digitRange(level, j, first, count);
+        RnsPoly e(ctx.n(), d_primes, Domain::Eval);
+        std::size_t c = 0;
+        for (std::size_t t = 0; t < d_primes.size(); ++t) {
+            if (t >= first && t < first + count)
+                e.tower(t) = a.tower(t); // bypass
+            else
+                e.tower(t) = std::move(conv[c++]);
+        }
+        ext.push_back(std::move(e));
+    }
+    return ext;
+}
+
+std::pair<RnsPoly, RnsPoly>
+KeySwitcher::applyExtended(const std::vector<RnsPoly> &ext,
+                           const EvalKey &evk, std::size_t level) const
+{
+    panicIf(ext.empty(), "applyExtended with no digits");
+    const std::vector<u64> d_primes = ctx.basisD(level);
+    const std::vector<std::size_t> key_idx = keyTowerIndices(level);
+
+    RnsPoly acc0(ctx.n(), d_primes, Domain::Eval);
+    RnsPoly acc1(ctx.n(), d_primes, Domain::Eval);
+    for (std::size_t j = 0; j < ext.size(); ++j) {
+        panicIf(ext[j].primes() != d_primes,
+                "extended digit basis mismatch");
+        for (std::size_t t = 0; t < d_primes.size(); ++t) {
+            const u64 q = d_primes[t];
+            fmaTower(acc0.tower(t), ext[j].tower(t),
+                     evk.digits[j].b.tower(key_idx[t]), q);
+            fmaTower(acc1.tower(t), ext[j].tower(t),
+                     evk.digits[j].a.tower(key_idx[t]), q);
+        }
+    }
+    RnsPoly ks0 = modDown(acc0, level);
+    RnsPoly ks1 = modDown(acc1, level);
+    return {std::move(ks0), std::move(ks1)};
+}
+
+} // namespace ciflow

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Functional hybrid key switching (HKS) with selectable dataflow order.
+ *
+ * This is the computation the whole paper is about. keySwitch() takes a
+ * single polynomial `a` (Eval domain, basis B_level) whose product with
+ * the old key s' must be re-expressed under s, and returns the pair
+ * (ks0, ks1) over B_level such that ks0 + ks1 s ≈ a s' (mod Q_level).
+ *
+ * The ModUp phase (paper stages P1–P5) and ModDown phase (P1–P4) can be
+ * executed in any of the three CiFlow schedules:
+ *   - MaxParallel:   stage-by-stage over all towers/digits,
+ *   - DigitCentric:  one digit through all ModUp stages at a time,
+ *   - OutputCentric: one *output tower* at a time via single-column
+ *                    basis conversions (BaseConverter::convertTower).
+ * All three produce bit-identical results (modular sums commute); a test
+ * asserts this, tying the dataflow taxonomy to functional correctness.
+ */
+
+#ifndef CIFLOW_CKKS_KEYSWITCH_H
+#define CIFLOW_CKKS_KEYSWITCH_H
+
+#include <utility>
+
+#include "ckks/keys.h"
+#include "ckks/params.h"
+#include "hemath/poly.h"
+
+namespace ciflow
+{
+
+/** Execution order of the HKS stages (the paper's three dataflows). */
+enum class ScheduleOrder { MaxParallel, DigitCentric, OutputCentric };
+
+/** Name of a schedule order ("MP", "DC", "OC"). */
+const char *scheduleName(ScheduleOrder s);
+
+/** Functional hybrid key switching. */
+class KeySwitcher
+{
+  public:
+    explicit KeySwitcher(const CkksContext &ctx) : ctx(ctx) {}
+
+    /**
+     * Switch `a` (Eval domain, basis B_level) from the evk's source key
+     * to its target key.
+     *
+     * @param a      polynomial to switch (typically c1 or the degree-2
+     *               ciphertext component)
+     * @param evk    hybrid key-switching key
+     * @param level  current level (a has level+1 towers)
+     * @param order  dataflow schedule to execute
+     * @return       (ks0, ks1) over B_level, Eval domain
+     */
+    std::pair<RnsPoly, RnsPoly> keySwitch(const RnsPoly &a,
+                                          const EvalKey &evk,
+                                          std::size_t level,
+                                          ScheduleOrder order) const;
+
+    /**
+     * ModUp only: returns the accumulated key product (two polys over
+     * D_level, Eval). Exposed for tests.
+     */
+    std::pair<RnsPoly, RnsPoly> modUp(const RnsPoly &a, const EvalKey &evk,
+                                      std::size_t level,
+                                      ScheduleOrder order) const;
+
+    /**
+     * ModDown only: divide a poly over D_level by P, returning a poly
+     * over B_level (Eval). Exposed for tests.
+     */
+    RnsPoly modDown(const RnsPoly &x, std::size_t level) const;
+
+    /**
+     * ModUp *extension* only (P1-P3, no key multiply): the digits of
+     * `a` extended to D_level, in Eval domain. This is the expensive,
+     * key-independent half of HKS that hoisting (Halevi-Shoup; cf. the
+     * double-hoisting of Bossuat et al. the paper cites) shares across
+     * several key switches of the same polynomial.
+     */
+    std::vector<RnsPoly> modUpExtend(const RnsPoly &a,
+                                     std::size_t level) const;
+
+    /**
+     * Apply-key + reduce + ModDown on digits already extended by
+     * modUpExtend (or a permutation of them). Completes one hoisted key
+     * switch.
+     */
+    std::pair<RnsPoly, RnsPoly> applyExtended(
+        const std::vector<RnsPoly> &ext, const EvalKey &evk,
+        std::size_t level) const;
+
+  private:
+    /** INTT of one digit of `a` (returns coefficient-domain towers). */
+    std::vector<std::vector<u64>> digitIntt(const RnsPoly &a,
+                                            std::size_t level,
+                                            std::size_t j) const;
+
+    /** Indices into the full key basis D_L for the towers of D_level. */
+    std::vector<std::size_t> keyTowerIndices(std::size_t level) const;
+
+    std::pair<RnsPoly, RnsPoly> modUpMaxParallel(const RnsPoly &a,
+                                                 const EvalKey &evk,
+                                                 std::size_t level) const;
+    std::pair<RnsPoly, RnsPoly> modUpDigitCentric(const RnsPoly &a,
+                                                  const EvalKey &evk,
+                                                  std::size_t level) const;
+    std::pair<RnsPoly, RnsPoly> modUpOutputCentric(const RnsPoly &a,
+                                                   const EvalKey &evk,
+                                                   std::size_t level)
+        const;
+
+    const CkksContext &ctx;
+};
+
+} // namespace ciflow
+
+#endif // CIFLOW_CKKS_KEYSWITCH_H

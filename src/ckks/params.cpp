@@ -1,0 +1,159 @@
+#include "ckks/params.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "hemath/primes.h"
+
+namespace ciflow
+{
+
+CkksContext::CkksContext(const CkksParams &p) : par(p)
+{
+    fatalIf(par.logN < 3 || par.logN > 17, "logN must be in [3, 17]");
+    fatalIf(par.dnum == 0 || par.dnum > par.maxLevel + 1,
+            "dnum must be in [1, L+1]");
+    degree = 1ull << par.logN;
+    delta = par.scale != 0.0
+                ? par.scale
+                : std::pow(2.0, static_cast<double>(par.scaleBits));
+
+    // Prime chain: q_0 gets its own width; q_1..q_L share scaleBits;
+    // the K special primes share specialBits. All distinct.
+    std::vector<u64> avoid;
+    std::vector<u64> q0 = generateNttPrimes(1, par.q0Bits, degree, avoid);
+    avoid.insert(avoid.end(), q0.begin(), q0.end());
+    std::vector<u64> qs;
+    if (par.maxLevel > 0) {
+        qs = generateNttPrimes(par.maxLevel, par.scaleBits, degree, avoid);
+        avoid.insert(avoid.end(), qs.begin(), qs.end());
+    }
+    pPrimes = generateNttPrimes(par.numP(), par.specialBits, degree, avoid);
+
+    qPrimes.push_back(q0[0]);
+    qPrimes.insert(qPrimes.end(), qs.begin(), qs.end());
+
+    baseP = std::make_unique<RnsBase>(pPrimes);
+
+    // P mod q_i and P^{-1} mod q_i.
+    const UBigInt bigP = baseP->product();
+    pModQi.resize(qPrimes.size());
+    pInvModQi.resize(qPrimes.size());
+    for (std::size_t i = 0; i < qPrimes.size(); ++i) {
+        pModQi[i] = bigP.mod64(qPrimes[i]);
+        pInvModQi[i] = invMod(pModQi[i], qPrimes[i]);
+    }
+
+    // Garner factors over the full Q: F_j = Qhat_j * [Qhat_j^{-1}]_{Q_j}
+    // with Qhat_j = Q / Q_j; we store P*F_j mod every prime of D_L.
+    const UBigInt bigQ = productOf(qPrimes);
+    const std::vector<u64> full = basisFull();
+    pfGarner.resize(par.dnum);
+    for (std::size_t j = 0; j < par.dnum; ++j) {
+        std::size_t first, count;
+        digitRange(par.maxLevel, j, first, count);
+        std::vector<u64> digit_primes(qPrimes.begin() + first,
+                                      qPrimes.begin() + first + count);
+        UBigInt qj = productOf(digit_primes);
+        UBigInt qhat = bigQ / qj;
+        // [Qhat_j^{-1}] mod Q_j via CRT over the digit primes.
+        RnsBase digit_base(digit_primes);
+        std::vector<u64> inv_res(count);
+        for (std::size_t i = 0; i < count; ++i)
+            inv_res[i] = invMod(qhat.mod64(digit_primes[i]),
+                                digit_primes[i]);
+        UBigInt qhat_inv = digit_base.reconstruct(inv_res);
+        UBigInt pf = bigP * qhat * qhat_inv;
+        pfGarner[j].resize(full.size());
+        for (std::size_t i = 0; i < full.size(); ++i)
+            pfGarner[j][i] = pf.mod64(full[i]);
+    }
+}
+
+std::vector<u64>
+CkksContext::basisQ(std::size_t level) const
+{
+    panicIf(level > par.maxLevel, "level out of range");
+    return std::vector<u64>(qPrimes.begin(), qPrimes.begin() + level + 1);
+}
+
+std::vector<u64>
+CkksContext::basisD(std::size_t level) const
+{
+    std::vector<u64> d = basisQ(level);
+    d.insert(d.end(), pPrimes.begin(), pPrimes.end());
+    return d;
+}
+
+void
+CkksContext::digitRange(std::size_t level, std::size_t j,
+                        std::size_t &first, std::size_t &count) const
+{
+    const std::size_t a = alpha();
+    panicIf(j >= activeDigits(level), "digit index out of range");
+    first = j * a;
+    count = std::min(a, level + 1 - first);
+}
+
+const BaseConverter &
+CkksContext::modUpConverter(std::size_t level, std::size_t j) const
+{
+    auto key = std::make_pair(level, j);
+    auto it = upConverters.find(key);
+    if (it == upConverters.end()) {
+        std::size_t first, count;
+        digitRange(level, j, first, count);
+        RnsBase from(std::vector<u64>(qPrimes.begin() + first,
+                                      qPrimes.begin() + first + count));
+        RnsBase to(modUpTargetPrimes(level, j));
+        it = upConverters
+                 .emplace(key, std::make_unique<BaseConverter>(from, to))
+                 .first;
+    }
+    return *it->second;
+}
+
+std::vector<u64>
+CkksContext::modUpTargetPrimes(std::size_t level, std::size_t j) const
+{
+    std::size_t first, count;
+    digitRange(level, j, first, count);
+    std::vector<u64> to;
+    const std::vector<u64> d = basisD(level);
+    for (std::size_t i = 0; i < d.size(); ++i) {
+        bool in_digit = (i >= first && i < first + count);
+        if (!in_digit)
+            to.push_back(d[i]);
+    }
+    return to;
+}
+
+const BaseConverter &
+CkksContext::modDownConverter(std::size_t level) const
+{
+    auto it = downConverters.find(level);
+    if (it == downConverters.end()) {
+        RnsBase from(pPrimes);
+        RnsBase to(basisQ(level));
+        it = downConverters
+                 .emplace(level,
+                          std::make_unique<BaseConverter>(from, to))
+                 .first;
+    }
+    return *it->second;
+}
+
+const RnsBase &
+CkksContext::rnsQ(std::size_t level) const
+{
+    auto it = qBases.find(level);
+    if (it == qBases.end()) {
+        it = qBases
+                 .emplace(level,
+                          std::make_unique<RnsBase>(basisQ(level)))
+                 .first;
+    }
+    return *it->second;
+}
+
+} // namespace ciflow

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * CKKS parameter set and the shared context object.
+ *
+ * Terminology follows the paper (Table I): the ciphertext modulus
+ * Q = prod q_i has L+1 towers; the auxiliary modulus P = prod p_i has K
+ * towers; hybrid key switching decomposes Q into `dnum` digits of
+ * alpha = ceil((L+1)/dnum) towers each.
+ *
+ * The context owns the prime chain, RNS bases, NTT tables and the lazily
+ * built basis converters used by ModUp/ModDown, and is shared (by
+ * reference) by every other CKKS component.
+ */
+
+#ifndef CIFLOW_CKKS_PARAMS_H
+#define CIFLOW_CKKS_PARAMS_H
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "hemath/bconv.h"
+#include "hemath/poly.h"
+#include "hemath/rns.h"
+
+namespace ciflow
+{
+
+/** User-selectable CKKS parameters. */
+struct CkksParams
+{
+    /** log2 of the ring degree N. */
+    std::size_t logN = 12;
+    /** Maximum multiplicative level; the chain has L+1 q-primes. */
+    std::size_t maxLevel = 5;
+    /** Number of key-switching digits. */
+    std::size_t dnum = 3;
+    /** Special primes in P; 0 means "use alpha" (the common choice). */
+    std::size_t numSpecial = 0;
+    /** Bit width of q_0 (carries the integer part at decryption). */
+    std::size_t q0Bits = 50;
+    /** Bit width of the scaling primes q_1..q_L. */
+    std::size_t scaleBits = 40;
+    /** Bit width of the special primes p_i. */
+    std::size_t specialBits = 50;
+    /** Encoding scale Delta; 0 means 2^scaleBits. */
+    double scale = 0.0;
+
+    /** Number of digits alpha = ceil((L+1)/dnum). */
+    std::size_t alpha() const { return (maxLevel + 1 + dnum - 1) / dnum; }
+    /** K: towers in P. */
+    std::size_t numP() const
+    {
+        return numSpecial ? numSpecial : alpha();
+    }
+};
+
+/** Shared immutable state derived from a CkksParams. */
+class CkksContext
+{
+  public:
+    explicit CkksContext(const CkksParams &p);
+
+    const CkksParams &params() const { return par; }
+    std::size_t n() const { return degree; }
+    std::size_t slots() const { return degree / 2; }
+    std::size_t maxLevel() const { return par.maxLevel; }
+    std::size_t dnum() const { return par.dnum; }
+    std::size_t alpha() const { return par.alpha(); }
+    std::size_t numP() const { return pPrimes.size(); }
+    double scale() const { return delta; }
+
+    /** q-primes (L+1 of them, q_0 first). */
+    const std::vector<u64> &qChain() const { return qPrimes; }
+    /** p-primes (K of them). */
+    const std::vector<u64> &pChain() const { return pPrimes; }
+
+    /** Primes of basis B_level = {q_0..q_level}. */
+    std::vector<u64> basisQ(std::size_t level) const;
+    /** Primes of basis D_level = B_level ++ C. */
+    std::vector<u64> basisD(std::size_t level) const;
+    /** Primes of the full key basis D_L. */
+    std::vector<u64> basisFull() const { return basisD(par.maxLevel); }
+
+    /** Number of active digits at a level: ceil((level+1)/alpha). */
+    std::size_t activeDigits(std::size_t level) const
+    {
+        return (level + 1 + alpha() - 1) / alpha();
+    }
+
+    /** [first, count) tower range of digit j at the given level. */
+    void digitRange(std::size_t level, std::size_t j, std::size_t &first,
+                    std::size_t &count) const;
+
+    /** NTT table cache (shared, mutable). */
+    NttContext &ntt() const { return nttCtx; }
+
+    /**
+     * BaseConverter for ModUp of digit j at `level`: digit primes ->
+     * complement of the digit within D_level.
+     */
+    const BaseConverter &modUpConverter(std::size_t level,
+                                        std::size_t j) const;
+
+    /** Primes of the ModUp target for digit j at level (complement of the
+     * digit inside D_level, in D_level order). */
+    std::vector<u64> modUpTargetPrimes(std::size_t level,
+                                       std::size_t j) const;
+
+    /** BaseConverter for ModDown at `level`: C -> B_level. */
+    const BaseConverter &modDownConverter(std::size_t level) const;
+
+    /** P mod q_i for i in 0..L. */
+    const std::vector<u64> &pModQ() const { return pModQi; }
+    /** P^{-1} mod q_i for i in 0..L. */
+    const std::vector<u64> &pInvModQ() const { return pInvModQi; }
+
+    /**
+     * P * F_j mod (each prime of D_L), where F_j is the CRT garner factor
+     * of digit j w.r.t. the full Q. Used when generating evks.
+     */
+    const std::vector<u64> &pFGarner(std::size_t j) const
+    {
+        return pfGarner[j];
+    }
+
+    /** RnsBase over B_level (built lazily, cached). */
+    const RnsBase &rnsQ(std::size_t level) const;
+    /** RnsBase over C. */
+    const RnsBase &rnsP() const { return *baseP; }
+
+  private:
+    CkksParams par;
+    std::size_t degree;
+    double delta;
+    std::vector<u64> qPrimes;
+    std::vector<u64> pPrimes;
+    std::unique_ptr<RnsBase> baseP;
+    std::vector<u64> pModQi;
+    std::vector<u64> pInvModQi;
+    std::vector<std::vector<u64>> pfGarner;
+
+    mutable NttContext nttCtx;
+    mutable std::map<std::size_t, std::unique_ptr<RnsBase>> qBases;
+    mutable std::map<std::pair<std::size_t, std::size_t>,
+                     std::unique_ptr<BaseConverter>> upConverters;
+    mutable std::map<std::size_t, std::unique_ptr<BaseConverter>>
+        downConverters;
+};
+
+} // namespace ciflow
+
+#endif // CIFLOW_CKKS_PARAMS_H

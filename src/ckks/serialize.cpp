@@ -1,0 +1,200 @@
+#include "ckks/serialize.h"
+
+#include <istream>
+#include <ostream>
+
+#include "common/logging.h"
+
+namespace ciflow
+{
+
+namespace
+{
+
+constexpr std::uint32_t kMagicPoly = 0x43'46'50'31;  // "CFP1"
+constexpr std::uint32_t kMagicCt = 0x43'46'43'31;    // "CFC1"
+constexpr std::uint32_t kMagicEvk = 0x43'46'4b'31;   // "CFK1"
+constexpr std::uint32_t kMagicCevk = 0x43'46'5a'31;  // "CFZ1"
+constexpr std::uint32_t kMagicGk = 0x43'46'47'31;    // "CFG1"
+
+template <typename T>
+void
+put(std::ostream &os, T v)
+{
+    os.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+template <typename T>
+T
+get(std::istream &is)
+{
+    T v{};
+    is.read(reinterpret_cast<char *>(&v), sizeof(v));
+    fatalIf(!is.good(), "truncated ciflow serialization stream");
+    return v;
+}
+
+void
+header(std::ostream &os, std::uint32_t magic)
+{
+    put(os, magic);
+    put(os, kSerialVersion);
+}
+
+void
+expectHeader(std::istream &is, std::uint32_t magic)
+{
+    fatalIf(get<std::uint32_t>(is) != magic,
+            "bad magic in ciflow serialization stream");
+    fatalIf(get<std::uint32_t>(is) != kSerialVersion,
+            "unsupported ciflow serialization version");
+}
+
+} // namespace
+
+void
+writePoly(std::ostream &os, const RnsPoly &p)
+{
+    header(os, kMagicPoly);
+    put<std::uint64_t>(os, p.degree());
+    put<std::uint32_t>(os, static_cast<std::uint32_t>(p.towerCount()));
+    put<std::uint8_t>(os, p.domain() == Domain::Eval ? 1 : 0);
+    for (std::size_t i = 0; i < p.towerCount(); ++i) {
+        put<std::uint64_t>(os, p.modulus(i));
+        os.write(reinterpret_cast<const char *>(p.tower(i).data()),
+                 static_cast<std::streamsize>(p.degree() * 8));
+    }
+}
+
+RnsPoly
+readPoly(std::istream &is)
+{
+    expectHeader(is, kMagicPoly);
+    const std::uint64_t n = get<std::uint64_t>(is);
+    const std::uint32_t towers = get<std::uint32_t>(is);
+    const std::uint8_t dom = get<std::uint8_t>(is);
+    fatalIf(n == 0 || (n & (n - 1)) != 0 || n > (1ull << 20),
+            "implausible ring degree in stream");
+    fatalIf(towers == 0 || towers > 4096, "implausible tower count");
+
+    std::vector<u64> primes(towers);
+    std::vector<std::vector<u64>> data(towers);
+    for (std::uint32_t i = 0; i < towers; ++i) {
+        primes[i] = get<std::uint64_t>(is);
+        data[i].resize(n);
+        is.read(reinterpret_cast<char *>(data[i].data()),
+                static_cast<std::streamsize>(n * 8));
+        fatalIf(!is.good(), "truncated polynomial data");
+        for (u64 v : data[i])
+            fatalIf(v >= primes[i], "unreduced residue in stream");
+    }
+    RnsPoly p(n, primes, dom ? Domain::Eval : Domain::Coeff);
+    for (std::uint32_t i = 0; i < towers; ++i)
+        p.tower(i) = std::move(data[i]);
+    return p;
+}
+
+void
+writeCiphertext(std::ostream &os, const Ciphertext &ct)
+{
+    header(os, kMagicCt);
+    put<double>(os, ct.scale);
+    put<std::uint64_t>(os, ct.level);
+    writePoly(os, ct.c0);
+    writePoly(os, ct.c1);
+}
+
+Ciphertext
+readCiphertext(std::istream &is)
+{
+    expectHeader(is, kMagicCt);
+    Ciphertext ct;
+    ct.scale = get<double>(is);
+    ct.level = get<std::uint64_t>(is);
+    ct.c0 = readPoly(is);
+    ct.c1 = readPoly(is);
+    fatalIf(ct.c0.towerCount() != ct.level + 1,
+            "ciphertext level/basis mismatch in stream");
+    return ct;
+}
+
+void
+writeEvalKey(std::ostream &os, const EvalKey &evk)
+{
+    header(os, kMagicEvk);
+    put<std::uint32_t>(os,
+                       static_cast<std::uint32_t>(evk.digits.size()));
+    for (const auto &d : evk.digits) {
+        writePoly(os, d.b);
+        writePoly(os, d.a);
+    }
+}
+
+EvalKey
+readEvalKey(std::istream &is)
+{
+    expectHeader(is, kMagicEvk);
+    const std::uint32_t digits = get<std::uint32_t>(is);
+    fatalIf(digits == 0 || digits > 256, "implausible digit count");
+    EvalKey evk;
+    evk.digits.resize(digits);
+    for (auto &d : evk.digits) {
+        d.b = readPoly(is);
+        d.a = readPoly(is);
+    }
+    return evk;
+}
+
+void
+writeCompressedEvalKey(std::ostream &os, const CompressedEvalKey &cevk)
+{
+    header(os, kMagicCevk);
+    put<std::uint32_t>(os,
+                       static_cast<std::uint32_t>(cevk.digits.size()));
+    for (const auto &d : cevk.digits) {
+        put<std::uint64_t>(os, d.seed);
+        writePoly(os, d.b);
+    }
+}
+
+CompressedEvalKey
+readCompressedEvalKey(std::istream &is)
+{
+    expectHeader(is, kMagicCevk);
+    const std::uint32_t digits = get<std::uint32_t>(is);
+    fatalIf(digits == 0 || digits > 256, "implausible digit count");
+    CompressedEvalKey cevk;
+    cevk.digits.resize(digits);
+    for (auto &d : cevk.digits) {
+        d.seed = get<std::uint64_t>(is);
+        d.b = readPoly(is);
+    }
+    return cevk;
+}
+
+void
+writeGaloisKeys(std::ostream &os, const GaloisKeys &gk)
+{
+    header(os, kMagicGk);
+    put<std::uint32_t>(os, static_cast<std::uint32_t>(gk.keys.size()));
+    for (const auto &[g, evk] : gk.keys) {
+        put<std::uint64_t>(os, g);
+        writeEvalKey(os, evk);
+    }
+}
+
+GaloisKeys
+readGaloisKeys(std::istream &is)
+{
+    expectHeader(is, kMagicGk);
+    const std::uint32_t count = get<std::uint32_t>(is);
+    fatalIf(count > 65536, "implausible Galois key count");
+    GaloisKeys gk;
+    for (std::uint32_t i = 0; i < count; ++i) {
+        std::uint64_t g = get<std::uint64_t>(is);
+        gk.keys.emplace(g, readEvalKey(is));
+    }
+    return gk;
+}
+
+} // namespace ciflow

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Binary serialization for CKKS artifacts.
+ *
+ * Ciphertexts, plaintext polynomials and key material can be written to
+ * and read from std::iostreams in a little-endian, versioned framing.
+ * Compressed evaluation keys serialize at roughly half the size of full
+ * ones (the uniform halves travel as 8-byte seeds), which is exactly
+ * the off-chip key-traffic saving of §IV-D applied to storage.
+ *
+ * Readers validate magic, version and structural bounds and call
+ * fatal() on malformed input (user data, not an internal bug).
+ */
+
+#ifndef CIFLOW_CKKS_SERIALIZE_H
+#define CIFLOW_CKKS_SERIALIZE_H
+
+#include <iosfwd>
+
+#include "ckks/ciphertext.h"
+#include "ckks/keys.h"
+
+namespace ciflow
+{
+
+/** Serialization format version. */
+constexpr std::uint32_t kSerialVersion = 1;
+
+/** @{ Write an artifact to a binary stream. */
+void writePoly(std::ostream &os, const RnsPoly &p);
+void writeCiphertext(std::ostream &os, const Ciphertext &ct);
+void writeEvalKey(std::ostream &os, const EvalKey &evk);
+void writeCompressedEvalKey(std::ostream &os,
+                            const CompressedEvalKey &cevk);
+void writeGaloisKeys(std::ostream &os, const GaloisKeys &gk);
+/** @} */
+
+/** @{ Read an artifact back (fatal() on malformed input). */
+RnsPoly readPoly(std::istream &is);
+Ciphertext readCiphertext(std::istream &is);
+EvalKey readEvalKey(std::istream &is);
+CompressedEvalKey readCompressedEvalKey(std::istream &is);
+GaloisKeys readGaloisKeys(std::istream &is);
+/** @} */
+
+} // namespace ciflow
+
+#endif // CIFLOW_CKKS_SERIALIZE_H

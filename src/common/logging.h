@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Status and error reporting helpers, modeled after gem5's logging.hh.
+ *
+ * Two terminating helpers with distinct meanings:
+ *   - fatal():  the condition is the *user's* fault (bad configuration,
+ *               invalid arguments). Exits with code 1.
+ *   - panic():  an internal invariant was violated (a ciflow bug).
+ *               Calls std::abort() so a core/debugger can be attached.
+ *
+ * Non-terminating helpers inform() and warn() print status messages.
+ */
+
+#ifndef CIFLOW_COMMON_LOGGING_H
+#define CIFLOW_COMMON_LOGGING_H
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace ciflow
+{
+
+/** Print an informational message to stderr ("info: ..."). */
+void inform(const std::string &msg);
+
+/** Print a warning message to stderr ("warn: ..."). */
+void warn(const std::string &msg);
+
+/** Report a user-caused error and exit(1). */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Report an internal invariant violation and abort(). */
+[[noreturn]] void panic(const std::string &msg);
+
+/**
+ * Check a user-facing precondition; calls fatal() with the message when
+ * the condition does not hold.
+ */
+inline void
+fatalIf(bool cond, const std::string &msg)
+{
+    if (cond)
+        fatal(msg);
+}
+
+/**
+ * Check an internal invariant; calls panic() with the message when the
+ * condition does not hold.
+ */
+inline void
+panicIf(bool cond, const std::string &msg)
+{
+    if (cond)
+        panic(msg);
+}
+
+} // namespace ciflow
+
+#endif // CIFLOW_COMMON_LOGGING_H

@@ -1,0 +1,28 @@
+#include "common/units.h"
+
+#include <cstdio>
+
+namespace ciflow
+{
+
+std::string
+formatBytes(std::uint64_t bytes)
+{
+    char buf[64];
+    if (bytes >= GiB) {
+        std::snprintf(buf, sizeof(buf), "%.2f GiB",
+                      static_cast<double>(bytes) / GiB);
+    } else if (bytes >= MiB) {
+        std::snprintf(buf, sizeof(buf), "%.2f MiB",
+                      static_cast<double>(bytes) / MiB);
+    } else if (bytes >= KiB) {
+        std::snprintf(buf, sizeof(buf), "%.2f KiB",
+                      static_cast<double>(bytes) / KiB);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%llu B",
+                      static_cast<unsigned long long>(bytes));
+    }
+    return std::string(buf);
+}
+
+} // namespace ciflow

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Byte-size and bandwidth unit helpers shared across ciflow.
+ *
+ * The paper reports sizes in binary megabytes (one RNS tower of a
+ * N = 2^17 polynomial with 8-byte coefficients is exactly 1 MiB) and
+ * bandwidth in GB/s. All simulator-internal accounting is in bytes and
+ * seconds; these helpers keep conversions in one place.
+ */
+
+#ifndef CIFLOW_COMMON_UNITS_H
+#define CIFLOW_COMMON_UNITS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace ciflow
+{
+
+constexpr std::uint64_t KiB = 1024ull;
+constexpr std::uint64_t MiB = 1024ull * 1024ull;
+constexpr std::uint64_t GiB = 1024ull * 1024ull * 1024ull;
+
+/** Convert mebibytes to bytes. */
+constexpr std::uint64_t
+mib(double m)
+{
+    return static_cast<std::uint64_t>(m * static_cast<double>(MiB));
+}
+
+/** Convert a byte count to (fractional) MiB. */
+constexpr double
+toMib(std::uint64_t bytes)
+{
+    return static_cast<double>(bytes) / static_cast<double>(MiB);
+}
+
+/** Convert GB/s (decimal giga, as memory vendors quote) to bytes/second. */
+constexpr double
+gbps(double g)
+{
+    return g * 1e9;
+}
+
+/** Convert bytes/second to GB/s. */
+constexpr double
+toGbps(double bytes_per_sec)
+{
+    return bytes_per_sec / 1e9;
+}
+
+/** Seconds to milliseconds. */
+constexpr double
+toMs(double seconds)
+{
+    return seconds * 1e3;
+}
+
+/** Pretty-print a byte count ("360.0 MiB"). */
+std::string formatBytes(std::uint64_t bytes);
+
+} // namespace ciflow
+
+#endif // CIFLOW_COMMON_UNITS_H

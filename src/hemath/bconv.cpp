@@ -1,0 +1,92 @@
+#include "hemath/bconv.h"
+
+#include "common/logging.h"
+
+namespace ciflow
+{
+
+BaseConverter::BaseConverter(const RnsBase &from, const RnsBase &to)
+    : srcModuli(from.primes()), dstModuli(to.primes())
+{
+    hatInv.resize(srcModuli.size());
+    hatInvPrecon.resize(srcModuli.size());
+    hatMod.assign(srcModuli.size(),
+                  std::vector<u64>(dstModuli.size(), 0));
+    for (std::size_t i = 0; i < srcModuli.size(); ++i) {
+        hatInv[i] = from.puncturedInv(i);
+        hatInvPrecon[i] = preconMulMod(hatInv[i], srcModuli[i]);
+        for (std::size_t j = 0; j < dstModuli.size(); ++j)
+            hatMod[i][j] = from.puncturedProduct(i).mod64(dstModuli[j]);
+    }
+}
+
+std::vector<u64>
+BaseConverter::convertCoeff(const std::vector<u64> &x) const
+{
+    panicIf(x.size() != srcModuli.size(), "convertCoeff arity mismatch");
+    std::vector<u64> y(dstModuli.size(), 0);
+    for (std::size_t i = 0; i < srcModuli.size(); ++i) {
+        u64 yi = mulModPrecon(x[i], hatInv[i], hatInvPrecon[i],
+                              srcModuli[i]);
+        for (std::size_t j = 0; j < dstModuli.size(); ++j) {
+            y[j] = addMod(y[j],
+                          mulMod(yi % dstModuli[j], hatMod[i][j],
+                                 dstModuli[j]),
+                          dstModuli[j]);
+        }
+    }
+    return y;
+}
+
+void
+BaseConverter::convert(const std::vector<std::vector<u64>> &src,
+                       std::vector<std::vector<u64>> &dst) const
+{
+    panicIf(src.size() != srcModuli.size(), "convert arity mismatch");
+    const std::size_t n = src[0].size();
+    dst.assign(dstModuli.size(), std::vector<u64>(n, 0));
+    // Scale each source tower by hatInv once, then accumulate into every
+    // target tower (the dataflow-relevant N*alpha*beta multiply count).
+    std::vector<u64> scaled(n);
+    for (std::size_t i = 0; i < srcModuli.size(); ++i) {
+        panicIf(src[i].size() != n, "ragged convert input");
+        for (std::size_t k = 0; k < n; ++k) {
+            scaled[k] = mulModPrecon(src[i][k], hatInv[i],
+                                     hatInvPrecon[i], srcModuli[i]);
+        }
+        for (std::size_t j = 0; j < dstModuli.size(); ++j) {
+            const u64 tj = dstModuli[j];
+            const u64 w = hatMod[i][j];
+            const u64 wp = preconMulMod(w % tj, tj);
+            for (std::size_t k = 0; k < n; ++k) {
+                dst[j][k] = addMod(dst[j][k],
+                                   mulModPrecon(scaled[k] % tj, w % tj,
+                                                wp, tj),
+                                   tj);
+            }
+        }
+    }
+}
+
+std::vector<u64>
+BaseConverter::convertTower(const std::vector<std::vector<u64>> &src,
+                            std::size_t j) const
+{
+    panicIf(src.size() != srcModuli.size(), "convertTower arity mismatch");
+    panicIf(j >= dstModuli.size(), "convertTower target out of range");
+    const std::size_t n = src[0].size();
+    const u64 tj = dstModuli[j];
+    std::vector<u64> y(n, 0);
+    for (std::size_t i = 0; i < srcModuli.size(); ++i) {
+        const u64 w = hatMod[i][j] % tj;
+        const u64 wp = preconMulMod(w, tj);
+        for (std::size_t k = 0; k < n; ++k) {
+            u64 yi = mulModPrecon(src[i][k], hatInv[i], hatInvPrecon[i],
+                                  srcModuli[i]);
+            y[k] = addMod(y[k], mulModPrecon(yi % tj, w, wp, tj), tj);
+        }
+    }
+    return y;
+}
+
+} // namespace ciflow

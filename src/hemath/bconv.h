@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Fast (approximate) RNS basis conversion — the BConv kernel of HKS.
+ *
+ * Given residues of x in a source basis F = {f_0..f_{k-1}}, computes for
+ * each target prime t_j:
+ *
+ *     Conv(x)_j = sum_i [x * (F/f_i)^{-1}]_{f_i} * (F/f_i)  mod t_j
+ *
+ * which equals (x + u*F) mod t_j for some integer 0 <= u < k (the
+ * Halevi–Polyakov–Shoup "fast base extension" without the expensive
+ * exact-division correction). The u*F slack is absorbed by the noise
+ * budget in hybrid key switching; tests verify the u bound exactly
+ * against UBigInt references.
+ *
+ * This stage dominates ModUp P2 / ModDown P2 and its output expansion is
+ * precisely the intermediate blow-up the CiFlow dataflows manage.
+ */
+
+#ifndef CIFLOW_HEMATH_BCONV_H
+#define CIFLOW_HEMATH_BCONV_H
+
+#include <cstddef>
+#include <vector>
+
+#include "hemath/rns.h"
+
+namespace ciflow
+{
+
+/** Precomputed fast basis conversion from one RnsBase to another. */
+class BaseConverter
+{
+  public:
+    /** Precompute conversion tables from `from` to `to`. */
+    BaseConverter(const RnsBase &from, const RnsBase &to);
+
+    std::size_t fromSize() const { return srcModuli.size(); }
+    std::size_t toSize() const { return dstModuli.size(); }
+
+    /**
+     * Convert one coefficient: residues `x` of length fromSize() ->
+     * residues of length toSize().
+     */
+    std::vector<u64> convertCoeff(const std::vector<u64> &x) const;
+
+    /**
+     * Convert a batch of n coefficients laid out tower-major:
+     * src[i] is the length-n coefficient array for source prime i.
+     * dst[j] is filled with the length-n array for target prime j.
+     */
+    void convert(const std::vector<std::vector<u64>> &src,
+                 std::vector<std::vector<u64>> &dst) const;
+
+    /**
+     * Convert only one target tower (the Output-Centric access pattern:
+     * a single column of the conversion).
+     */
+    std::vector<u64> convertTower(const std::vector<std::vector<u64>> &src,
+                                  std::size_t j) const;
+
+    /** Modular multiplications per coefficient: fromSize*(1 + toSize). */
+    std::size_t mulsPerCoeff() const
+    {
+        return srcModuli.size() * (1 + dstModuli.size());
+    }
+
+  private:
+    std::vector<u64> srcModuli;
+    std::vector<u64> dstModuli;
+    // (F/f_i)^{-1} mod f_i with Shoup precons.
+    std::vector<u64> hatInv;
+    std::vector<u64> hatInvPrecon;
+    // hatMod[i][j] = (F/f_i) mod t_j.
+    std::vector<std::vector<u64>> hatMod;
+};
+
+} // namespace ciflow
+
+#endif // CIFLOW_HEMATH_BCONV_H

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * 64-bit modular arithmetic primitives.
+ *
+ * All CKKS towers use machine-word (<= 61-bit) prime moduli, so every
+ * operation here works on uint64_t with unsigned __int128 intermediates.
+ * The hot NTT path uses Shoup's precomputed-quotient multiplication
+ * (MulModPrecon) to avoid the 128-bit division.
+ */
+
+#ifndef CIFLOW_HEMATH_MODARITH_H
+#define CIFLOW_HEMATH_MODARITH_H
+
+#include <cstdint>
+
+#include "common/logging.h"
+
+namespace ciflow
+{
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+/** Modular addition; inputs must already be reduced. */
+inline u64
+addMod(u64 a, u64 b, u64 q)
+{
+    u64 s = a + b;
+    return s >= q ? s - q : s;
+}
+
+/** Modular subtraction; inputs must already be reduced. */
+inline u64
+subMod(u64 a, u64 b, u64 q)
+{
+    return a >= b ? a - b : a + q - b;
+}
+
+/** Modular negation; input must already be reduced. */
+inline u64
+negMod(u64 a, u64 q)
+{
+    return a == 0 ? 0 : q - a;
+}
+
+/** Modular multiplication via a 128-bit intermediate. */
+inline u64
+mulMod(u64 a, u64 b, u64 q)
+{
+    return static_cast<u64>(static_cast<u128>(a) * b % q);
+}
+
+/** Modular exponentiation by squaring. */
+inline u64
+powMod(u64 base, u64 exp, u64 q)
+{
+    u64 r = 1 % q;
+    base %= q;
+    while (exp) {
+        if (exp & 1)
+            r = mulMod(r, base, q);
+        base = mulMod(base, base, q);
+        exp >>= 1;
+    }
+    return r;
+}
+
+/**
+ * Modular inverse of a modulo prime q (via Fermat's little theorem).
+ * Panics when a is zero mod q.
+ */
+inline u64
+invMod(u64 a, u64 q)
+{
+    a %= q;
+    panicIf(a == 0, "invMod of zero");
+    return powMod(a, q - 2, q);
+}
+
+/**
+ * Shoup precomputation for repeated multiplication by a fixed operand w
+ * mod q: precon = floor(w * 2^64 / q).
+ */
+inline u64
+preconMulMod(u64 w, u64 q)
+{
+    return static_cast<u64>((static_cast<u128>(w) << 64) / q);
+}
+
+/**
+ * Shoup modular multiplication x*w mod q using the precomputed quotient.
+ * Requires q < 2^63 and w < q.
+ */
+inline u64
+mulModPrecon(u64 x, u64 w, u64 precon, u64 q)
+{
+    u64 approx = static_cast<u64>((static_cast<u128>(x) * precon) >> 64);
+    u64 r = x * w - approx * q;
+    return r >= q ? r - q : r;
+}
+
+/** Map a signed value into [0, q). */
+inline u64
+signedToMod(long long v, u64 q)
+{
+    long long m = v % static_cast<long long>(q);
+    if (m < 0)
+        m += static_cast<long long>(q);
+    return static_cast<u64>(m);
+}
+
+/** Map a reduced residue to the centered representative in (-q/2, q/2]. */
+inline long long
+toCentered(u64 v, u64 q)
+{
+    if (v > q / 2)
+        return static_cast<long long>(v) - static_cast<long long>(q);
+    return static_cast<long long>(v);
+}
+
+} // namespace ciflow
+
+#endif // CIFLOW_HEMATH_MODARITH_H

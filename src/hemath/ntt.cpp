@@ -1,0 +1,122 @@
+#include "hemath/ntt.h"
+
+#include "common/logging.h"
+#include "hemath/primes.h"
+
+namespace ciflow
+{
+
+namespace
+{
+
+/** Reverse the low `bits` bits of v. */
+std::size_t
+bitReverse(std::size_t v, std::size_t bits)
+{
+    std::size_t r = 0;
+    for (std::size_t i = 0; i < bits; ++i) {
+        r = (r << 1) | (v & 1);
+        v >>= 1;
+    }
+    return r;
+}
+
+} // namespace
+
+NttTable::NttTable(std::size_t n_, u64 q_) : degree(n_), q(q_)
+{
+    fatalIf(degree < 2 || (degree & (degree - 1)) != 0,
+            "NTT degree must be a power of two >= 2");
+    fatalIf((q - 1) % (2 * degree) != 0,
+            "modulus is not NTT friendly for this degree");
+
+    logDegree = 0;
+    while ((1ull << logDegree) < degree)
+        ++logDegree;
+
+    psiRoot = findPrimitiveRoot2N(q, degree);
+    u64 psi_inv = invMod(psiRoot, q);
+    nInv = invMod(static_cast<u64>(degree), q);
+    nInvPrecon = preconMulMod(nInv, q);
+
+    psiRev.resize(degree);
+    psiRevPrecon.resize(degree);
+    psiInvRev.resize(degree);
+    psiInvRevPrecon.resize(degree);
+
+    u64 p = 1, pi = 1;
+    std::vector<u64> pow(degree), pow_inv(degree);
+    for (std::size_t i = 0; i < degree; ++i) {
+        pow[i] = p;
+        pow_inv[i] = pi;
+        p = mulMod(p, psiRoot, q);
+        pi = mulMod(pi, psi_inv, q);
+    }
+    for (std::size_t i = 0; i < degree; ++i) {
+        std::size_t r = bitReverse(i, logDegree);
+        psiRev[i] = pow[r];
+        psiInvRev[i] = pow_inv[r];
+        psiRevPrecon[i] = preconMulMod(psiRev[i], q);
+        psiInvRevPrecon[i] = preconMulMod(psiInvRev[i], q);
+    }
+}
+
+void
+NttTable::forward(u64 *a) const
+{
+    std::size_t t = degree;
+    for (std::size_t m = 1; m < degree; m <<= 1) {
+        t >>= 1;
+        for (std::size_t i = 0; i < m; ++i) {
+            std::size_t j1 = 2 * i * t;
+            u64 s = psiRev[m + i];
+            u64 sp = psiRevPrecon[m + i];
+            for (std::size_t j = j1; j < j1 + t; ++j) {
+                u64 u = a[j];
+                u64 v = mulModPrecon(a[j + t], s, sp, q);
+                a[j] = addMod(u, v, q);
+                a[j + t] = subMod(u, v, q);
+            }
+        }
+    }
+}
+
+void
+NttTable::inverse(u64 *a) const
+{
+    std::size_t t = 1;
+    for (std::size_t m = degree; m > 1; m >>= 1) {
+        std::size_t j1 = 0;
+        std::size_t h = m >> 1;
+        for (std::size_t i = 0; i < h; ++i) {
+            u64 s = psiInvRev[h + i];
+            u64 sp = psiInvRevPrecon[h + i];
+            for (std::size_t j = j1; j < j1 + t; ++j) {
+                u64 u = a[j];
+                u64 v = a[j + t];
+                a[j] = addMod(u, v, q);
+                a[j + t] = mulModPrecon(subMod(u, v, q), s, sp, q);
+            }
+            j1 += 2 * t;
+        }
+        t <<= 1;
+    }
+    for (std::size_t i = 0; i < degree; ++i)
+        a[i] = mulModPrecon(a[i], nInv, nInvPrecon, q);
+}
+
+void
+NttTable::forward(std::vector<u64> &a) const
+{
+    panicIf(a.size() != degree, "NTT input size mismatch");
+    forward(a.data());
+}
+
+void
+NttTable::inverse(std::vector<u64> &a) const
+{
+    panicIf(a.size() != degree, "NTT input size mismatch");
+    inverse(a.data());
+}
+
+} // namespace ciflow

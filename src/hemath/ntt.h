@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Negacyclic number-theoretic transform (NTT) over Z_q[X]/(X^N + 1).
+ *
+ * Implements the merged-twiddle iterative transforms of Longa & Naehrig
+ * ("Speeding up the NTT", 2016): the forward transform is a
+ * decimation-in-time Cooley–Tukey network producing bit-reversed output,
+ * and the inverse is the matching Gentleman–Sande network consuming
+ * bit-reversed input, so a forward/inverse pair is an identity and
+ * pointwise products can be formed directly on transformed data.
+ *
+ * Twiddles use Shoup precomputed quotients (see modarith.h) so the inner
+ * butterfly has no 128-bit division.
+ */
+
+#ifndef CIFLOW_HEMATH_NTT_H
+#define CIFLOW_HEMATH_NTT_H
+
+#include <cstddef>
+#include <vector>
+
+#include "hemath/modarith.h"
+
+namespace ciflow
+{
+
+/** Precomputed tables and transform kernels for one (N, q) pair. */
+class NttTable
+{
+  public:
+    /**
+     * Build tables for ring degree n (power of two) and NTT-friendly
+     * prime q (q ≡ 1 mod 2n).
+     */
+    NttTable(std::size_t n, u64 q);
+
+    /** Ring degree. */
+    std::size_t n() const { return degree; }
+
+    /** Prime modulus. */
+    u64 modulus() const { return q; }
+
+    /** Primitive 2N-th root of unity used by the tables. */
+    u64 psi() const { return psiRoot; }
+
+    /**
+     * In-place forward negacyclic NTT (coefficient order in,
+     * bit-reversed evaluation order out).
+     */
+    void forward(u64 *a) const;
+
+    /** In-place inverse negacyclic NTT (inverse of forward()). */
+    void inverse(u64 *a) const;
+
+    /** Convenience overloads on vectors. */
+    void forward(std::vector<u64> &a) const;
+    void inverse(std::vector<u64> &a) const;
+
+    /** Total butterfly count of one transform: (N/2)·log2(N). */
+    std::size_t butterflies() const { return degree / 2 * logDegree; }
+
+  private:
+    std::size_t degree;
+    std::size_t logDegree;
+    u64 q;
+    u64 psiRoot;
+    u64 nInv;
+    u64 nInvPrecon;
+    // psi^bitrev(i) and Shoup precons, for the CT forward network.
+    std::vector<u64> psiRev;
+    std::vector<u64> psiRevPrecon;
+    // psi^{-bitrev(i)} and precons, for the GS inverse network.
+    std::vector<u64> psiInvRev;
+    std::vector<u64> psiInvRevPrecon;
+};
+
+} // namespace ciflow
+
+#endif // CIFLOW_HEMATH_NTT_H

@@ -1,0 +1,94 @@
+#include "hemath/primes.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ciflow
+{
+
+bool
+isPrime(u64 n)
+{
+    if (n < 2)
+        return false;
+    for (u64 p : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull,
+                  23ull, 29ull, 31ull, 37ull}) {
+        if (n % p == 0)
+            return n == p;
+    }
+    u64 d = n - 1;
+    int r = 0;
+    while ((d & 1) == 0) {
+        d >>= 1;
+        ++r;
+    }
+    // Deterministic witness set for all 64-bit integers.
+    for (u64 a : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull,
+                  23ull, 29ull, 31ull, 37ull}) {
+        u64 x = powMod(a, d, n);
+        if (x == 1 || x == n - 1)
+            continue;
+        bool composite = true;
+        for (int i = 0; i < r - 1; ++i) {
+            x = mulMod(x, x, n);
+            if (x == n - 1) {
+                composite = false;
+                break;
+            }
+        }
+        if (composite)
+            return false;
+    }
+    return true;
+}
+
+std::vector<u64>
+generateNttPrimes(std::size_t count, std::size_t bits, std::size_t n,
+                  const std::vector<u64> &avoid)
+{
+    fatalIf(bits < 20 || bits > 61, "NTT prime width must be in [20, 61]");
+    fatalIf(n == 0 || (n & (n - 1)) != 0, "ring degree must be a power of 2");
+
+    const u64 step = 2 * static_cast<u64>(n);
+    // Largest candidate of `bits` bits congruent to 1 mod 2N.
+    u64 top = (bits == 64) ? ~0ull : ((1ull << bits) - 1);
+    u64 cand = (top / step) * step + 1;
+    if (cand > top)
+        cand -= step;
+
+    std::vector<u64> out;
+    const u64 low = 1ull << (bits - 1);
+    while (out.size() < count && cand > low) {
+        if (isPrime(cand) &&
+            std::find(avoid.begin(), avoid.end(), cand) == avoid.end() &&
+            std::find(out.begin(), out.end(), cand) == out.end()) {
+            out.push_back(cand);
+        }
+        cand -= step;
+    }
+    fatalIf(out.size() < count,
+            "not enough NTT primes of the requested width");
+    return out;
+}
+
+u64
+findPrimitiveRoot2N(u64 q, std::size_t n)
+{
+    const u64 order = 2 * static_cast<u64>(n);
+    panicIf((q - 1) % order != 0, "q is not NTT friendly for this N");
+    const u64 cofactor = (q - 1) / order;
+    // psi = x^cofactor has order exactly 2N iff x is a quadratic
+    // non-residue: then psi^N = x^((q-1)/2) = -1, and since 2N is a power
+    // of two every element whose N-th power is -1 has order exactly 2N.
+    for (u64 x = 2;; ++x) {
+        if (powMod(x, (q - 1) / 2, q) == q - 1) {
+            u64 psi = powMod(x, cofactor, q);
+            panicIf(powMod(psi, n, q) != q - 1,
+                    "primitive root search failed");
+            return psi;
+        }
+    }
+}
+
+} // namespace ciflow

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Prime generation for NTT-friendly CKKS moduli.
+ *
+ * A prime q supports a negacyclic NTT of length N when q ≡ 1 (mod 2N),
+ * i.e. Z_q* contains an element of order 2N (a primitive 2N-th root of
+ * unity ψ with ψ^N = -1).
+ */
+
+#ifndef CIFLOW_HEMATH_PRIMES_H
+#define CIFLOW_HEMATH_PRIMES_H
+
+#include <cstddef>
+#include <vector>
+
+#include "hemath/modarith.h"
+
+namespace ciflow
+{
+
+/** Deterministic Miller–Rabin primality test for 64-bit integers. */
+bool isPrime(u64 n);
+
+/**
+ * Generate `count` distinct primes of exactly `bits` bits with
+ * q ≡ 1 (mod 2N), descending from the top of the bit range.
+ *
+ * @param count  number of primes to produce
+ * @param bits   bit width of each prime (<= 61)
+ * @param n      polynomial ring degree N (power of two)
+ * @param avoid  primes to skip (already used elsewhere in the chain)
+ */
+std::vector<u64> generateNttPrimes(std::size_t count, std::size_t bits,
+                                   std::size_t n,
+                                   const std::vector<u64> &avoid = {});
+
+/**
+ * Find a primitive 2N-th root of unity modulo prime q (requires
+ * q ≡ 1 mod 2N). Deterministic given q and n.
+ */
+u64 findPrimitiveRoot2N(u64 q, std::size_t n);
+
+} // namespace ciflow
+
+#endif // CIFLOW_HEMATH_PRIMES_H

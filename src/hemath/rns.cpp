@@ -1,0 +1,82 @@
+#include "hemath/rns.h"
+
+#include <set>
+
+#include "common/logging.h"
+
+namespace ciflow
+{
+
+RnsBase::RnsBase(std::vector<u64> primes_) : moduli(std::move(primes_))
+{
+    fatalIf(moduli.empty(), "RNS basis must contain at least one prime");
+    std::set<u64> uniq(moduli.begin(), moduli.end());
+    fatalIf(uniq.size() != moduli.size(), "RNS basis primes must be distinct");
+
+    prod = productOf(moduli);
+    punctured.reserve(moduli.size());
+    puncturedInvs.reserve(moduli.size());
+    for (std::size_t i = 0; i < moduli.size(); ++i) {
+        UBigInt hat = prod / UBigInt(moduli[i]);
+        u64 hat_mod = hat.mod64(moduli[i]);
+        punctured.push_back(hat);
+        puncturedInvs.push_back(invMod(hat_mod, moduli[i]));
+    }
+}
+
+std::vector<u64>
+RnsBase::decompose(const UBigInt &x) const
+{
+    std::vector<u64> r(moduli.size());
+    for (std::size_t i = 0; i < moduli.size(); ++i)
+        r[i] = x.mod64(moduli[i]);
+    return r;
+}
+
+UBigInt
+RnsBase::reconstruct(const std::vector<u64> &residues) const
+{
+    panicIf(residues.size() != moduli.size(),
+            "RNS reconstruct arity mismatch");
+    UBigInt acc;
+    for (std::size_t i = 0; i < moduli.size(); ++i) {
+        u64 t = mulMod(residues[i] % moduli[i], puncturedInvs[i],
+                       moduli[i]);
+        acc += punctured[i] * UBigInt(t);
+    }
+    return acc % prod;
+}
+
+void
+RnsBase::reconstructCentered(const std::vector<u64> &residues,
+                             UBigInt &magnitude, bool &negative) const
+{
+    UBigInt v = reconstruct(residues);
+    UBigInt half = prod.shiftRight(1);
+    if (v > half) {
+        magnitude = prod - v;
+        negative = true;
+    } else {
+        magnitude = v;
+        negative = false;
+    }
+}
+
+RnsBase
+RnsBase::subBase(std::size_t first, std::size_t count) const
+{
+    panicIf(first + count > moduli.size(), "subBase out of range");
+    std::vector<u64> p(moduli.begin() + first,
+                       moduli.begin() + first + count);
+    return RnsBase(std::move(p));
+}
+
+RnsBase
+RnsBase::concat(const RnsBase &other) const
+{
+    std::vector<u64> p = moduli;
+    p.insert(p.end(), other.moduli.begin(), other.moduli.end());
+    return RnsBase(std::move(p));
+}
+
+} // namespace ciflow

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Residue number system (RNS) bases.
+ *
+ * An RnsBase is an ordered set of distinct word-size primes
+ * {b_0, ..., b_{k-1}} with the CRT precomputations needed for
+ * reconstruction and for fast basis conversion:
+ *   - B       = prod b_i (exact, UBigInt)
+ *   - Bhat_i  = B / b_i (exact)
+ *   - BhatInv_i = (B / b_i)^{-1} mod b_i
+ */
+
+#ifndef CIFLOW_HEMATH_RNS_H
+#define CIFLOW_HEMATH_RNS_H
+
+#include <cstddef>
+#include <vector>
+
+#include "bigint/ubigint.h"
+#include "hemath/modarith.h"
+
+namespace ciflow
+{
+
+/** An ordered RNS prime basis with CRT precomputations. */
+class RnsBase
+{
+  public:
+    /** Build a basis from distinct primes; precomputes CRT constants. */
+    explicit RnsBase(std::vector<u64> primes);
+
+    /** Number of towers (primes) in the basis. */
+    std::size_t size() const { return moduli.size(); }
+
+    /** The i-th prime. */
+    u64 modulus(std::size_t i) const { return moduli[i]; }
+
+    /** All primes in order. */
+    const std::vector<u64> &primes() const { return moduli; }
+
+    /** Exact product of all primes. */
+    const UBigInt &product() const { return prod; }
+
+    /** Exact punctured product B / b_i. */
+    const UBigInt &puncturedProduct(std::size_t i) const
+    {
+        return punctured[i];
+    }
+
+    /** (B / b_i)^{-1} mod b_i. */
+    u64 puncturedInv(std::size_t i) const { return puncturedInvs[i]; }
+
+    /** Residues of an exact non-negative integer in this basis. */
+    std::vector<u64> decompose(const UBigInt &x) const;
+
+    /** Exact CRT reconstruction of residues into [0, B). */
+    UBigInt reconstruct(const std::vector<u64> &residues) const;
+
+    /**
+     * Centered reconstruction: the representative of the residues in
+     * (-B/2, B/2], returned as (magnitude, negative-flag).
+     */
+    void reconstructCentered(const std::vector<u64> &residues,
+                             UBigInt &magnitude, bool &negative) const;
+
+    /**
+     * A sub-basis formed from primes [first, first+count) of this one.
+     */
+    RnsBase subBase(std::size_t first, std::size_t count) const;
+
+    /** Concatenation of this basis with another (primes must stay
+     * distinct). */
+    RnsBase concat(const RnsBase &other) const;
+
+  private:
+    std::vector<u64> moduli;
+    UBigInt prod;
+    std::vector<UBigInt> punctured;
+    std::vector<u64> puncturedInvs;
+};
+
+} // namespace ciflow
+
+#endif // CIFLOW_HEMATH_RNS_H

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The CiFlow dataflow taxonomy: Max-Parallel, Digit-Centric and
+ * Output-Centric schedule generators for hybrid key switching.
+ *
+ * Each generator emits the *same computation* (tests assert the op
+ * totals equal OpModel::totalHks() for every dataflow) but a different
+ * task order and residency policy, yielding different DRAM traffic under
+ * a fixed on-chip capacity:
+ *
+ *  - MP (§IV-A): stage-by-stage over all towers; the BConv expansion
+ *    (dnum*beta towers) and the full key-product working set spill.
+ *  - DC (§IV-B): one digit through ModUp P1..P5 at a time; the digit's
+ *    intermediates are reused on-chip but the partial key product
+ *    (2*(kl+kp) towers) still thrashes for large benchmarks.
+ *  - OC (§IV-C): one output tower at a time. The INTT outputs of the
+ *    first dnum-1 digits stay pinned on-chip; each output tower needs
+ *    only one BConv *column* per digit, fused through the vector
+ *    registers (no materialized intermediate), followed by the last
+ *    digit in a second pass that completes the spilled partial sums.
+ */
+
+#ifndef CIFLOW_HKSFLOW_DATAFLOW_H
+#define CIFLOW_HKSFLOW_DATAFLOW_H
+
+#include <string>
+
+#include "hksflow/builder.h"
+#include "hksflow/task.h"
+
+namespace ciflow
+{
+
+/** The three dataflows of the paper. */
+enum class Dataflow { MP, DC, OC };
+
+/** Short name ("MP"/"DC"/"OC"). */
+const char *dataflowName(Dataflow d);
+
+/** All three dataflows, in paper order. */
+const std::vector<Dataflow> &allDataflows();
+
+/**
+ * Build the HKS task graph for a benchmark under a dataflow and memory
+ * configuration.
+ */
+TaskGraph buildHksGraph(const HksParams &par, Dataflow d,
+                        const MemoryConfig &mem);
+
+/**
+ * Smallest data-memory capacity (bytes) for which the schedule is
+ * feasible (largest digit or P-part must be co-resident with a small
+ * workspace).
+ */
+std::uint64_t minDataCapacity(const HksParams &par, Dataflow d);
+
+} // namespace ciflow
+
+#endif // CIFLOW_HKSFLOW_DATAFLOW_H

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * HKS benchmark parameter sets (paper Table III) and derived sizes.
+ *
+ * These describe the *shape* of a hybrid key switch — ring degree,
+ * tower counts, digit structure — independently of actual polynomial
+ * data. The analysis and simulation layers work on these shapes; the
+ * functional layer (src/ckks) runs the same algorithm on real data at
+ * laptop-scale N.
+ */
+
+#ifndef CIFLOW_HKSFLOW_HKS_PARAMS_H
+#define CIFLOW_HKSFLOW_HKS_PARAMS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ciflow
+{
+
+/** Shape of one hybrid key-switching invocation. */
+struct HksParams
+{
+    /** Benchmark name ("BTS3", "ARK", ...). */
+    std::string name;
+    /** log2 ring degree. */
+    std::size_t logN;
+    /** Towers in Q at the evaluated level (paper's kl; == ell+1). */
+    std::size_t kl;
+    /** Towers in P (paper's kp == K). */
+    std::size_t kp;
+    /** Number of digits. */
+    std::size_t dnum;
+    /** Towers per digit, alpha = ceil(kl / dnum). */
+    std::size_t alpha;
+
+    std::size_t n() const { return std::size_t(1) << logN; }
+    /** One tower: N coefficients of 8 bytes. */
+    std::uint64_t towerBytes() const { return std::uint64_t(n()) * 8; }
+    /** Extended basis width kl + kp (towers of D). */
+    std::size_t extTowers() const { return kl + kp; }
+    /** BConv output towers per digit, beta = kl + kp - alpha. */
+    std::size_t beta() const { return kl + kp - alpha; }
+    /** Towers in digit j (the last digit may be smaller). */
+    std::size_t digitTowers(std::size_t j) const;
+    /** First tower index of digit j. */
+    std::size_t digitFirst(std::size_t j) const { return j * alpha; }
+
+    /** evk bytes: dnum * 2 * N * (kl+kp) * 8 (paper Table III). */
+    std::uint64_t evkBytes() const;
+    /**
+     * Peak temporary data bytes (paper Table III "Temp data"):
+     * INTT outputs + extended polynomials + key product.
+     */
+    std::uint64_t tempBytes() const;
+    /** Input polynomial bytes: N * kl * 8. */
+    std::uint64_t inputBytes() const;
+    /** Output bytes: 2 * N * kl * 8. */
+    std::uint64_t outputBytes() const;
+
+    /** Human-readable one-line description. */
+    std::string describe() const;
+};
+
+/** The five paper benchmarks: BTS1-3, ARK, DPRIVE (Table III). */
+const std::vector<HksParams> &paperBenchmarks();
+
+/** Look up a paper benchmark by name; fatal() when unknown. */
+const HksParams &benchmarkByName(const std::string &name);
+
+} // namespace ciflow
+
+#endif // CIFLOW_HKSFLOW_HKS_PARAMS_H

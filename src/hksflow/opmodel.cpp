@@ -1,0 +1,109 @@
+#include "hksflow/opmodel.h"
+
+namespace ciflow
+{
+
+OpCounts
+OpModel::nttTower() const
+{
+    const std::uint64_t n = par.n();
+    const std::uint64_t log_n = par.logN;
+    // (N/2)·logN butterflies, 1 mul + 2 adds each; N·logN shuffled
+    // elements feed the butterfly network.
+    return {n / 2 * log_n * 3, n * log_n};
+}
+
+OpCounts
+OpModel::bconvScale(std::size_t a) const
+{
+    return {std::uint64_t(par.n()) * a, 0};
+}
+
+OpCounts
+OpModel::bconvAccum(std::size_t a, std::size_t b) const
+{
+    return {2 * std::uint64_t(par.n()) * a * b, 0};
+}
+
+OpCounts
+OpModel::bconvColumn(std::size_t a) const
+{
+    return {2 * std::uint64_t(par.n()) * a, 0};
+}
+
+OpCounts
+OpModel::keyMulTower() const
+{
+    // Two evk halves: one modmul per coefficient each.
+    return {2 * std::uint64_t(par.n()), 0};
+}
+
+OpCounts
+OpModel::reduceTower() const
+{
+    // Accumulate both halves: one modadd per coefficient each.
+    return {2 * std::uint64_t(par.n()), 0};
+}
+
+OpCounts
+OpModel::modDownFinishTower() const
+{
+    // One poly's tower: (x - conv) then * P^{-1} = sub + mul per coeff.
+    return {2 * std::uint64_t(par.n()), 0};
+}
+
+OpCounts
+OpModel::totalModUp() const
+{
+    OpCounts t;
+    // P1: INTT every input tower.
+    for (std::size_t i = 0; i < par.kl; ++i)
+        t += nttTower();
+    for (std::size_t j = 0; j < par.dnum; ++j) {
+        const std::size_t a = par.digitTowers(j);
+        const std::size_t b = par.extTowers() - a;
+        // P2.
+        t += bconvScale(a);
+        t += bconvAccum(a, b);
+        // P3.
+        for (std::size_t i = 0; i < b; ++i)
+            t += nttTower();
+        // P4 over every extended tower (bypass towers included).
+        for (std::size_t i = 0; i < par.extTowers(); ++i)
+            t += keyMulTower();
+        // P5 for all digits after the first.
+        if (j > 0) {
+            for (std::size_t i = 0; i < par.extTowers(); ++i)
+                t += reduceTower();
+        }
+    }
+    return t;
+}
+
+OpCounts
+OpModel::totalModDown() const
+{
+    OpCounts t;
+    // Two polynomials.
+    for (int c = 0; c < 2; ++c) {
+        for (std::size_t i = 0; i < par.kp; ++i)
+            t += nttTower(); // P1
+        t += bconvScale(par.kp);          // P2
+        t += bconvAccum(par.kp, par.kl);  // P2
+        for (std::size_t i = 0; i < par.kl; ++i)
+            t += nttTower(); // P3
+    }
+    for (std::size_t i = 0; i < 2 * par.kl; ++i)
+        t += modDownFinishTower(); // P4, per poly per tower
+    return t;
+}
+
+OpCounts
+OpModel::totalHks() const
+{
+    OpCounts t = totalModUp();
+    t += totalModDown();
+    return t;
+}
+
+} // namespace ciflow

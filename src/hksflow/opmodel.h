@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Operation-count model for hybrid key switching.
+ *
+ * Counts modular operations (multiplies + additions, the paper's
+ * "MODOPS") and shuffle traffic per HKS stage. The totals are a property
+ * of the *algorithm*, not the dataflow — the paper relies on this when
+ * computing arithmetic intensity ("The number of operations per HKS
+ * benchmark is independent of dataflow", §IV-D) and a test asserts that
+ * every generated task graph sums to exactly these numbers.
+ *
+ * Conventions:
+ *  - one (i)NTT butterfly = 1 modmul + 2 modadds over (N/2)·log2(N)
+ *    butterflies, plus N·log2(N) shuffled elements;
+ *  - BConv from a towers to b towers = N·a scaling muls plus N·a·b
+ *    multiply-accumulates (2 ops each);
+ *  - key multiply = 1 mul per coefficient, reduce = 1 add per
+ *    coefficient, ModDown finish = 1 sub + 1 mul per coefficient.
+ */
+
+#ifndef CIFLOW_HKSFLOW_OPMODEL_H
+#define CIFLOW_HKSFLOW_OPMODEL_H
+
+#include <cstdint>
+
+#include "hksflow/hks_params.h"
+
+namespace ciflow
+{
+
+/** Modular-op and shuffle counts for a single task or a whole phase. */
+struct OpCounts
+{
+    std::uint64_t modOps = 0;
+    std::uint64_t shuffleOps = 0;
+
+    OpCounts &
+    operator+=(const OpCounts &o)
+    {
+        modOps += o.modOps;
+        shuffleOps += o.shuffleOps;
+        return *this;
+    }
+};
+
+/** Per-kernel op counts parameterized on the ring degree. */
+class OpModel
+{
+  public:
+    explicit OpModel(const HksParams &p) : par(p) {}
+
+    /** One forward or inverse NTT on a single tower. */
+    OpCounts nttTower() const;
+
+    /**
+     * BConv input scaling (x * (F/f_i)^{-1} mod f_i) for a digit of `a`
+     * towers; done once per digit regardless of dataflow.
+     */
+    OpCounts bconvScale(std::size_t a) const;
+
+    /** BConv accumulation from `a` towers into `b` targets (full). */
+    OpCounts bconvAccum(std::size_t a, std::size_t b) const;
+
+    /** One output column of a BConv from `a` towers (OC pattern). */
+    OpCounts bconvColumn(std::size_t a) const;
+
+    /** Key multiply-accumulate on one tower (both evk halves). */
+    OpCounts keyMulTower() const;
+
+    /** Reduce (accumulate) one tower pair into the partial sum. */
+    OpCounts reduceTower() const;
+
+    /** ModDown finish on one tower pair: (x - conv) * P^{-1}. */
+    OpCounts modDownFinishTower() const;
+
+    /** Total ops of one full HKS with these parameters (all stages). */
+    OpCounts totalHks() const;
+
+    /** Total ops of the ModUp phase only. */
+    OpCounts totalModUp() const;
+
+    /** Total ops of the ModDown phase only. */
+    OpCounts totalModDown() const;
+
+  private:
+    HksParams par;
+};
+
+} // namespace ciflow
+
+#endif // CIFLOW_HKSFLOW_OPMODEL_H

@@ -1,0 +1,97 @@
+#include "hksflow/task.h"
+
+#include "common/logging.h"
+
+namespace ciflow
+{
+
+const char *
+stageName(StageId s)
+{
+    switch (s) {
+      case StageId::ModUpIntt:
+        return "ModUp P1: INTT";
+      case StageId::ModUpBconv:
+        return "ModUp P2: BConv";
+      case StageId::ModUpNtt:
+        return "ModUp P3: NTT";
+      case StageId::ModUpKeyMul:
+        return "ModUp P4: Apply Key";
+      case StageId::ModUpReduce:
+        return "ModUp P5: Reduce";
+      case StageId::ModDownIntt:
+        return "ModDown P1: INTT";
+      case StageId::ModDownBconv:
+        return "ModDown P2: BConv";
+      case StageId::ModDownNtt:
+        return "ModDown P3: NTT";
+      case StageId::ModDownFinish:
+        return "ModDown P4: Sum & Return";
+      case StageId::DataMove:
+        return "Data movement";
+    }
+    panic("unknown stage");
+}
+
+std::uint32_t
+TaskGraph::push(Task t)
+{
+    t.id = static_cast<std::uint32_t>(list.size());
+    switch (t.kind) {
+      case TaskKind::MemLoad:
+        loads += t.bytes;
+        if (t.isEvk)
+            evkLoads += t.bytes;
+        break;
+      case TaskKind::MemStore:
+        stores += t.bytes;
+        break;
+      case TaskKind::Compute:
+        ops += t.modOps;
+        shuffles += t.shuffleOps;
+        break;
+    }
+    list.push_back(std::move(t));
+    return list.back().id;
+}
+
+std::size_t
+TaskGraph::countKind(TaskKind k) const
+{
+    std::size_t c = 0;
+    for (const auto &t : list)
+        if (t.kind == k)
+            ++c;
+    return c;
+}
+
+std::uint64_t
+TaskGraph::stageModOps(StageId s) const
+{
+    std::uint64_t c = 0;
+    for (const auto &t : list)
+        if (t.kind == TaskKind::Compute && t.stage == s)
+            c += t.modOps;
+    return c;
+}
+
+void
+TaskGraph::validate() const
+{
+    for (std::size_t i = 0; i < list.size(); ++i) {
+        const Task &t = list[i];
+        panicIf(t.id != i, "task id out of sequence");
+        for (std::uint32_t d : t.deps)
+            panicIf(d >= t.id, "forward dependency in task graph");
+        if (t.kind == TaskKind::Compute) {
+            panicIf(t.bytes != 0, "compute task with bytes");
+            panicIf(t.modOps == 0, "compute task with no work");
+        } else {
+            panicIf(t.bytes == 0, "memory task with no bytes");
+            panicIf(t.modOps != 0 || t.shuffleOps != 0,
+                    "memory task with ops");
+        }
+    }
+}
+
+} // namespace ciflow

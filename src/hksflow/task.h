@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Task graph representation of one HKS execution.
+ *
+ * A TaskGraph is an ordered list of memory and compute tasks with
+ * backward dependencies, exactly the two-queue abstraction the paper's
+ * software framework uses (§V-C): "The framework has two distinct
+ * queues, one for memory tasks and one for compute tasks. The tasks at
+ * the front of each queue are fetched and executed in parallel once all
+ * the task's dependencies are resolved."
+ *
+ * Tasks are emitted in schedule order by the dataflow builders, so every
+ * dependency points to an earlier task and the graph is acyclic by
+ * construction; TaskGraph::validate() re-checks the invariants.
+ */
+
+#ifndef CIFLOW_HKSFLOW_TASK_H
+#define CIFLOW_HKSFLOW_TASK_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ciflow
+{
+
+/** Kind of a scheduled task. */
+enum class TaskKind : std::uint8_t {
+    MemLoad,  ///< DRAM -> on-chip transfer
+    MemStore, ///< on-chip -> DRAM transfer
+    Compute,  ///< arithmetic on the vector backend
+};
+
+/** HKS stage a task belongs to (for reporting and codegen). */
+enum class StageId : std::uint8_t {
+    ModUpIntt,
+    ModUpBconv,
+    ModUpNtt,
+    ModUpKeyMul,
+    ModUpReduce,
+    ModDownIntt,
+    ModDownBconv,
+    ModDownNtt,
+    ModDownFinish,
+    DataMove,
+};
+
+/** Name of a stage ("ModUp P1: INTT", ...). */
+const char *stageName(StageId s);
+
+/** One scheduled unit of work. */
+struct Task
+{
+    std::uint32_t id = 0;
+    TaskKind kind = TaskKind::Compute;
+    StageId stage = StageId::DataMove;
+    /** Payload bytes for memory tasks (0 for compute). */
+    std::uint64_t bytes = 0;
+    /** Modular operations for compute tasks (0 for memory). */
+    std::uint64_t modOps = 0;
+    /** Elements moved through the shuffle pipe (compute tasks). */
+    std::uint64_t shuffleOps = 0;
+    /** True when this load streams evaluation-key data. */
+    bool isEvk = false;
+    /** Earlier tasks that must complete before this one starts. */
+    std::vector<std::uint32_t> deps;
+};
+
+/** An ordered task list plus aggregate statistics. */
+class TaskGraph
+{
+  public:
+    /** Append a task; returns its id. Dependencies must be earlier ids. */
+    std::uint32_t push(Task t);
+
+    const std::vector<Task> &tasks() const { return list; }
+    std::size_t size() const { return list.size(); }
+    const Task &operator[](std::uint32_t id) const { return list[id]; }
+
+    /** Total bytes read from DRAM (including evk streams). */
+    std::uint64_t loadBytes() const { return loads; }
+    /** Total bytes written to DRAM. */
+    std::uint64_t storeBytes() const { return stores; }
+    /** DRAM bytes moved in either direction. */
+    std::uint64_t trafficBytes() const { return loads + stores; }
+    /** Bytes of evk data streamed from DRAM. */
+    std::uint64_t evkBytes() const { return evkLoads; }
+    /** Total modular operations of all compute tasks. */
+    std::uint64_t totalModOps() const { return ops; }
+    /** Total shuffle elements of all compute tasks. */
+    std::uint64_t totalShuffleOps() const { return shuffles; }
+
+    /** Number of tasks of a given kind. */
+    std::size_t countKind(TaskKind k) const;
+
+    /** ModOps attributed to one stage. */
+    std::uint64_t stageModOps(StageId s) const;
+
+    /**
+     * Check structural invariants (ids sequential, deps backward,
+     * byte/op fields consistent with kinds). Panics on violation.
+     */
+    void validate() const;
+
+  private:
+    std::vector<Task> list;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t evkLoads = 0;
+    std::uint64_t ops = 0;
+    std::uint64_t shuffles = 0;
+};
+
+} // namespace ciflow
+
+#endif // CIFLOW_HKSFLOW_TASK_H

@@ -1,0 +1,12 @@
+#include "rpu/area.h"
+
+namespace ciflow
+{
+
+double
+rpuAreaMm2(double sram_mib)
+{
+    return kRpuLogicAreaMm2 + kSramMm2PerMib * sram_mib;
+}
+
+} // namespace ciflow

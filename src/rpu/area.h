@@ -1,0 +1,30 @@
+/**
+ * @file
+ * RPU die-area model.
+ *
+ * The paper reports that moving evks off-chip shrinks the RPU from
+ * 401.85 mm^2 (392 MiB of SRAM: 32 data + 360 key) to 41.85 mm^2
+ * (32 MiB data only), i.e. exactly 1 mm^2 per MiB of SRAM on top of a
+ * 9.85 mm^2 logic baseline. We expose that linear model.
+ */
+
+#ifndef CIFLOW_RPU_AREA_H
+#define CIFLOW_RPU_AREA_H
+
+#include <cstdint>
+
+namespace ciflow
+{
+
+/** Die area in mm^2 for an RPU with the given total on-chip SRAM. */
+double rpuAreaMm2(double sram_mib);
+
+/** Logic-only area (HPLEs, crossbars, frontend) in mm^2. */
+constexpr double kRpuLogicAreaMm2 = 9.85;
+
+/** SRAM density used by the model, mm^2 per MiB. */
+constexpr double kSramMm2PerMib = 1.0;
+
+} // namespace ciflow
+
+#endif // CIFLOW_RPU_AREA_H

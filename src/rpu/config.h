@@ -1,0 +1,81 @@
+/**
+ * @file
+ * RPU hardware configuration (§V-A of the paper).
+ *
+ * Defaults match CiFlow's modified RPU: 128 HPLE lanes at 1.7 GHz,
+ * vector length 1K (B1K), 32 MiB vector data memory, and either a large
+ * evk SRAM (392 MiB total on-chip) or streamed keys. MODOPS — modular
+ * operations per second — scales with `modopsMult` for the §VI-C
+ * throughput sensitivity study.
+ */
+
+#ifndef CIFLOW_RPU_CONFIG_H
+#define CIFLOW_RPU_CONFIG_H
+
+#include <cstdint>
+
+#include "common/units.h"
+#include "hksflow/builder.h"
+
+namespace ciflow
+{
+
+/** Configuration of one simulated RPU instance. */
+struct RpuConfig
+{
+    /** Number of high-performance large-arithmetic-word engines. */
+    std::size_t hples = 128;
+    /** Core clock in GHz. */
+    double freqGHz = 1.7;
+    /** B1K vector length. */
+    std::size_t vectorLen = 1024;
+    /** Off-chip bandwidth in GB/s (decimal). */
+    double bandwidthGBps = 64.0;
+    /** Computational-throughput multiplier (1, 2, 4, 8, 16 in §VI-C). */
+    double modopsMult = 1.0;
+    /**
+     * Average lane cycles per modular operation. Modular arithmetic on
+     * word-size moduli is a multi-cycle macro-op (Barrett/Montgomery
+     * needs several integer multiplies); 4 cycles/op reproduces the
+     * paper's compute-bound saturation runtimes (e.g. ~38 ms for BTS3
+     * and ~5.6 ms for ARK at 1 TB/s).
+     */
+    double cyclesPerModOp = 4.0;
+    /** Vector data memory capacity. */
+    std::uint64_t dataMemBytes = 32ull << 20;
+    /** True: evks preloaded in a dedicated on-chip key memory. */
+    bool evkOnChip = false;
+
+    /** Modular operations per second (the paper's MODOPS). */
+    double
+    modopsPerSec() const
+    {
+        return static_cast<double>(hples) * freqGHz * 1e9 * modopsMult /
+               cyclesPerModOp;
+    }
+
+    /** Shuffle elements per second (crossbar, one per lane per cycle). */
+    double
+    shuffleElemsPerSec() const
+    {
+        return static_cast<double>(hples) * freqGHz * 1e9;
+    }
+
+    /** Off-chip bytes per second. */
+    double
+    bytesPerSec() const
+    {
+        return gbps(bandwidthGBps);
+    }
+
+    /** Memory configuration handed to the dataflow builders. */
+    MemoryConfig
+    memoryConfig() const
+    {
+        return {dataMemBytes, evkOnChip};
+    }
+};
+
+} // namespace ciflow
+
+#endif // CIFLOW_RPU_CONFIG_H

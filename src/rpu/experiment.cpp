@@ -1,0 +1,95 @@
+#include "rpu/experiment.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace ciflow
+{
+
+HksExperiment::HksExperiment(const HksParams &par_, Dataflow d,
+                             const MemoryConfig &mem_)
+    : par(par_), df(d), mem(mem_), g(buildHksGraph(par_, d, mem_))
+{
+}
+
+SimStats
+HksExperiment::simulate(double bandwidth_gbps, double modops_mult) const
+{
+    RpuConfig cfg;
+    cfg.bandwidthGBps = bandwidth_gbps;
+    cfg.modopsMult = modops_mult;
+    cfg.dataMemBytes = mem.dataCapacityBytes;
+    cfg.evkOnChip = mem.evkOnChip;
+    return RpuEngine(cfg).run(g);
+}
+
+const std::vector<double> &
+paperBandwidthSweep()
+{
+    // DDR4 (8..25.6), DDR5 (32..64) -- the paper's core sweep.
+    static const std::vector<double> kSweep = {8,    12.8, 16,  25.6,
+                                               32,   48,   64};
+    return kSweep;
+}
+
+const std::vector<double> &
+paperBandwidthSweepExtended()
+{
+    // Extended through HBM2 (..410) to HBM3 (1000).
+    static const std::vector<double> kSweep = {
+        8,   12.8, 16,  25.6, 32,  48,  64,
+        128, 256,  410, 512,  768, 1000};
+    return kSweep;
+}
+
+double
+baselineRuntime(const HksParams &par)
+{
+    MemoryConfig mem;
+    mem.dataCapacityBytes = 32ull << 20;
+    mem.evkOnChip = true;
+    HksExperiment exp(par, Dataflow::MP, mem);
+    return exp.simulate(64.0).runtime;
+}
+
+double
+bandwidthToMatch(const HksExperiment &exp, double target_runtime,
+                 double lo_gbps, double hi_gbps, double modops_mult,
+                 double tol)
+{
+    if (exp.simulate(hi_gbps, modops_mult).runtime >
+        target_runtime * (1 + tol)) {
+        return std::numeric_limits<double>::infinity();
+    }
+    double lo = lo_gbps, hi = hi_gbps;
+    for (int iter = 0; iter < 60 && (hi - lo) > 1e-6 * hi; ++iter) {
+        double mid = 0.5 * (lo + hi);
+        if (exp.simulate(mid, modops_mult).runtime <=
+            target_runtime * (1 + tol)) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    return hi;
+}
+
+double
+ocBaseBandwidth(const HksParams &par)
+{
+    const double target = baselineRuntime(par);
+    MemoryConfig mem;
+    mem.dataCapacityBytes = 32ull << 20;
+    mem.evkOnChip = true;
+    HksExperiment oc(par, Dataflow::OC, mem);
+    // Report on the paper's grid: first sweep point that meets the
+    // baseline runtime.
+    for (double bw : paperBandwidthSweep())
+        if (oc.simulate(bw).runtime <= target * 1.001)
+            return bw;
+    return 64.0;
+}
+
+} // namespace ciflow

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Experiment helpers shared by the benchmark harnesses.
+ *
+ * A task graph depends only on (benchmark, dataflow, memory config) —
+ * not on bandwidth or MODOPS — so each experiment builds its graph once
+ * and sweeps the timing knobs cheaply. This mirrors the paper's
+ * methodology: instruction streams are generated per configuration and
+ * dataflow, then evaluated across bandwidths (§V-C, §VI).
+ */
+
+#ifndef CIFLOW_RPU_EXPERIMENT_H
+#define CIFLOW_RPU_EXPERIMENT_H
+
+#include <memory>
+#include <vector>
+
+#include "hksflow/dataflow.h"
+#include "hksflow/hks_params.h"
+#include "rpu/engine.h"
+
+namespace ciflow
+{
+
+/** One (benchmark, dataflow, memory) combination, simulated at will. */
+class HksExperiment
+{
+  public:
+    HksExperiment(const HksParams &par, Dataflow d,
+                  const MemoryConfig &mem);
+
+    /** Simulate at a given bandwidth and MODOPS multiplier. */
+    SimStats simulate(double bandwidth_gbps,
+                      double modops_mult = 1.0) const;
+
+    const TaskGraph &graph() const { return g; }
+    const HksParams &params() const { return par; }
+    Dataflow dataflow() const { return df; }
+    const MemoryConfig &memory() const { return mem; }
+
+  private:
+    HksParams par;
+    Dataflow df;
+    MemoryConfig mem;
+    TaskGraph g;
+};
+
+/** The paper's DDR4..HBM3 sweep points (GB/s). */
+const std::vector<double> &paperBandwidthSweep();
+
+/** Extended sweep up to 1 TB/s used for ARK and BTS3 (§VI-C). */
+const std::vector<double> &paperBandwidthSweepExtended();
+
+/**
+ * Baseline runtime of Table IV: MP at 64 GB/s with evks on-chip and a
+ * 32 MiB data memory.
+ */
+double baselineRuntime(const HksParams &par);
+
+/**
+ * Smallest bandwidth (by bisection, within `tol` relative runtime) at
+ * which `exp` matches the target runtime; returns +inf when even
+ * `hi_gbps` is too slow.
+ */
+double bandwidthToMatch(const HksExperiment &exp, double target_runtime,
+                        double lo_gbps = 1.0, double hi_gbps = 2000.0,
+                        double modops_mult = 1.0, double tol = 1e-3);
+
+/**
+ * OCbase of Table IV: the paper-grid bandwidth at which OC (evks
+ * on-chip) first matches the MP/64GB/s baseline.
+ */
+double ocBaseBandwidth(const HksParams &par);
+
+} // namespace ciflow
+
+#endif // CIFLOW_RPU_EXPERIMENT_H

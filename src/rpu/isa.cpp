@@ -1,0 +1,122 @@
+#include "rpu/isa.h"
+
+#include "common/logging.h"
+
+namespace ciflow
+{
+
+const char *
+b1kMnemonic(B1kOp op)
+{
+    switch (op) {
+      case B1kOp::SLD: return "sld";
+      case B1kOp::SST: return "sst";
+      case B1kOp::SADD: return "sadd";
+      case B1kOp::SMUL: return "smul";
+      case B1kOp::BNZ: return "bnz";
+      case B1kOp::CSRW: return "csrw";
+      case B1kOp::FENCE: return "fence";
+      case B1kOp::VLD: return "vld";
+      case B1kOp::VST: return "vst";
+      case B1kOp::VLDK: return "vldk";
+      case B1kOp::VPREF: return "vpref";
+      case B1kOp::VMADD: return "vmadd";
+      case B1kOp::VMSUB: return "vmsub";
+      case B1kOp::VMNEG: return "vmneg";
+      case B1kOp::VMMUL: return "vmmul";
+      case B1kOp::VMMACC: return "vmmacc";
+      case B1kOp::VMSMUL: return "vmsmul";
+      case B1kOp::VBFLY: return "vbfly";
+      case B1kOp::VIBFLY: return "vibfly";
+      case B1kOp::VMODSW: return "vmodsw";
+      case B1kOp::VRED: return "vred";
+      case B1kOp::VSEL: return "vsel";
+      case B1kOp::VCMP: return "vcmp";
+      case B1kOp::VSHUF: return "vshuf";
+      case B1kOp::VROTV: return "vrotv";
+      case B1kOp::VBREV: return "vbrev";
+      case B1kOp::VTRN: return "vtrn";
+      case B1kOp::VPACK: return "vpack";
+    }
+    panic("unknown opcode");
+}
+
+IssueQueue
+b1kQueue(B1kOp op)
+{
+    switch (op) {
+      case B1kOp::VLD:
+      case B1kOp::VST:
+      case B1kOp::VLDK:
+      case B1kOp::VPREF:
+        return IssueQueue::Memory;
+      case B1kOp::VSHUF:
+      case B1kOp::VROTV:
+      case B1kOp::VBREV:
+      case B1kOp::VTRN:
+      case B1kOp::VPACK:
+        return IssueQueue::Shuffle;
+      default:
+        return IssueQueue::Compute;
+    }
+}
+
+CodeGen::CodeGen(std::size_t vector_len) : vl(vector_len)
+{
+    fatalIf(vl == 0 || (vl & (vl - 1)) != 0,
+            "vector length must be a power of two");
+}
+
+std::uint64_t
+CodeGen::vectorInstrs(std::uint64_t elems) const
+{
+    return (elems + vl - 1) / vl;
+}
+
+InstrCounts
+CodeGen::forComputeTask(const Task &t) const
+{
+    panicIf(t.kind != TaskKind::Compute, "not a compute task");
+    InstrCounts c;
+    switch (t.stage) {
+      case StageId::ModUpIntt:
+      case StageId::ModUpNtt:
+      case StageId::ModDownIntt:
+      case StageId::ModDownNtt:
+        // Butterfly instructions retire one mul + two adds each; the
+        // shuffle network routes N elements per stage.
+        c.compute = vectorInstrs(t.modOps / 3);
+        c.shuffle = vectorInstrs(t.shuffleOps);
+        break;
+      default:
+        // Pointwise stages: one lane op per modOp.
+        c.compute = vectorInstrs(t.modOps);
+        c.shuffle = vectorInstrs(t.shuffleOps);
+        break;
+    }
+    return c;
+}
+
+InstrCounts
+CodeGen::forMemTask(const Task &t) const
+{
+    panicIf(t.kind == TaskKind::Compute, "not a memory task");
+    InstrCounts c;
+    c.memory = vectorInstrs(t.bytes / 8);
+    return c;
+}
+
+InstrCounts
+CodeGen::forGraph(const TaskGraph &g) const
+{
+    InstrCounts c;
+    for (const auto &t : g.tasks()) {
+        if (t.kind == TaskKind::Compute)
+            c += forComputeTask(t);
+        else
+            c += forMemTask(t);
+    }
+    return c;
+}
+
+} // namespace ciflow

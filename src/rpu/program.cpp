@@ -1,0 +1,202 @@
+#include "rpu/program.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ciflow
+{
+
+InstrCounts
+Program::queueCounts() const
+{
+    InstrCounts c;
+    for (const auto &i : code) {
+        switch (b1kQueue(i.op)) {
+          case IssueQueue::Compute:
+            ++c.compute;
+            break;
+          case IssueQueue::Shuffle:
+            ++c.shuffle;
+            break;
+          case IssueQueue::Memory:
+            ++c.memory;
+            break;
+        }
+    }
+    return c;
+}
+
+std::size_t
+Program::countOp(B1kOp op) const
+{
+    return static_cast<std::size_t>(
+        std::count_if(code.begin(), code.end(),
+                      [&](const B1kInstr &i) { return i.op == op; }));
+}
+
+void
+Program::append(const Program &o)
+{
+    code.insert(code.end(), o.code.begin(), o.code.end());
+}
+
+KernelGen::KernelGen(std::size_t vector_len, std::size_t n_)
+    : vl(vector_len), n(n_)
+{
+    fatalIf(vl == 0 || (vl & (vl - 1)) != 0,
+            "vector length must be a power of two");
+    fatalIf(n % vl != 0, "ring degree must be a multiple of VL");
+}
+
+Program
+KernelGen::nttTower(bool inverse) const
+{
+    Program p;
+    p.push(B1kOp::CSRW); // select modulus register
+    std::size_t log_n = 0;
+    while ((std::size_t(1) << log_n) < n)
+        ++log_n;
+    const B1kOp bfly = inverse ? B1kOp::VIBFLY : B1kOp::VBFLY;
+    for (std::size_t stage = 0; stage < log_n; ++stage) {
+        // Each stage: N/2 butterflies plus a full-width shuffle that
+        // routes operand pairs for the next stage.
+        for (std::size_t c = 0; c < chunks(n / 2); ++c)
+            p.push(bfly, static_cast<std::uint16_t>(c % 64));
+        for (std::size_t c = 0; c < chunks(n); ++c)
+            p.push(B1kOp::VSHUF, static_cast<std::uint16_t>(c % 64));
+        // Loop maintenance on the scalar pipe.
+        p.push(B1kOp::SADD);
+        p.push(B1kOp::BNZ);
+    }
+    if (inverse) {
+        // Final scaling by N^{-1}.
+        for (std::size_t c = 0; c < chunks(n); ++c)
+            p.push(B1kOp::VMSMUL, static_cast<std::uint16_t>(c % 64));
+    }
+    return p;
+}
+
+Program
+KernelGen::pointwiseMul() const
+{
+    Program p;
+    p.push(B1kOp::CSRW);
+    for (std::size_t c = 0; c < chunks(n); ++c)
+        p.push(B1kOp::VMMUL, static_cast<std::uint16_t>(c % 64));
+    return p;
+}
+
+Program
+KernelGen::pointwiseMac() const
+{
+    Program p;
+    p.push(B1kOp::CSRW);
+    for (std::size_t c = 0; c < chunks(n); ++c)
+        p.push(B1kOp::VMMACC, static_cast<std::uint16_t>(c % 64));
+    return p;
+}
+
+Program
+KernelGen::bconvColumn(std::size_t a) const
+{
+    Program p;
+    p.push(B1kOp::CSRW);
+    for (std::size_t i = 0; i < a; ++i) {
+        // Scale by the punctured inverse, then accumulate into the
+        // target tower; both modular ops per source tower.
+        for (std::size_t c = 0; c < chunks(n); ++c)
+            p.push(B1kOp::VMSMUL, static_cast<std::uint16_t>(c % 64));
+        for (std::size_t c = 0; c < chunks(n); ++c)
+            p.push(B1kOp::VMMACC, static_cast<std::uint16_t>(c % 64));
+        p.push(B1kOp::SADD);
+        p.push(B1kOp::BNZ);
+    }
+    return p;
+}
+
+Program
+KernelGen::towerTransfer(bool store) const
+{
+    Program p;
+    const B1kOp op = store ? B1kOp::VST : B1kOp::VLD;
+    for (std::size_t c = 0; c < chunks(n); ++c)
+        p.push(op, static_cast<std::uint16_t>(c % 64), 0, 0,
+               static_cast<std::uint32_t>(c));
+    return p;
+}
+
+PipelineStats
+replayProgram(const Program &prog, std::size_t vl, std::size_t lanes)
+{
+    fatalIf(lanes == 0, "pipeline needs at least one lane");
+    // Vector instructions occupy their pipe for ceil(VL/lanes) cycles;
+    // scalar instructions retire in one frontend cycle. Queues are
+    // modeled with bounded depth (16) so a saturated pipe back-pressures
+    // the single-issue decoder.
+    const std::uint64_t vec_cycles =
+        (vl + lanes - 1) / lanes;
+    constexpr std::size_t kQueueDepth = 16;
+
+    PipelineStats s;
+    std::uint64_t now = 0;
+    // Per-pipe: time each queue slot frees up (ring of completion
+    // times, the head is the oldest in-flight instruction).
+    struct Pipe
+    {
+        std::vector<std::uint64_t> inflight; // completion times
+        std::uint64_t free_at = 0;           // pipe's next start time
+        std::uint64_t busy = 0;
+    } comp, shuf, memp;
+
+    auto dispatch = [&](Pipe &p, std::uint64_t dur) {
+        // Retire finished instructions.
+        auto it = std::remove_if(p.inflight.begin(), p.inflight.end(),
+                                 [&](std::uint64_t t) { return t <= now; });
+        p.inflight.erase(it, p.inflight.end());
+        // Stall decode while the queue is full.
+        while (p.inflight.size() >= kQueueDepth) {
+            std::uint64_t oldest =
+                *std::min_element(p.inflight.begin(), p.inflight.end());
+            s.frontendStall += oldest - now;
+            now = oldest;
+            auto done = std::remove_if(
+                p.inflight.begin(), p.inflight.end(),
+                [&](std::uint64_t t) { return t <= now; });
+            p.inflight.erase(done, p.inflight.end());
+        }
+        std::uint64_t start = std::max(now, p.free_at);
+        p.free_at = start + dur;
+        p.busy += dur;
+        p.inflight.push_back(p.free_at);
+    };
+
+    for (const auto &i : prog.instrs()) {
+        ++now; // one decode slot per instruction
+        switch (b1kQueue(i.op)) {
+          case IssueQueue::Compute:
+            if (i.op == B1kOp::SADD || i.op == B1kOp::BNZ ||
+                i.op == B1kOp::CSRW || i.op == B1kOp::SLD ||
+                i.op == B1kOp::SST || i.op == B1kOp::SMUL ||
+                i.op == B1kOp::FENCE) {
+                // Scalar/control ops retire in the frontend.
+                break;
+            }
+            dispatch(comp, vec_cycles);
+            break;
+          case IssueQueue::Shuffle:
+            dispatch(shuf, vec_cycles);
+            break;
+          case IssueQueue::Memory:
+            dispatch(memp, vec_cycles);
+            break;
+        }
+    }
+    s.cycles = std::max({now, comp.free_at, shuf.free_at, memp.free_at});
+    s.computeBusy = comp.busy;
+    s.shuffleBusy = shuf.busy;
+    s.memoryBusy = memp.busy;
+    return s;
+}
+
+} // namespace ciflow

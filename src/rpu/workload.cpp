@@ -1,0 +1,129 @@
+#include "rpu/workload.h"
+
+#include <list>
+#include <set>
+
+#include "common/logging.h"
+
+namespace ciflow
+{
+
+namespace
+{
+
+/** Cache key identifying an evk: relin = -1, rotations by amount. */
+long
+keyIdOf(const HeOp &op)
+{
+    return op.kind == HeOpKind::Multiply ? -1 : op.rotation;
+}
+
+} // namespace
+
+std::size_t
+HeWorkload::distinctKeyCount() const
+{
+    std::set<long> keys;
+    for (const HeOp &op : ops)
+        keys.insert(keyIdOf(op));
+    return keys.size();
+}
+
+HeWorkload
+HeWorkload::reduction(std::size_t width)
+{
+    fatalIf(width < 2 || (width & (width - 1)) != 0,
+            "reduction width must be a power of two >= 2");
+    HeWorkload wl;
+    wl.name = "reduction-" + std::to_string(width);
+    for (std::size_t step = width / 2; step >= 1; step >>= 1)
+        wl.ops.push_back({HeOpKind::Rotation, static_cast<long>(step)});
+    return wl;
+}
+
+HeWorkload
+HeWorkload::matVec(std::size_t dim)
+{
+    fatalIf(dim < 2, "matVec needs dimension >= 2");
+    HeWorkload wl;
+    wl.name = "matvec-" + std::to_string(dim);
+    for (std::size_t d = 1; d < dim; ++d)
+        wl.ops.push_back({HeOpKind::Rotation, static_cast<long>(d)});
+    wl.ops.push_back({HeOpKind::Multiply, 0});
+    return wl;
+}
+
+HeWorkload
+HeWorkload::resnet20(std::size_t rotations, std::size_t distinct,
+                     bool blocked)
+{
+    fatalIf(distinct == 0, "need at least one distinct rotation");
+    HeWorkload wl;
+    wl.name = "resnet20-" + std::to_string(rotations);
+    const std::size_t block = (rotations + distinct - 1) / distinct;
+    for (std::size_t i = 0; i < rotations; ++i) {
+        std::size_t idx = blocked ? i / block : i % distinct;
+        wl.ops.push_back(
+            {HeOpKind::Rotation, static_cast<long>(idx) + 1});
+    }
+    return wl;
+}
+
+WorkloadStats
+simulateWorkload(const HeWorkload &wl, const HksParams &par, Dataflow d,
+                 const MemoryConfig &mem, double bandwidth_gbps,
+                 const KeyCacheConfig &cache)
+{
+    // Per-op cost for a key-cache miss (keys streamed, if configured)
+    // and a hit (keys already on-chip).
+    HksExperiment miss_exp(par, d, mem);
+    MemoryConfig hit_mem = mem;
+    hit_mem.evkOnChip = true;
+    HksExperiment hit_exp(par, d, hit_mem);
+
+    SimStats miss = miss_exp.simulate(bandwidth_gbps);
+    SimStats hit = hit_exp.simulate(bandwidth_gbps);
+
+    const std::size_t slots =
+        par.evkBytes() ? static_cast<std::size_t>(cache.capacityBytes /
+                                                  par.evkBytes())
+                       : 0;
+
+    WorkloadStats ws;
+    ws.keySwitches = wl.ops.size();
+    // LRU over distinct key ids.
+    std::list<long> lru; // front = most recent
+    auto touch = [&](long id) -> bool {
+        for (auto it = lru.begin(); it != lru.end(); ++it) {
+            if (*it == id) {
+                lru.erase(it);
+                lru.push_front(id);
+                return true; // hit
+            }
+        }
+        lru.push_front(id);
+        if (lru.size() > slots)
+            lru.pop_back();
+        return false;
+    };
+
+    for (const HeOp &op : wl.ops) {
+        bool is_hit = mem.evkOnChip;
+        if (!mem.evkOnChip && slots > 0)
+            is_hit = touch(keyIdOf(op));
+        else if (!mem.evkOnChip)
+            (void)0; // no cache: always a miss
+        if (is_hit) {
+            ws.runtime += hit.runtime;
+            ws.trafficBytes += hit.trafficBytes;
+            ++ws.keyCacheHits;
+        } else {
+            ws.runtime += miss.runtime;
+            ws.trafficBytes += miss.trafficBytes;
+            ws.evkBytes += miss_exp.graph().evkBytes();
+        }
+    }
+    return ws;
+}
+
+} // namespace ciflow

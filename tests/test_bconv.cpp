@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Tests for the fast (approximate) basis conversion against exact
+ * big-integer references, including the u*F slack bound.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "hemath/bconv.h"
+#include "hemath/primes.h"
+
+using namespace ciflow;
+
+namespace
+{
+
+/**
+ * Check that y equals (x + u*F) mod t for some 0 <= u < k, returning u
+ * or -1 when no such u exists.
+ */
+int
+slackFor(const UBigInt &x, const UBigInt &big_f, u64 t, u64 y,
+         std::size_t k)
+{
+    for (std::size_t u = 0; u < k; ++u) {
+        UBigInt v = x + big_f * UBigInt(u);
+        if (v.mod64(t) == y)
+            return static_cast<int>(u);
+    }
+    return -1;
+}
+
+} // namespace
+
+class BConvTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        auto [from_count, to_count] = GetParam();
+        const std::size_t n = 1 << 6;
+        auto from_primes = generateNttPrimes(from_count, 45, n);
+        auto to_primes = generateNttPrimes(to_count, 50, n, from_primes);
+        from = std::make_unique<RnsBase>(from_primes);
+        to = std::make_unique<RnsBase>(to_primes);
+        conv = std::make_unique<BaseConverter>(*from, *to);
+    }
+
+    std::unique_ptr<RnsBase> from, to;
+    std::unique_ptr<BaseConverter> conv;
+};
+
+TEST_P(BConvTest, SingleCoefficientWithinSlackBound)
+{
+    std::mt19937_64 gen(21);
+    for (int iter = 0; iter < 40; ++iter) {
+        UBigInt x = (UBigInt(gen()) * UBigInt(gen()) * UBigInt(gen())) %
+                    from->product();
+        auto res = from->decompose(x);
+        auto y = conv->convertCoeff(res);
+        ASSERT_EQ(y.size(), to->size());
+        for (std::size_t j = 0; j < to->size(); ++j) {
+            // HPS bound: result = x + u*F with 0 <= u < k.
+            int u = slackFor(x, from->product(), to->modulus(j), y[j],
+                             from->size());
+            EXPECT_GE(u, 0) << "no valid slack for target " << j;
+        }
+    }
+}
+
+TEST_P(BConvTest, BatchMatchesScalarPath)
+{
+    const std::size_t n = 32;
+    std::mt19937_64 gen(22);
+    std::vector<std::vector<u64>> src(from->size(),
+                                      std::vector<u64>(n));
+    for (std::size_t i = 0; i < from->size(); ++i)
+        for (std::size_t k = 0; k < n; ++k)
+            src[i][k] = gen() % from->modulus(i);
+
+    std::vector<std::vector<u64>> dst;
+    conv->convert(src, dst);
+    ASSERT_EQ(dst.size(), to->size());
+
+    for (std::size_t k = 0; k < n; ++k) {
+        std::vector<u64> coeff(from->size());
+        for (std::size_t i = 0; i < from->size(); ++i)
+            coeff[i] = src[i][k];
+        auto y = conv->convertCoeff(coeff);
+        for (std::size_t j = 0; j < to->size(); ++j)
+            EXPECT_EQ(dst[j][k], y[j]);
+    }
+}
+
+TEST_P(BConvTest, ConvertTowerMatchesBatchColumn)
+{
+    const std::size_t n = 16;
+    std::mt19937_64 gen(23);
+    std::vector<std::vector<u64>> src(from->size(),
+                                      std::vector<u64>(n));
+    for (std::size_t i = 0; i < from->size(); ++i)
+        for (std::size_t k = 0; k < n; ++k)
+            src[i][k] = gen() % from->modulus(i);
+
+    std::vector<std::vector<u64>> dst;
+    conv->convert(src, dst);
+    for (std::size_t j = 0; j < to->size(); ++j) {
+        auto col = conv->convertTower(src, j);
+        EXPECT_EQ(col, dst[j]) << "OC column " << j;
+    }
+}
+
+TEST_P(BConvTest, ZeroConvertsToZero)
+{
+    std::vector<u64> zero(from->size(), 0);
+    auto y = conv->convertCoeff(zero);
+    for (u64 v : y)
+        EXPECT_EQ(v, 0u);
+}
+
+TEST_P(BConvTest, MulCountFormula)
+{
+    EXPECT_EQ(conv->mulsPerCoeff(),
+              from->size() * (1 + to->size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BConvTest,
+    ::testing::Values(std::make_tuple(1, 3), std::make_tuple(2, 5),
+                      std::make_tuple(3, 3), std::make_tuple(4, 7),
+                      std::make_tuple(6, 2)));

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Unit tests for UBigInt arbitrary-precision arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+
+#include "bigint/ubigint.h"
+
+using namespace ciflow;
+
+TEST(UBigInt, ZeroProperties)
+{
+    UBigInt z;
+    EXPECT_TRUE(z.isZero());
+    EXPECT_EQ(z.bitLength(), 0u);
+    EXPECT_EQ(z.toDecimal(), "0");
+    EXPECT_EQ(z.low64(), 0u);
+    EXPECT_EQ((z + UBigInt(5)).low64(), 5u);
+}
+
+TEST(UBigInt, SmallArithmetic)
+{
+    UBigInt a(123456789), b(987654321);
+    EXPECT_EQ((a + b).low64(), 1111111110u);
+    EXPECT_EQ((b - a).low64(), 864197532u);
+    EXPECT_EQ((a * b).toDecimal(), "121932631112635269");
+    EXPECT_EQ((b / a).low64(), 8u);
+    EXPECT_EQ((b % a).low64(), 9u);
+}
+
+TEST(UBigInt, CarryPropagation)
+{
+    UBigInt max64(~0ull);
+    UBigInt s = max64 + UBigInt(1);
+    EXPECT_EQ(s.bitLength(), 65u);
+    EXPECT_EQ(s.low64(), 0u);
+    EXPECT_EQ((s - UBigInt(1)).low64(), ~0ull);
+}
+
+TEST(UBigInt, MultiplicationMatchesShifts)
+{
+    UBigInt a(0x123456789abcdefull);
+    UBigInt p = a * UBigInt(1ull << 32);
+    EXPECT_EQ(p, a.shiftLeft(32));
+    EXPECT_EQ(p.shiftRight(32), a);
+}
+
+TEST(UBigInt, ShiftRoundTrip)
+{
+    UBigInt a = UBigInt::fromDecimal("123456789123456789123456789");
+    for (std::size_t s : {1u, 63u, 64u, 65u, 130u})
+        EXPECT_EQ(a.shiftLeft(s).shiftRight(s), a) << "shift " << s;
+}
+
+TEST(UBigInt, DivModInvariant)
+{
+    std::mt19937_64 gen(42);
+    for (int i = 0; i < 50; ++i) {
+        UBigInt a = UBigInt(gen()) * UBigInt(gen()) + UBigInt(gen());
+        UBigInt d = UBigInt(gen() % 1000000 + 1);
+        UBigInt q, r;
+        a.divMod(d, q, r);
+        EXPECT_TRUE(r < d);
+        EXPECT_EQ(q * d + r, a);
+    }
+}
+
+TEST(UBigInt, Mod64MatchesDivMod)
+{
+    std::mt19937_64 gen(7);
+    for (int i = 0; i < 50; ++i) {
+        UBigInt a = UBigInt(gen()) * UBigInt(gen());
+        std::uint64_t m = gen() | 1;
+        EXPECT_EQ(a.mod64(m), (a % UBigInt(m)).low64());
+    }
+}
+
+TEST(UBigInt, DecimalRoundTrip)
+{
+    const std::string s =
+        "340282366920938463463374607431768211456"; // 2^128
+    UBigInt a = UBigInt::fromDecimal(s);
+    EXPECT_EQ(a.toDecimal(), s);
+    EXPECT_EQ(a.bitLength(), 129u);
+    EXPECT_EQ(a, UBigInt(1).shiftLeft(128));
+}
+
+TEST(UBigInt, CompareOrdering)
+{
+    UBigInt a = UBigInt(1).shiftLeft(100);
+    UBigInt b = a + UBigInt(1);
+    EXPECT_LT(a.compare(b), 0);
+    EXPECT_GT(b.compare(a), 0);
+    EXPECT_EQ(a.compare(a), 0);
+    EXPECT_TRUE(a < b && b > a && a <= a && a >= a);
+}
+
+TEST(UBigInt, ProductOf)
+{
+    std::vector<std::uint64_t> primes = {3, 5, 7, 11};
+    EXPECT_EQ(productOf(primes).low64(), 1155u);
+    EXPECT_TRUE(productOf({}).low64() == 1u);
+}
+
+TEST(UBigInt, ToDoubleApproximation)
+{
+    UBigInt a = UBigInt(1).shiftLeft(80);
+    EXPECT_NEAR(a.toDouble(), std::pow(2.0, 80), std::pow(2.0, 40));
+}
+
+TEST(UBigInt, BitAccess)
+{
+    UBigInt a = UBigInt(1).shiftLeft(77) + UBigInt(5);
+    EXPECT_TRUE(a.bit(0));
+    EXPECT_FALSE(a.bit(1));
+    EXPECT_TRUE(a.bit(2));
+    EXPECT_TRUE(a.bit(77));
+    EXPECT_FALSE(a.bit(200));
+}

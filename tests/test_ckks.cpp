@@ -1,0 +1,260 @@
+/**
+ * @file
+ * End-to-end CKKS scheme tests: encrypt/decrypt, homomorphic add,
+ * multiply + relinearize (hybrid key switching), rescale and rotation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "ckks/encoder.h"
+#include "ckks/encryptor.h"
+#include "ckks/evaluator.h"
+
+using namespace ciflow;
+
+namespace
+{
+
+CkksParams
+testParams()
+{
+    CkksParams p;
+    p.logN = 12;
+    p.maxLevel = 5;
+    p.dnum = 3;
+    p.q0Bits = 50;
+    p.scaleBits = 40;
+    p.specialBits = 50;
+    return p;
+}
+
+std::vector<double>
+randomReals(std::size_t n, std::uint64_t seed, double amp = 1.0)
+{
+    std::mt19937_64 gen(seed);
+    std::uniform_real_distribution<double> dist(-amp, amp);
+    std::vector<double> z(n);
+    for (auto &v : z)
+        v = dist(gen);
+    return z;
+}
+
+double
+maxErr(const std::vector<cplx> &got, const std::vector<double> &want)
+{
+    double e = 0;
+    for (std::size_t i = 0; i < want.size(); ++i)
+        e = std::max(e, std::abs(got[i] - cplx(want[i], 0)));
+    return e;
+}
+
+} // namespace
+
+class CkksTest : public ::testing::Test
+{
+  protected:
+    CkksTest()
+        : ctx(testParams()), enc(ctx), keygen(ctx, 1234),
+          sk(keygen.secretKey()), pk(keygen.publicKey(sk)),
+          encryptor(ctx, pk), decryptor(ctx, sk), eval(ctx)
+    {
+    }
+
+    CkksContext ctx;
+    Encoder enc;
+    KeyGenerator keygen;
+    SecretKey sk;
+    PublicKey pk;
+    Encryptor encryptor;
+    Decryptor decryptor;
+    Evaluator eval;
+};
+
+TEST_F(CkksTest, EncryptDecryptRoundTrip)
+{
+    auto z = randomReals(enc.slots(), 41);
+    RnsPoly pt = enc.encode(z, ctx.maxLevel());
+    Ciphertext ct = encryptor.encrypt(pt, ctx.scale());
+    auto back = enc.decode(decryptor.decrypt(ct), ct.scale);
+    EXPECT_LT(maxErr(back, z), 1e-5);
+}
+
+TEST_F(CkksTest, HomomorphicAddition)
+{
+    auto z1 = randomReals(enc.slots(), 42);
+    auto z2 = randomReals(enc.slots(), 43);
+    Ciphertext c1 =
+        encryptor.encrypt(enc.encode(z1, ctx.maxLevel()), ctx.scale());
+    Ciphertext c2 =
+        encryptor.encrypt(enc.encode(z2, ctx.maxLevel()), ctx.scale());
+    Ciphertext sum = eval.add(c1, c2);
+    auto back = enc.decode(decryptor.decrypt(sum), sum.scale);
+    std::vector<double> want(enc.slots());
+    for (std::size_t i = 0; i < want.size(); ++i)
+        want[i] = z1[i] + z2[i];
+    EXPECT_LT(maxErr(back, want), 1e-5);
+}
+
+TEST_F(CkksTest, HomomorphicSubtraction)
+{
+    auto z1 = randomReals(enc.slots(), 44);
+    auto z2 = randomReals(enc.slots(), 45);
+    Ciphertext c1 =
+        encryptor.encrypt(enc.encode(z1, ctx.maxLevel()), ctx.scale());
+    Ciphertext c2 =
+        encryptor.encrypt(enc.encode(z2, ctx.maxLevel()), ctx.scale());
+    Ciphertext diff = eval.sub(c1, c2);
+    auto back = enc.decode(decryptor.decrypt(diff), diff.scale);
+    std::vector<double> want(enc.slots());
+    for (std::size_t i = 0; i < want.size(); ++i)
+        want[i] = z1[i] - z2[i];
+    EXPECT_LT(maxErr(back, want), 1e-5);
+}
+
+TEST_F(CkksTest, AddAndMulPlain)
+{
+    auto z = randomReals(enc.slots(), 46);
+    auto w = randomReals(enc.slots(), 47);
+    Ciphertext ct =
+        encryptor.encrypt(enc.encode(z, ctx.maxLevel()), ctx.scale());
+
+    Ciphertext cta = eval.addPlain(ct, enc.encode(w, ctx.maxLevel()));
+    auto back = enc.decode(decryptor.decrypt(cta), cta.scale);
+    std::vector<double> want(enc.slots());
+    for (std::size_t i = 0; i < want.size(); ++i)
+        want[i] = z[i] + w[i];
+    EXPECT_LT(maxErr(back, want), 1e-5);
+
+    Ciphertext ctm = eval.mulPlain(ct, enc.encode(w, ctx.maxLevel()),
+                                   ctx.scale());
+    ctm = eval.rescale(ctm);
+    back = enc.decode(decryptor.decrypt(ctm), ctm.scale);
+    for (std::size_t i = 0; i < want.size(); ++i)
+        want[i] = z[i] * w[i];
+    EXPECT_LT(maxErr(back, want), 1e-4);
+}
+
+TEST_F(CkksTest, MultiplyRelinearizeRescale)
+{
+    EvalKey rlk = keygen.relinKey(sk);
+    auto z1 = randomReals(enc.slots(), 48);
+    auto z2 = randomReals(enc.slots(), 49);
+    Ciphertext c1 =
+        encryptor.encrypt(enc.encode(z1, ctx.maxLevel()), ctx.scale());
+    Ciphertext c2 =
+        encryptor.encrypt(enc.encode(z2, ctx.maxLevel()), ctx.scale());
+
+    Ciphertext prod = eval.multiply(c1, c2, rlk);
+    prod = eval.rescale(prod);
+    EXPECT_EQ(prod.level, ctx.maxLevel() - 1);
+
+    auto back = enc.decode(decryptor.decrypt(prod), prod.scale);
+    std::vector<double> want(enc.slots());
+    for (std::size_t i = 0; i < want.size(); ++i)
+        want[i] = z1[i] * z2[i];
+    EXPECT_LT(maxErr(back, want), 1e-4);
+}
+
+TEST_F(CkksTest, MultiplicationDepthChain)
+{
+    // Compute x^4 via two squarings; exercises lower-level key switches.
+    EvalKey rlk = keygen.relinKey(sk);
+    auto z = randomReals(enc.slots(), 50, 0.9);
+    Ciphertext ct =
+        encryptor.encrypt(enc.encode(z, ctx.maxLevel()), ctx.scale());
+
+    Ciphertext sq = eval.rescale(eval.multiply(ct, ct, rlk));
+    Ciphertext quad = eval.rescale(eval.multiply(sq, sq, rlk));
+    EXPECT_EQ(quad.level, ctx.maxLevel() - 2);
+
+    auto back = enc.decode(decryptor.decrypt(quad), quad.scale);
+    std::vector<double> want(enc.slots());
+    for (std::size_t i = 0; i < want.size(); ++i)
+        want[i] = std::pow(z[i], 4);
+    EXPECT_LT(maxErr(back, want), 1e-3);
+}
+
+TEST_F(CkksTest, RotationMatchesPlainRotation)
+{
+    GaloisKeys gk = keygen.galoisKeys(sk, {1, 3, 16});
+    auto z = randomReals(enc.slots(), 51);
+    Ciphertext ct =
+        encryptor.encrypt(enc.encode(z, ctx.maxLevel()), ctx.scale());
+
+    for (long r : {1L, 3L, 16L}) {
+        Ciphertext rot = eval.rotate(ct, r, gk);
+        auto back = enc.decode(decryptor.decrypt(rot), rot.scale);
+        std::vector<double> want(enc.slots());
+        for (std::size_t i = 0; i < want.size(); ++i)
+            want[i] = z[(i + r) % enc.slots()];
+        EXPECT_LT(maxErr(back, want), 1e-4) << "rotation " << r;
+    }
+}
+
+TEST_F(CkksTest, ConjugationOnComplexData)
+{
+    GaloisKeys gk = keygen.galoisKeys(sk, {}, true);
+    std::mt19937_64 gen(52);
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    std::vector<cplx> z(enc.slots());
+    for (auto &v : z)
+        v = cplx(dist(gen), dist(gen));
+
+    Ciphertext ct =
+        encryptor.encrypt(enc.encode(z, ctx.maxLevel()), ctx.scale());
+    Ciphertext conj = eval.conjugate(ct, gk);
+    auto back = enc.decode(decryptor.decrypt(conj), conj.scale);
+    for (std::size_t i = 0; i < z.size(); ++i)
+        EXPECT_LT(std::abs(back[i] - std::conj(z[i])), 1e-4);
+}
+
+TEST_F(CkksTest, RotationCompositionHomomorphic)
+{
+    GaloisKeys gk = keygen.galoisKeys(sk, {2, 5, 7});
+    auto z = randomReals(enc.slots(), 53);
+    Ciphertext ct =
+        encryptor.encrypt(enc.encode(z, ctx.maxLevel()), ctx.scale());
+    Ciphertext r7a = eval.rotate(eval.rotate(ct, 2, gk), 5, gk);
+    Ciphertext r7b = eval.rotate(ct, 7, gk);
+    auto a = enc.decode(decryptor.decrypt(r7a), r7a.scale);
+    auto b = enc.decode(decryptor.decrypt(r7b), r7b.scale);
+    for (std::size_t i = 0; i < enc.slots(); ++i)
+        EXPECT_LT(std::abs(a[i] - b[i]), 1e-4);
+}
+
+TEST_F(CkksTest, DotProductViaRotations)
+{
+    // Sum of 8 slots via log-step rotate-and-add, a building block the
+    // paper's motivation (private inference) uses everywhere.
+    GaloisKeys gk = keygen.galoisKeys(sk, {1, 2, 4});
+    std::vector<double> z(enc.slots(), 0.0);
+    double want = 0;
+    for (int i = 0; i < 8; ++i) {
+        z[i] = 0.1 * (i + 1);
+        want += z[i];
+    }
+    Ciphertext acc =
+        encryptor.encrypt(enc.encode(z, ctx.maxLevel()), ctx.scale());
+    for (long r : {4L, 2L, 1L})
+        acc = eval.add(acc, eval.rotate(acc, r, gk));
+    auto back = enc.decode(decryptor.decrypt(acc), acc.scale);
+    EXPECT_NEAR(back[0].real(), want, 1e-4);
+}
+
+TEST_F(CkksTest, ScaleTracking)
+{
+    auto z = randomReals(4, 54);
+    Ciphertext ct =
+        encryptor.encrypt(enc.encode(z, ctx.maxLevel()), ctx.scale());
+    EXPECT_DOUBLE_EQ(ct.scale, ctx.scale());
+    EvalKey rlk = keygen.relinKey(sk);
+    Ciphertext prod = eval.multiply(ct, ct, rlk);
+    EXPECT_DOUBLE_EQ(prod.scale, ctx.scale() * ctx.scale());
+    Ciphertext rs = eval.rescale(prod);
+    const double q_last =
+        static_cast<double>(ctx.qChain()[ctx.maxLevel()]);
+    EXPECT_DOUBLE_EQ(rs.scale, prod.scale / q_last);
+}

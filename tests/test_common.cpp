@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Tests for the common utilities: units, formatting, and the seeded
+ * random distributions CKKS relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/units.h"
+
+using namespace ciflow;
+
+TEST(Units, Conversions)
+{
+    EXPECT_EQ(mib(1), 1024u * 1024u);
+    EXPECT_EQ(mib(0.5), 512u * 1024u);
+    EXPECT_DOUBLE_EQ(toMib(32ull << 20), 32.0);
+    EXPECT_DOUBLE_EQ(gbps(64), 64e9);
+    EXPECT_DOUBLE_EQ(toGbps(1e9), 1.0);
+    EXPECT_DOUBLE_EQ(toMs(0.001), 1.0);
+}
+
+TEST(Units, FormatBytes)
+{
+    EXPECT_EQ(formatBytes(512), "512 B");
+    EXPECT_EQ(formatBytes(2048), "2.00 KiB");
+    EXPECT_EQ(formatBytes(360ull << 20), "360.00 MiB");
+    EXPECT_EQ(formatBytes(3ull << 30), "3.00 GiB");
+}
+
+TEST(Rng, DeterministicFromSeed)
+{
+    Rng a(12345), b(12345), c(54321);
+    EXPECT_EQ(a.next(), b.next());
+    EXPECT_NE(a.next(), c.next());
+    Rng d(9), e(9);
+    EXPECT_EQ(d.uniformPoly(64, 97), e.uniformPoly(64, 97));
+}
+
+TEST(Rng, UniformBoundRespected)
+{
+    Rng r(1);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.uniform(1000), 1000u);
+}
+
+TEST(Rng, UniformRoughlyUniform)
+{
+    Rng r(2);
+    const std::size_t buckets = 16, samples = 160000;
+    std::vector<std::size_t> hist(buckets, 0);
+    for (std::size_t i = 0; i < samples; ++i)
+        ++hist[r.uniform(buckets)];
+    for (std::size_t b = 0; b < buckets; ++b) {
+        double frac = static_cast<double>(hist[b]) / samples;
+        EXPECT_NEAR(frac, 1.0 / buckets, 0.01) << "bucket " << b;
+    }
+}
+
+TEST(Rng, TernaryValuesAndBalance)
+{
+    Rng r(3);
+    auto t = r.ternaryPoly(30000);
+    std::size_t counts[3] = {0, 0, 0};
+    for (int v : t) {
+        ASSERT_GE(v, -1);
+        ASSERT_LE(v, 1);
+        ++counts[v + 1];
+    }
+    for (std::size_t c : counts)
+        EXPECT_NEAR(static_cast<double>(c) / t.size(), 1.0 / 3, 0.02);
+}
+
+TEST(Rng, ErrorDistributionMoments)
+{
+    // Centered binomial with 21 coin pairs: mean 0, variance 10.5
+    // (stddev ~3.24, approximating the sigma = 3.2 HE standard).
+    Rng r(4);
+    auto e = r.errorPoly(200000);
+    double sum = 0, sq = 0;
+    int max_abs = 0;
+    for (int v : e) {
+        sum += v;
+        sq += static_cast<double>(v) * v;
+        max_abs = std::max(max_abs, std::abs(v));
+    }
+    double mean = sum / e.size();
+    double var = sq / e.size() - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.05);
+    EXPECT_NEAR(var, 10.5, 0.3);
+    EXPECT_LE(max_abs, 21); // support bound of the binomial
+}

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Property tests on the MP/DC/OC dataflow generators: dataflow-invariant
+ * operation counts, traffic ordering, Table II agreement, and graph
+ * structure.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hksflow/opmodel.h"
+#include "hksflow/traffic.h"
+
+using namespace ciflow;
+
+namespace
+{
+
+MemoryConfig
+paperMem(bool evk_on_chip = false)
+{
+    return {32ull << 20, evk_on_chip};
+}
+
+} // namespace
+
+class DataflowBench : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    const HksParams &par() const { return benchmarkByName(GetParam()); }
+};
+
+TEST_P(DataflowBench, OpCountsAreDataflowInvariant)
+{
+    // "The number of operations per HKS benchmark is independent of
+    // dataflow" (§IV-D) — and equals the closed-form model exactly.
+    OpModel om(par());
+    const OpCounts expect = om.totalHks();
+    for (Dataflow d : allDataflows()) {
+        TaskGraph g = buildHksGraph(par(), d, paperMem());
+        EXPECT_EQ(g.totalModOps(), expect.modOps) << dataflowName(d);
+        EXPECT_EQ(g.totalShuffleOps(), expect.shuffleOps)
+            << dataflowName(d);
+    }
+}
+
+TEST_P(DataflowBench, PerStageOpsAreDataflowInvariant)
+{
+    TaskGraph mp = buildHksGraph(par(), Dataflow::MP, paperMem());
+    TaskGraph dc = buildHksGraph(par(), Dataflow::DC, paperMem());
+    TaskGraph oc = buildHksGraph(par(), Dataflow::OC, paperMem());
+    for (StageId s :
+         {StageId::ModUpIntt, StageId::ModUpBconv, StageId::ModUpNtt,
+          StageId::ModUpKeyMul, StageId::ModUpReduce, StageId::ModDownIntt,
+          StageId::ModDownBconv, StageId::ModDownNtt,
+          StageId::ModDownFinish}) {
+        EXPECT_EQ(mp.stageModOps(s), dc.stageModOps(s)) << stageName(s);
+        EXPECT_EQ(mp.stageModOps(s), oc.stageModOps(s)) << stageName(s);
+    }
+}
+
+TEST_P(DataflowBench, TrafficOrderingOcBest)
+{
+    auto mp = analyzeTraffic(par(), Dataflow::MP, paperMem());
+    auto dc = analyzeTraffic(par(), Dataflow::DC, paperMem());
+    auto oc = analyzeTraffic(par(), Dataflow::OC, paperMem());
+    EXPECT_LT(oc.trafficBytes, dc.trafficBytes);
+    EXPECT_LE(dc.trafficBytes, mp.trafficBytes);
+    EXPECT_GT(oc.arithmeticIntensity, mp.arithmeticIntensity);
+}
+
+TEST_P(DataflowBench, EvkTrafficExactWhenStreamed)
+{
+    for (Dataflow d : allDataflows()) {
+        TaskGraph g = buildHksGraph(par(), d, paperMem(false));
+        EXPECT_EQ(g.evkBytes(), par().evkBytes()) << dataflowName(d);
+    }
+}
+
+TEST_P(DataflowBench, NoEvkTrafficWhenOnChip)
+{
+    for (Dataflow d : allDataflows()) {
+        TaskGraph g = buildHksGraph(par(), d, paperMem(true));
+        EXPECT_EQ(g.evkBytes(), 0u) << dataflowName(d);
+    }
+}
+
+TEST_P(DataflowBench, TrafficAtLeastCompulsory)
+{
+    // Any schedule must at least read the input and write the output.
+    for (Dataflow d : allDataflows()) {
+        TaskGraph g = buildHksGraph(par(), d, paperMem(true));
+        EXPECT_GE(g.loadBytes(), par().inputBytes());
+        EXPECT_GE(g.storeBytes(), par().outputBytes());
+    }
+}
+
+TEST_P(DataflowBench, UnlimitedMemoryHasNoSpills)
+{
+    // With enough on-chip memory, traffic collapses to compulsory
+    // input + output (+ streamed evk) for every dataflow (§IV: "Assuming
+    // unlimited on-chip memory, the performance gap ... would decrease
+    // significantly").
+    MemoryConfig big{4ull << 30, false};
+    for (Dataflow d : allDataflows()) {
+        TaskGraph g = buildHksGraph(par(), d, big);
+        EXPECT_EQ(g.loadBytes(),
+                  par().inputBytes() + par().evkBytes())
+            << dataflowName(d);
+        EXPECT_EQ(g.storeBytes(), par().outputBytes())
+            << dataflowName(d);
+    }
+}
+
+TEST_P(DataflowBench, GraphsValidate)
+{
+    for (Dataflow d : allDataflows()) {
+        TaskGraph g = buildHksGraph(par(), d, paperMem());
+        g.validate();
+        EXPECT_GT(g.size(), 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperBenchmarks, DataflowBench,
+                         ::testing::Values("BTS1", "BTS2", "BTS3", "ARK",
+                                           "DPRIVE"));
+
+TEST(DataflowTable2, WithinToleranceOfPaper)
+{
+    // Paper Table II reference (MB moved incl. evk, 32 MiB on-chip).
+    struct Row
+    {
+        const char *name;
+        double mb[3]; // MP, DC, OC
+    };
+    const Row rows[] = {
+        {"BTS1", {600, 600, 420}},   {"BTS2", {1352, 1278, 716}},
+        {"BTS3", {1850, 1766, 1119}}, {"ARK", {432, 356, 180}},
+        {"DPRIVE", {365, 336, 170}},
+    };
+    for (const Row &r : rows) {
+        int di = 0;
+        for (Dataflow d : allDataflows()) {
+            auto s = analyzeTraffic(benchmarkByName(r.name), d,
+                                    paperMem());
+            // Shape-level agreement. Our MP is strictly stage-sequential
+            // and materializes every digit product, so it spills a bit
+            // more than the paper's on the small benchmarks; DC/OC track
+            // the paper more closely (see EXPERIMENTS.md).
+            double tol = d == Dataflow::MP ? 0.45 : 0.35;
+            EXPECT_NEAR(s.trafficMb() / r.mb[di], 1.0, tol)
+                << r.name << " " << dataflowName(d);
+            ++di;
+        }
+    }
+}
+
+TEST(DataflowTable2, AiImprovementMatchesPaperRange)
+{
+    // Paper: OC gives 1.43x–2.4x more AI than MP. Allow a wider band to
+    // absorb residency-policy differences, but demand a real gap.
+    for (const auto &b : paperBenchmarks()) {
+        auto mp = analyzeTraffic(b, Dataflow::MP, paperMem());
+        auto oc = analyzeTraffic(b, Dataflow::OC, paperMem());
+        double gain = oc.arithmeticIntensity / mp.arithmeticIntensity;
+        EXPECT_GE(gain, 1.3) << b.name;
+        EXPECT_LE(gain, 4.0) << b.name;
+    }
+}
+
+TEST(DataflowMinCapacity, BelowMinimumIsFatal)
+{
+    const HksParams &b = benchmarkByName("BTS3");
+    MemoryConfig tiny{1ull << 20, false};
+    EXPECT_DEATH(buildHksGraph(b, Dataflow::OC, tiny), "");
+}
+
+TEST(DataflowMinCapacity, AtMinimumSucceeds)
+{
+    for (const auto &b : paperBenchmarks()) {
+        for (Dataflow d : allDataflows()) {
+            MemoryConfig mem{minDataCapacity(b, d), false};
+            TaskGraph g = buildHksGraph(b, d, mem);
+            g.validate();
+        }
+    }
+}
+
+TEST(DataflowCapacitySweep, TrafficMonotoneInCapacity)
+{
+    // More on-chip memory never increases traffic (within each
+    // dataflow's own policy family) — checked on a coarse grid.
+    const HksParams &b = benchmarkByName("ARK");
+    for (Dataflow d : allDataflows()) {
+        std::uint64_t prev = ~0ull;
+        for (double mib : {8.0, 16.0, 32.0, 64.0, 128.0, 512.0}) {
+            MemoryConfig mem{static_cast<std::uint64_t>(mib * 1024 *
+                                                        1024),
+                             false};
+            if (mem.dataCapacityBytes < minDataCapacity(b, d))
+                continue;
+            TaskGraph g = buildHksGraph(b, d, mem);
+            EXPECT_LE(g.trafficBytes(), prev)
+                << dataflowName(d) << " at " << mib << " MiB";
+            prev = g.trafficBytes();
+        }
+    }
+}
+
+TEST(DataflowCompression, HalvesEvkTraffic)
+{
+    // §IV-D: seeded key compression halves streamed key movement.
+    for (const auto &b : paperBenchmarks()) {
+        MemoryConfig plain{32ull << 20, false, false};
+        MemoryConfig comp{32ull << 20, false, true};
+        for (Dataflow d : allDataflows()) {
+            TaskGraph g0 = buildHksGraph(b, d, plain);
+            TaskGraph g1 = buildHksGraph(b, d, comp);
+            EXPECT_EQ(g1.evkBytes(), g0.evkBytes() / 2)
+                << b.name << " " << dataflowName(d);
+            // Non-key traffic is unchanged.
+            EXPECT_EQ(g1.trafficBytes() - g1.evkBytes(),
+                      g0.trafficBytes() - g0.evkBytes())
+                << b.name << " " << dataflowName(d);
+        }
+    }
+}
+
+TEST(DataflowCompression, BoostsOcArithmeticIntensity)
+{
+    // The paper projects OC+compression AI of 3.82 (for its best case).
+    MemoryConfig comp{32ull << 20, false, true};
+    double best = 0;
+    for (const auto &b : paperBenchmarks()) {
+        auto s = analyzeTraffic(b, Dataflow::OC, comp);
+        best = std::max(best, s.arithmeticIntensity);
+    }
+    EXPECT_GE(best, 3.0);
+    EXPECT_LE(best, 5.0);
+}

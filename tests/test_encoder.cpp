@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for the CKKS canonical-embedding encoder.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "ckks/encoder.h"
+
+using namespace ciflow;
+
+namespace
+{
+
+CkksParams
+smallParams()
+{
+    CkksParams p;
+    p.logN = 10;
+    p.maxLevel = 2;
+    p.dnum = 1;
+    return p;
+}
+
+std::vector<cplx>
+randomSlots(std::size_t n, std::uint64_t seed)
+{
+    std::mt19937_64 gen(seed);
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    std::vector<cplx> z(n);
+    for (auto &v : z)
+        v = cplx(dist(gen), dist(gen));
+    return z;
+}
+
+} // namespace
+
+class EncoderTest : public ::testing::Test
+{
+  protected:
+    EncoderTest() : ctx(smallParams()), enc(ctx) {}
+
+    CkksContext ctx;
+    Encoder enc;
+};
+
+TEST_F(EncoderTest, RoundTripComplex)
+{
+    auto z = randomSlots(enc.slots(), 31);
+    RnsPoly pt = enc.encode(z, ctx.maxLevel());
+    auto back = enc.decode(pt, ctx.scale());
+    ASSERT_EQ(back.size(), z.size());
+    for (std::size_t i = 0; i < z.size(); ++i)
+        EXPECT_LT(std::abs(back[i] - z[i]), 1e-7) << "slot " << i;
+}
+
+TEST_F(EncoderTest, RoundTripReal)
+{
+    std::vector<double> z = {1.0, -2.5, 3.25, 0.0, 1e-3};
+    RnsPoly pt = enc.encode(z, ctx.maxLevel());
+    auto back = enc.decode(pt, ctx.scale());
+    for (std::size_t i = 0; i < z.size(); ++i) {
+        EXPECT_NEAR(back[i].real(), z[i], 1e-7);
+        EXPECT_NEAR(back[i].imag(), 0.0, 1e-7);
+    }
+    for (std::size_t i = z.size(); i < enc.slots(); ++i)
+        EXPECT_LT(std::abs(back[i]), 1e-7);
+}
+
+TEST_F(EncoderTest, EncodingIsAdditive)
+{
+    auto z1 = randomSlots(enc.slots(), 32);
+    auto z2 = randomSlots(enc.slots(), 33);
+    RnsPoly p1 = enc.encode(z1, ctx.maxLevel());
+    RnsPoly p2 = enc.encode(z2, ctx.maxLevel());
+    p1.addInPlace(p2);
+    auto back = enc.decode(p1, ctx.scale());
+    for (std::size_t i = 0; i < z1.size(); ++i)
+        EXPECT_LT(std::abs(back[i] - (z1[i] + z2[i])), 1e-6);
+}
+
+TEST_F(EncoderTest, SlotwiseMultiplicationViaRing)
+{
+    // Ring product of two plaintexts = slot-wise product of messages.
+    auto z1 = randomSlots(enc.slots(), 34);
+    auto z2 = randomSlots(enc.slots(), 35);
+    RnsPoly p1 = enc.encode(z1, ctx.maxLevel());
+    RnsPoly p2 = enc.encode(z2, ctx.maxLevel());
+    p1.toEval(ctx.ntt());
+    p2.toEval(ctx.ntt());
+    p1.mulPointwiseInPlace(p2);
+    p1.toCoeff(ctx.ntt());
+    auto back = enc.decode(p1, ctx.scale() * ctx.scale());
+    for (std::size_t i = 0; i < z1.size(); ++i)
+        EXPECT_LT(std::abs(back[i] - z1[i] * z2[i]), 1e-5) << i;
+}
+
+TEST_F(EncoderTest, RotationAutomorphismRotatesSlots)
+{
+    auto z = randomSlots(enc.slots(), 36);
+    RnsPoly pt = enc.encode(z, ctx.maxLevel());
+    for (long r : {1L, 2L, 5L, static_cast<long>(enc.slots() / 2)}) {
+        std::size_t g = enc.galoisForRotation(r);
+        RnsPoly rot = pt.automorphism(g);
+        auto back = enc.decode(rot, ctx.scale());
+        for (std::size_t i = 0; i < enc.slots(); ++i) {
+            cplx expect = z[(i + r) % enc.slots()];
+            EXPECT_LT(std::abs(back[i] - expect), 1e-6)
+                << "r=" << r << " slot " << i;
+        }
+    }
+}
+
+TEST_F(EncoderTest, ConjugationAutomorphismConjugatesSlots)
+{
+    auto z = randomSlots(enc.slots(), 37);
+    RnsPoly pt = enc.encode(z, ctx.maxLevel());
+    RnsPoly conj = pt.automorphism(enc.galoisForConjugation());
+    auto back = enc.decode(conj, ctx.scale());
+    for (std::size_t i = 0; i < enc.slots(); ++i)
+        EXPECT_LT(std::abs(back[i] - std::conj(z[i])), 1e-6) << i;
+}
+
+TEST_F(EncoderTest, GaloisElementProperties)
+{
+    EXPECT_EQ(enc.galoisForRotation(0), 1u);
+    // Rotation by slots() wraps to identity.
+    EXPECT_EQ(enc.galoisForRotation(static_cast<long>(enc.slots())), 1u);
+    // Negative rotations are modular.
+    EXPECT_EQ(enc.galoisForRotation(-1),
+              enc.galoisForRotation(static_cast<long>(enc.slots()) - 1));
+}
+
+TEST_F(EncoderTest, LowerLevelEncoding)
+{
+    auto z = randomSlots(4, 38);
+    RnsPoly pt = enc.encode(z, 0);
+    EXPECT_EQ(pt.towerCount(), 1u);
+    auto back = enc.decode(pt, ctx.scale());
+    for (std::size_t i = 0; i < z.size(); ++i)
+        EXPECT_LT(std::abs(back[i] - z[i]), 1e-6);
+}

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Tests for the decoupled-queue RPU engine on hand-built graphs and on
+ * generated HKS graphs (monotonicity, saturation, overlap, idle
+ * accounting).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rpu/experiment.h"
+
+using namespace ciflow;
+
+namespace
+{
+
+Task
+load(std::uint64_t bytes, std::vector<std::uint32_t> deps = {})
+{
+    Task t;
+    t.kind = TaskKind::MemLoad;
+    t.bytes = bytes;
+    t.deps = std::move(deps);
+    return t;
+}
+
+Task
+comp(std::uint64_t ops, std::vector<std::uint32_t> deps = {})
+{
+    Task t;
+    t.kind = TaskKind::Compute;
+    t.stage = StageId::ModUpKeyMul; // pointwise cost model
+    t.modOps = ops;
+    t.deps = std::move(deps);
+    return t;
+}
+
+RpuConfig
+unitConfig()
+{
+    // 1 GB/s, 1e9 modops/s: 1 byte = 1 op = 1 ns.
+    RpuConfig cfg;
+    cfg.bandwidthGBps = 1.0;
+    cfg.hples = 1;
+    cfg.freqGHz = 1.0;
+    cfg.cyclesPerModOp = 1.0;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Engine, SerialChain)
+{
+    TaskGraph g;
+    auto l = g.push(load(1000));
+    g.push(comp(500, {l}));
+    SimStats s = RpuEngine(unitConfig()).run(g);
+    EXPECT_NEAR(s.runtime, 1.5e-6, 1e-12);
+    EXPECT_NEAR(s.memBusy, 1.0e-6, 1e-12);
+    EXPECT_NEAR(s.compBusy, 0.5e-6, 1e-12);
+    EXPECT_NEAR(s.computeIdleFraction(), 1.0 - 0.5 / 1.5, 1e-9);
+}
+
+TEST(Engine, IndependentTasksOverlap)
+{
+    TaskGraph g;
+    g.push(load(1000));
+    g.push(comp(1000));
+    SimStats s = RpuEngine(unitConfig()).run(g);
+    // Perfect masking: both channels busy simultaneously.
+    EXPECT_NEAR(s.runtime, 1.0e-6, 1e-12);
+    EXPECT_NEAR(s.computeIdleFraction(), 0.0, 1e-9);
+}
+
+TEST(Engine, InOrderQueueBlocksYoungerMemTask)
+{
+    // mem: A (depends on compute C), B (independent). A is queue head,
+    // so B waits even though its deps are met — in-order semantics.
+    TaskGraph g;
+    auto c = g.push(comp(1000));
+    g.push(load(100, {c}));
+    g.push(load(100));
+    SimStats s = RpuEngine(unitConfig()).run(g);
+    // C runs [0,1us); A [1,1.1); B [1.1,1.2).
+    EXPECT_NEAR(s.runtime, 1.2e-6, 1e-12);
+}
+
+TEST(Engine, PipelinedChainsOverlap)
+{
+    // load_i -> comp_i chains: memory prefetches ahead and computation
+    // hides behind it (the paper's decoupling claim).
+    TaskGraph g;
+    std::uint32_t prev_comp = 0;
+    for (int i = 0; i < 10; ++i) {
+        auto l = g.push(load(1000));
+        std::vector<std::uint32_t> deps = {l};
+        if (i > 0)
+            deps.push_back(prev_comp);
+        prev_comp = g.push(comp(1000, deps));
+    }
+    SimStats s = RpuEngine(unitConfig()).run(g);
+    // 10 loads of 1us back-to-back; computes trail by one: 11us total.
+    EXPECT_NEAR(s.runtime, 11.0e-6, 1e-11);
+    EXPECT_NEAR(s.memBusy, 10.0e-6, 1e-11);
+    EXPECT_NEAR(s.compBusy, 10.0e-6, 1e-11);
+}
+
+TEST(Engine, ShufflePipeCanDominate)
+{
+    RpuConfig cfg = unitConfig();
+    Task t;
+    t.kind = TaskKind::Compute;
+    t.stage = StageId::ModUpNtt;
+    t.modOps = 3;          // tiny arithmetic
+    t.shuffleOps = 100000; // large shuffle traffic
+    TaskGraph g;
+    g.push(t);
+    SimStats s = RpuEngine(cfg).run(g);
+    EXPECT_GT(s.runtime, 0.9 * 100000e-9);
+}
+
+TEST(Engine, DeterministicAcrossRuns)
+{
+    const HksParams &b = benchmarkByName("ARK");
+    HksExperiment exp(b, Dataflow::OC, MemoryConfig{32ull << 20, true});
+    SimStats s1 = exp.simulate(32.0);
+    SimStats s2 = exp.simulate(32.0);
+    EXPECT_DOUBLE_EQ(s1.runtime, s2.runtime);
+    EXPECT_DOUBLE_EQ(s1.memBusy, s2.memBusy);
+}
+
+class EngineOnBenchmarks : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(EngineOnBenchmarks, RuntimeMonotoneInBandwidth)
+{
+    const HksParams &b = benchmarkByName(GetParam());
+    for (Dataflow d : allDataflows()) {
+        HksExperiment exp(b, d, MemoryConfig{32ull << 20, true});
+        double prev = 1e9;
+        for (double bw : paperBandwidthSweepExtended()) {
+            double rt = exp.simulate(bw).runtime;
+            EXPECT_LE(rt, prev * (1 + 1e-9))
+                << dataflowName(d) << " @" << bw;
+            prev = rt;
+        }
+    }
+}
+
+TEST_P(EngineOnBenchmarks, RuntimeSaturatesAtComputeBound)
+{
+    const HksParams &b = benchmarkByName(GetParam());
+    RpuConfig cfg;
+    const double compute_floor =
+        static_cast<double>(OpModel(b).totalHks().modOps) /
+        cfg.modopsPerSec();
+    for (Dataflow d : allDataflows()) {
+        HksExperiment exp(b, d, MemoryConfig{32ull << 20, true});
+        double rt = exp.simulate(100000.0).runtime; // effectively inf BW
+        EXPECT_GE(rt, compute_floor * 0.999) << dataflowName(d);
+        EXPECT_LE(rt, compute_floor * 1.6) << dataflowName(d);
+    }
+}
+
+TEST_P(EngineOnBenchmarks, OcFastestAtLowBandwidth)
+{
+    const HksParams &b = benchmarkByName(GetParam());
+    MemoryConfig mem{32ull << 20, true};
+    HksExperiment mp(b, Dataflow::MP, mem), dc(b, Dataflow::DC, mem),
+        oc(b, Dataflow::OC, mem);
+    double rt_mp = mp.simulate(8.0).runtime;
+    double rt_dc = dc.simulate(8.0).runtime;
+    double rt_oc = oc.simulate(8.0).runtime;
+    EXPECT_LT(rt_oc, rt_dc);
+    EXPECT_LT(rt_oc, rt_mp);
+}
+
+TEST_P(EngineOnBenchmarks, MoreModopsNeverSlower)
+{
+    const HksParams &b = benchmarkByName(GetParam());
+    HksExperiment exp(b, Dataflow::OC, MemoryConfig{32ull << 20, true});
+    for (double bw : {8.0, 64.0, 256.0}) {
+        double prev = 1e9;
+        for (double m : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+            double rt = exp.simulate(bw, m).runtime;
+            EXPECT_LE(rt, prev * (1 + 1e-9)) << bw << "x" << m;
+            prev = rt;
+        }
+    }
+}
+
+TEST_P(EngineOnBenchmarks, StreamingEvkNeverFaster)
+{
+    const HksParams &b = benchmarkByName(GetParam());
+    HksExperiment on(b, Dataflow::OC, MemoryConfig{32ull << 20, true});
+    HksExperiment off(b, Dataflow::OC, MemoryConfig{32ull << 20, false});
+    for (double bw : {8.0, 32.0, 128.0}) {
+        EXPECT_GE(off.simulate(bw).runtime,
+                  on.simulate(bw).runtime * (1 - 1e-9))
+            << bw;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperBenchmarks, EngineOnBenchmarks,
+                         ::testing::Values("BTS1", "BTS2", "BTS3", "ARK",
+                                           "DPRIVE"));
+
+TEST(EngineIdle, IdleDropsWithBandwidth)
+{
+    const HksParams &b = benchmarkByName("ARK");
+    HksExperiment exp(b, Dataflow::MP, MemoryConfig{32ull << 20, true});
+    double idle_low = exp.simulate(8.0).computeIdleFraction();
+    double idle_high = exp.simulate(512.0).computeIdleFraction();
+    EXPECT_GT(idle_low, idle_high);
+    EXPECT_GT(idle_low, 0.5);  // MP at DDR4 is badly memory bound
+    EXPECT_LT(idle_high, 0.2); // near compute bound at HBM
+}

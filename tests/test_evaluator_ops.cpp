@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Tests for the extended evaluator operations: level management,
+ * scalar arithmetic, squaring and polynomial evaluation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ckks/encoder.h"
+#include "ckks/encryptor.h"
+#include "ckks/evaluator.h"
+
+using namespace ciflow;
+
+namespace
+{
+
+CkksParams
+testParams()
+{
+    CkksParams p;
+    p.logN = 11;
+    p.maxLevel = 5;
+    p.dnum = 3;
+    return p;
+}
+
+} // namespace
+
+class EvaluatorOps : public ::testing::Test
+{
+  protected:
+    EvaluatorOps()
+        : ctx(testParams()), enc(ctx), keygen(ctx, 321),
+          sk(keygen.secretKey()), pk(keygen.publicKey(sk)),
+          rlk(keygen.relinKey(sk)), encryptor(ctx, pk),
+          decryptor(ctx, sk), eval(ctx)
+    {
+        z.resize(enc.slots());
+        for (std::size_t i = 0; i < z.size(); ++i)
+            z[i] = 0.8 * std::sin(0.1 * static_cast<double>(i));
+        ct = encryptor.encrypt(enc.encode(z, ctx.maxLevel()),
+                               ctx.scale());
+    }
+
+    std::vector<cplx>
+    roundTrip(const Ciphertext &c)
+    {
+        return enc.decode(decryptor.decrypt(c), c.scale);
+    }
+
+    double
+    maxErr(const Ciphertext &c, auto f)
+    {
+        auto got = roundTrip(c);
+        double e = 0;
+        for (std::size_t i = 0; i < z.size(); ++i)
+            e = std::max(e, std::abs(got[i] - cplx(f(z[i]), 0)));
+        return e;
+    }
+
+    CkksContext ctx;
+    Encoder enc;
+    KeyGenerator keygen;
+    SecretKey sk;
+    PublicKey pk;
+    EvalKey rlk;
+    Encryptor encryptor;
+    Decryptor decryptor;
+    Evaluator eval;
+    std::vector<double> z;
+    Ciphertext ct;
+};
+
+TEST_F(EvaluatorOps, LevelReducePreservesPlaintext)
+{
+    for (std::size_t target : {4u, 2u, 0u}) {
+        Ciphertext low = eval.levelReduce(ct, target);
+        EXPECT_EQ(low.level, target);
+        EXPECT_EQ(low.c0.towerCount(), target + 1);
+        EXPECT_DOUBLE_EQ(low.scale, ct.scale);
+        EXPECT_LT(maxErr(low, [](double x) { return x; }), 1e-5);
+    }
+}
+
+TEST_F(EvaluatorOps, LevelReduceEnablesAdd)
+{
+    // A deeper ciphertext can be aligned with a shallower one.
+    Ciphertext deep = eval.rescale(eval.multiply(ct, ct, rlk));
+    Ciphertext aligned = eval.levelReduce(ct, deep.level);
+    EXPECT_EQ(aligned.level, deep.level);
+    // Scales differ (deep went through rescale), so adjust via
+    // mulScalar to line them up before add.
+    Ciphertext one = eval.mulScalar(aligned, 1.0);
+    EXPECT_EQ(one.level, deep.level - 1);
+}
+
+TEST_F(EvaluatorOps, AddScalarShiftsAllSlots)
+{
+    Ciphertext shifted = eval.addScalar(ct, 2.5);
+    EXPECT_LT(maxErr(shifted, [](double x) { return x + 2.5; }), 1e-5);
+    Ciphertext negshift = eval.addScalar(ct, -0.125);
+    EXPECT_LT(maxErr(negshift, [](double x) { return x - 0.125; }),
+              1e-5);
+}
+
+TEST_F(EvaluatorOps, MulScalarScalesAllSlots)
+{
+    Ciphertext scaled = eval.mulScalar(ct, 3.0);
+    EXPECT_EQ(scaled.level, ct.level - 1);
+    EXPECT_LT(maxErr(scaled, [](double x) { return 3.0 * x; }), 1e-4);
+    Ciphertext neg = eval.mulScalar(ct, -0.5);
+    EXPECT_LT(maxErr(neg, [](double x) { return -0.5 * x; }), 1e-4);
+}
+
+TEST_F(EvaluatorOps, NegateIsExactInvolution)
+{
+    Ciphertext n1 = eval.negate(ct);
+    EXPECT_LT(maxErr(n1, [](double x) { return -x; }), 1e-5);
+    Ciphertext n2 = eval.negate(n1);
+    EXPECT_EQ(n2.c0, ct.c0);
+    EXPECT_EQ(n2.c1, ct.c1);
+}
+
+TEST_F(EvaluatorOps, SquareMatchesMultiply)
+{
+    Ciphertext sq = eval.rescale(eval.square(ct, rlk));
+    Ciphertext mu = eval.rescale(eval.multiply(ct, ct, rlk));
+    auto a = roundTrip(sq);
+    auto b = roundTrip(mu);
+    for (std::size_t i = 0; i < enc.slots(); ++i)
+        EXPECT_LT(std::abs(a[i] - b[i]), 1e-5);
+    EXPECT_LT(maxErr(sq, [](double x) { return x * x; }), 1e-4);
+}
+
+TEST_F(EvaluatorOps, EvalPolyDegreeTwo)
+{
+    // 0.25 x^2 + 0.5 x + 0.125 — the paper domain's typical activation
+    // polynomial shape.
+    Ciphertext p = eval.evalPoly(ct, {0.125, 0.5, 0.25}, rlk);
+    EXPECT_LT(maxErr(p,
+                     [](double x) {
+                         return 0.25 * x * x + 0.5 * x + 0.125;
+                     }),
+              1e-3);
+}
+
+TEST_F(EvaluatorOps, EvalPolyDegreeFour)
+{
+    std::vector<double> c = {0.1, -0.3, 0.2, 0.05, -0.01};
+    Ciphertext p = eval.evalPoly(ct, c, rlk);
+    EXPECT_LT(maxErr(p,
+                     [&](double x) {
+                         double acc = 0;
+                         for (std::size_t i = c.size(); i-- > 0;)
+                             acc = acc * x + c[i];
+                         return acc;
+                     }),
+              1e-3);
+}
+
+TEST_F(EvaluatorOps, EvalPolyRejectsTooDeep)
+{
+    std::vector<double> c(ctx.maxLevel() + 3, 0.1);
+    EXPECT_DEATH(eval.evalPoly(ct, c, rlk), "");
+}
+
+TEST_F(EvaluatorOps, ScalarOpsComposeWithRotation)
+{
+    GaloisKeys gk = keygen.galoisKeys(sk, {4});
+    Ciphertext r = eval.rotate(eval.addScalar(ct, 1.0), 4, gk);
+    auto got = roundTrip(r);
+    for (std::size_t i = 0; i < enc.slots(); ++i) {
+        double want = z[(i + 4) % enc.slots()] + 1.0;
+        EXPECT_LT(std::abs(got[i] - cplx(want, 0)), 1e-4) << i;
+    }
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Tests that the benchmark parameter sets reproduce the paper's
+ * Table III sizes exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hksflow/hks_params.h"
+
+using namespace ciflow;
+
+namespace
+{
+
+constexpr double kMiB = 1024.0 * 1024.0;
+
+double
+mib(std::uint64_t bytes)
+{
+    return static_cast<double>(bytes) / kMiB;
+}
+
+} // namespace
+
+TEST(HksParams, TableIiiRoster)
+{
+    const auto &b = paperBenchmarks();
+    ASSERT_EQ(b.size(), 5u);
+    EXPECT_EQ(b[0].name, "BTS1");
+    EXPECT_EQ(b[1].name, "BTS2");
+    EXPECT_EQ(b[2].name, "BTS3");
+    EXPECT_EQ(b[3].name, "ARK");
+    EXPECT_EQ(b[4].name, "DPRIVE");
+}
+
+TEST(HksParams, EvkSizesMatchTableIii)
+{
+    // Paper: 112, 240, 360, 120, 99 MB.
+    EXPECT_DOUBLE_EQ(mib(benchmarkByName("BTS1").evkBytes()), 112.0);
+    EXPECT_DOUBLE_EQ(mib(benchmarkByName("BTS2").evkBytes()), 240.0);
+    EXPECT_DOUBLE_EQ(mib(benchmarkByName("BTS3").evkBytes()), 360.0);
+    EXPECT_DOUBLE_EQ(mib(benchmarkByName("ARK").evkBytes()), 120.0);
+    EXPECT_DOUBLE_EQ(mib(benchmarkByName("DPRIVE").evkBytes()), 99.0);
+}
+
+TEST(HksParams, TempSizesMatchTableIii)
+{
+    // Paper: 196, 400, 585, 192, 163 MB (DPRIVE rounds from 162).
+    EXPECT_DOUBLE_EQ(mib(benchmarkByName("BTS1").tempBytes()), 196.0);
+    EXPECT_DOUBLE_EQ(mib(benchmarkByName("BTS2").tempBytes()), 400.0);
+    EXPECT_DOUBLE_EQ(mib(benchmarkByName("BTS3").tempBytes()), 585.0);
+    EXPECT_DOUBLE_EQ(mib(benchmarkByName("ARK").tempBytes()), 192.0);
+    EXPECT_NEAR(mib(benchmarkByName("DPRIVE").tempBytes()), 163.0, 1.5);
+}
+
+TEST(HksParams, TowerAndDigitGeometry)
+{
+    const auto &bts3 = benchmarkByName("BTS3");
+    EXPECT_EQ(bts3.towerBytes(), (1ull << 17) * 8);
+    EXPECT_EQ(bts3.extTowers(), 60u);
+    EXPECT_EQ(bts3.beta(), 45u);
+    for (std::size_t j = 0; j < 3; ++j)
+        EXPECT_EQ(bts3.digitTowers(j), 15u);
+
+    // DPRIVE has a ragged last digit: 9 + 9 + 8 = 26.
+    const auto &dp = benchmarkByName("DPRIVE");
+    EXPECT_EQ(dp.digitTowers(0), 9u);
+    EXPECT_EQ(dp.digitTowers(1), 9u);
+    EXPECT_EQ(dp.digitTowers(2), 8u);
+    EXPECT_EQ(dp.digitFirst(2), 18u);
+}
+
+TEST(HksParams, InputOutputSizes)
+{
+    const auto &ark = benchmarkByName("ARK");
+    // N=2^16 -> tower = 0.5 MiB; input = 24 towers = 12 MiB.
+    EXPECT_DOUBLE_EQ(mib(ark.inputBytes()), 12.0);
+    EXPECT_DOUBLE_EQ(mib(ark.outputBytes()), 24.0);
+}
+
+TEST(HksParams, Bts1SingleDigit)
+{
+    const auto &b1 = benchmarkByName("BTS1");
+    EXPECT_EQ(b1.dnum, 1u);
+    EXPECT_EQ(b1.alpha, 28u);
+    EXPECT_EQ(b1.beta(), 28u); // conversion targets = P only
+}
+
+TEST(HksParams, UnknownBenchmarkIsFatal)
+{
+    EXPECT_DEATH(benchmarkByName("NOPE"), "");
+}
+
+TEST(HksParams, DescribeMentionsName)
+{
+    EXPECT_NE(benchmarkByName("ARK").describe().find("ARK"),
+              std::string::npos);
+}

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Tests for the B1K ISA definition and code-generation model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "hksflow/dataflow.h"
+#include "rpu/area.h"
+#include "rpu/isa.h"
+
+using namespace ciflow;
+
+namespace
+{
+
+const std::vector<B1kOp> &
+allOps()
+{
+    static const std::vector<B1kOp> kOps = {
+        B1kOp::SLD,    B1kOp::SST,   B1kOp::SADD,  B1kOp::SMUL,
+        B1kOp::BNZ,    B1kOp::CSRW,  B1kOp::FENCE, B1kOp::VLD,
+        B1kOp::VST,    B1kOp::VLDK,  B1kOp::VPREF, B1kOp::VMADD,
+        B1kOp::VMSUB,  B1kOp::VMNEG, B1kOp::VMMUL, B1kOp::VMMACC,
+        B1kOp::VMSMUL, B1kOp::VBFLY, B1kOp::VIBFLY, B1kOp::VMODSW,
+        B1kOp::VRED,   B1kOp::VSEL,  B1kOp::VCMP,  B1kOp::VSHUF,
+        B1kOp::VROTV,  B1kOp::VBREV, B1kOp::VTRN,  B1kOp::VPACK};
+    return kOps;
+}
+
+} // namespace
+
+TEST(Isa, ExactlyTwentyEightOpcodes)
+{
+    // The paper's B1K ISA "consists of 28 instructions" (§V-A).
+    EXPECT_EQ(allOps().size(), kB1kOpCount);
+    EXPECT_EQ(kB1kOpCount, 28u);
+}
+
+TEST(Isa, MnemonicsUnique)
+{
+    std::set<std::string> seen;
+    for (B1kOp op : allOps())
+        EXPECT_TRUE(seen.insert(b1kMnemonic(op)).second)
+            << b1kMnemonic(op);
+}
+
+TEST(Isa, QueueAssignment)
+{
+    EXPECT_EQ(b1kQueue(B1kOp::VLD), IssueQueue::Memory);
+    EXPECT_EQ(b1kQueue(B1kOp::VLDK), IssueQueue::Memory);
+    EXPECT_EQ(b1kQueue(B1kOp::VSHUF), IssueQueue::Shuffle);
+    EXPECT_EQ(b1kQueue(B1kOp::VBREV), IssueQueue::Shuffle);
+    EXPECT_EQ(b1kQueue(B1kOp::VMMUL), IssueQueue::Compute);
+    EXPECT_EQ(b1kQueue(B1kOp::VBFLY), IssueQueue::Compute);
+    EXPECT_EQ(b1kQueue(B1kOp::FENCE), IssueQueue::Compute);
+}
+
+TEST(CodeGen, VectorInstrRounding)
+{
+    CodeGen cg(1024);
+    EXPECT_EQ(cg.vectorInstrs(0), 0u);
+    EXPECT_EQ(cg.vectorInstrs(1), 1u);
+    EXPECT_EQ(cg.vectorInstrs(1024), 1u);
+    EXPECT_EQ(cg.vectorInstrs(1025), 2u);
+    EXPECT_EQ(cg.vectorInstrs(1ull << 17), 128u);
+}
+
+TEST(CodeGen, NttTaskUsesButterflyInstrs)
+{
+    CodeGen cg(1024);
+    Task t;
+    t.kind = TaskKind::Compute;
+    t.stage = StageId::ModUpNtt;
+    // One N=2^17 tower: (N/2)*17 butterflies * 3 ops; N*17 shuffles.
+    t.modOps = (1ull << 16) * 17 * 3;
+    t.shuffleOps = (1ull << 17) * 17;
+    InstrCounts c = cg.forComputeTask(t);
+    EXPECT_EQ(c.compute, (1ull << 16) * 17 / 1024);
+    EXPECT_EQ(c.shuffle, (1ull << 17) * 17 / 1024);
+    EXPECT_EQ(c.memory, 0u);
+}
+
+TEST(CodeGen, PointwiseTaskOneOpPerLaneElement)
+{
+    CodeGen cg(1024);
+    Task t;
+    t.kind = TaskKind::Compute;
+    t.stage = StageId::ModUpKeyMul;
+    t.modOps = 2 * (1ull << 17);
+    InstrCounts c = cg.forComputeTask(t);
+    EXPECT_EQ(c.compute, 2 * (1ull << 17) / 1024);
+    EXPECT_EQ(c.shuffle, 0u);
+}
+
+TEST(CodeGen, MemTaskVectorTransfers)
+{
+    CodeGen cg(1024);
+    Task t;
+    t.kind = TaskKind::MemLoad;
+    t.bytes = (1ull << 17) * 8; // one tower
+    InstrCounts c = cg.forMemTask(t);
+    EXPECT_EQ(c.memory, (1ull << 17) / 1024);
+}
+
+TEST(CodeGen, GraphTotalsReasonable)
+{
+    const HksParams &b = benchmarkByName("ARK");
+    TaskGraph g =
+        buildHksGraph(b, Dataflow::OC, MemoryConfig{32ull << 20, false});
+    CodeGen cg(1024);
+    InstrCounts c = cg.forGraph(g);
+    EXPECT_GT(c.compute, 0u);
+    EXPECT_GT(c.shuffle, 0u);
+    EXPECT_GT(c.memory, 0u);
+    // Instruction total in the 10^5..10^7 range for one HKS: vectors of
+    // 1K over hundreds of MB of data.
+    EXPECT_GT(c.total(), 100'000u);
+    EXPECT_LT(c.total(), 10'000'000u);
+}
+
+TEST(Area, PaperEndpoints)
+{
+    // 392 MiB -> 401.85 mm^2; 32 MiB -> 41.85 mm^2 (§VI-B).
+    EXPECT_NEAR(rpuAreaMm2(392.0), 401.85, 1e-9);
+    EXPECT_NEAR(rpuAreaMm2(32.0), 41.85, 1e-9);
+}
+
+TEST(Area, SavingsFactor)
+{
+    EXPECT_NEAR(rpuAreaMm2(392.0) / rpuAreaMm2(32.0), 401.85 / 41.85,
+                1e-12);
+    // The paper's 12.25x SRAM saving: 392/32.
+    EXPECT_NEAR(392.0 / 32.0, 12.25, 1e-12);
+}

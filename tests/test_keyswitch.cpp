@@ -1,0 +1,379 @@
+/**
+ * @file
+ * Hybrid key-switching tests: functional correctness against the secret
+ * key, bit-identical equivalence of the MP/DC/OC schedules (the paper's
+ * central claim that the dataflows reorder the same computation), and
+ * ModUp/ModDown structural properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ckks/encoder.h"
+#include "ckks/encryptor.h"
+#include "ckks/evaluator.h"
+#include "ckks/keyswitch.h"
+
+using namespace ciflow;
+
+namespace
+{
+
+CkksParams
+paramsWith(std::size_t dnum, std::size_t max_level = 5,
+           std::size_t num_special = 0)
+{
+    CkksParams p;
+    p.logN = 11;
+    p.maxLevel = max_level;
+    p.dnum = dnum;
+    p.numSpecial = num_special;
+    p.q0Bits = 50;
+    p.scaleBits = 40;
+    p.specialBits = 50;
+    return p;
+}
+
+} // namespace
+
+class ScheduleEquivalence
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>>
+{
+};
+
+TEST_P(ScheduleEquivalence, AllOrdersBitIdentical)
+{
+    auto [dnum, level] = GetParam();
+    CkksContext ctx(paramsWith(dnum));
+    KeyGenerator keygen(ctx, 99);
+    SecretKey sk = keygen.secretKey();
+    EvalKey rlk = keygen.relinKey(sk);
+    KeySwitcher ks(ctx);
+
+    Rng rng(1000 + dnum * 10 + level);
+    RnsPoly a(ctx.n(), ctx.basisQ(level), Domain::Eval);
+    for (std::size_t i = 0; i <= level; ++i)
+        a.tower(i) = rng.uniformPoly(ctx.n(), a.modulus(i));
+
+    auto mp = ks.keySwitch(a, rlk, level, ScheduleOrder::MaxParallel);
+    auto dc = ks.keySwitch(a, rlk, level, ScheduleOrder::DigitCentric);
+    auto oc = ks.keySwitch(a, rlk, level, ScheduleOrder::OutputCentric);
+
+    // The dataflows are *schedules* of one computation: results must be
+    // bit-identical, not merely close.
+    EXPECT_EQ(mp.first, dc.first);
+    EXPECT_EQ(mp.second, dc.second);
+    EXPECT_EQ(mp.first, oc.first);
+    EXPECT_EQ(mp.second, oc.second);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DnumLevels, ScheduleEquivalence,
+    ::testing::Values(std::make_tuple(1, 5), std::make_tuple(2, 5),
+                      std::make_tuple(3, 5), std::make_tuple(6, 5),
+                      std::make_tuple(3, 3), std::make_tuple(3, 1),
+                      std::make_tuple(2, 0), std::make_tuple(6, 2)));
+
+class KeySwitchCorrectness : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(KeySwitchCorrectness, SwitchedCiphertextDecryptsUnderNewKey)
+{
+    // Build a "ciphertext" (a s' + noise-free payload) by hand and check
+    // ks0 + ks1 s ≈ a s'.
+    const std::size_t dnum = GetParam();
+    CkksContext ctx(paramsWith(dnum));
+    KeyGenerator keygen(ctx, 7);
+    SecretKey sk = keygen.secretKey();
+    SecretKey sk2 = keygen.secretKey();
+    // evk switching sk2 -> sk.
+    EvalKey evk =
+        keygen.makeEvalKey(sk, sk2.s);
+    KeySwitcher ks(ctx);
+
+    const std::size_t level = ctx.maxLevel();
+    Rng rng(77);
+    RnsPoly a(ctx.n(), ctx.basisQ(level), Domain::Eval);
+    for (std::size_t i = 0; i <= level; ++i)
+        a.tower(i) = rng.uniformPoly(ctx.n(), a.modulus(i));
+
+    auto sw = ks.keySwitch(a, evk, level, ScheduleOrder::OutputCentric);
+
+    // want = a * s2 over B_level.
+    RnsPoly want = a;
+    want.mulPointwiseInPlace(sk2.s.firstTowers(level + 1));
+
+    // got = ks0 + ks1 * s.
+    RnsPoly got = sw.second;
+    got.mulPointwiseInPlace(sk.s.firstTowers(level + 1));
+    got.addInPlace(sw.first);
+
+    // Difference should be key-switching noise: tiny relative to Q.
+    RnsPoly diff = got;
+    diff.subInPlace(want);
+    diff.toCoeff(ctx.ntt());
+
+    RnsBase base(ctx.basisQ(level));
+    double log_q = base.product().bitLength();
+    double max_log = 0;
+    std::vector<u64> residues(level + 1);
+    for (std::size_t k = 0; k < ctx.n(); ++k) {
+        for (std::size_t i = 0; i <= level; ++i)
+            residues[i] = diff.tower(i)[k];
+        UBigInt mag;
+        bool neg;
+        base.reconstructCentered(residues, mag, neg);
+        max_log = std::max(
+            max_log, static_cast<double>(mag.bitLength()));
+    }
+    // Noise must be far below Q (leave ~ q0 worth of headroom).
+    EXPECT_LT(max_log, log_q - 45.0)
+        << "key switch noise too large: 2^" << max_log << " vs Q=2^"
+        << log_q;
+}
+
+INSTANTIATE_TEST_SUITE_P(Dnums, KeySwitchCorrectness,
+                         ::testing::Values(1, 2, 3, 6));
+
+TEST(KeySwitch, ModUpOutputBasisShape)
+{
+    CkksContext ctx(paramsWith(3));
+    KeyGenerator keygen(ctx, 5);
+    SecretKey sk = keygen.secretKey();
+    EvalKey rlk = keygen.relinKey(sk);
+    KeySwitcher ks(ctx);
+
+    for (std::size_t level : {5u, 2u, 0u}) {
+        Rng rng(level);
+        RnsPoly a(ctx.n(), ctx.basisQ(level), Domain::Eval);
+        for (std::size_t i = 0; i <= level; ++i)
+            a.tower(i) = rng.uniformPoly(ctx.n(), a.modulus(i));
+        auto up = ks.modUp(a, rlk, level, ScheduleOrder::MaxParallel);
+        EXPECT_EQ(up.first.towerCount(), level + 1 + ctx.numP());
+        EXPECT_EQ(up.first.primes(), ctx.basisD(level));
+        EXPECT_EQ(up.second.primes(), ctx.basisD(level));
+    }
+}
+
+TEST(KeySwitch, ModDownDividesByP)
+{
+    // ModDown(x * P) should return ~x (exactly up to conversion slack).
+    CkksContext ctx(paramsWith(2));
+    KeySwitcher ks(ctx);
+    const std::size_t level = ctx.maxLevel();
+    const std::size_t ell = level + 1;
+
+    Rng rng(31337);
+    // Build x small (bounded coefficients), multiply by P exactly.
+    RnsPoly x(ctx.n(), ctx.basisD(level), Domain::Coeff);
+    std::vector<long long> plain(ctx.n());
+    for (std::size_t k = 0; k < ctx.n(); ++k)
+        plain[k] = static_cast<long long>(rng.uniform(1000)) - 500;
+    for (std::size_t i = 0; i < x.towerCount(); ++i) {
+        const u64 q = x.modulus(i);
+        // x = plain * P mod q.
+        u64 p_mod;
+        if (i < ell)
+            p_mod = ctx.pModQ()[i];
+        else
+            p_mod = 0; // P ≡ 0 mod p_i
+        for (std::size_t k = 0; k < ctx.n(); ++k)
+            x.tower(i)[k] = mulMod(signedToMod(plain[k], q), p_mod, q);
+    }
+    x.toEval(ctx.ntt());
+    RnsPoly down = ks.modDown(x, level);
+    down.toCoeff(ctx.ntt());
+
+    // Expect down ≈ plain with error at most a few units (the BConv
+    // slack divided by P plus rounding).
+    for (std::size_t i = 0; i < ell; ++i) {
+        const u64 q = down.modulus(i);
+        for (std::size_t k = 0; k < ctx.n(); ++k) {
+            long long got = toCentered(down.tower(i)[k], q);
+            EXPECT_LE(std::llabs(got - plain[k]), 2)
+                << "tower " << i << " coeff " << k;
+        }
+    }
+}
+
+TEST(KeySwitch, RotationEquivalentAcrossSchedules)
+{
+    // End-to-end: rotations using each schedule decrypt identically.
+    CkksContext ctx(paramsWith(3));
+    Encoder enc(ctx);
+    KeyGenerator keygen(ctx, 11);
+    SecretKey sk = keygen.secretKey();
+    PublicKey pk = keygen.publicKey(sk);
+    Encryptor encryptor(ctx, pk);
+    Decryptor decryptor(ctx, sk);
+    Evaluator eval(ctx);
+    GaloisKeys gk = keygen.galoisKeys(sk, {5});
+
+    std::vector<double> z(enc.slots());
+    for (std::size_t i = 0; i < z.size(); ++i)
+        z[i] = 0.001 * static_cast<double>(i % 97);
+    Ciphertext ct =
+        encryptor.encrypt(enc.encode(z, ctx.maxLevel()), ctx.scale());
+
+    Ciphertext mp = eval.rotate(ct, 5, gk, ScheduleOrder::MaxParallel);
+    Ciphertext dc = eval.rotate(ct, 5, gk, ScheduleOrder::DigitCentric);
+    Ciphertext oc = eval.rotate(ct, 5, gk, ScheduleOrder::OutputCentric);
+
+    EXPECT_EQ(mp.c0, dc.c0);
+    EXPECT_EQ(mp.c1, dc.c1);
+    EXPECT_EQ(mp.c0, oc.c0);
+    EXPECT_EQ(mp.c1, oc.c1);
+}
+
+TEST(KeySwitch, EvkSizeMatchesFormula)
+{
+    CkksContext ctx(paramsWith(3));
+    KeyGenerator keygen(ctx, 2);
+    SecretKey sk = keygen.secretKey();
+    EvalKey rlk = keygen.relinKey(sk);
+    // dnum * 2 * N * (L+1+K) * 8 bytes.
+    const std::size_t expect = ctx.dnum() * 2 * ctx.n() *
+                               (ctx.maxLevel() + 1 + ctx.numP()) * 8;
+    EXPECT_EQ(rlk.byteSize(), expect);
+}
+
+TEST(KeySwitch, NonUniformSpecialCount)
+{
+    // DPRIVE-style: K != alpha (alpha=9 towers per digit, K=7 specials
+    // scaled down: here alpha=2, K=1).
+    CkksContext ctx(paramsWith(3, 5, 1));
+    EXPECT_EQ(ctx.numP(), 1u);
+    KeyGenerator keygen(ctx, 3);
+    SecretKey sk = keygen.secretKey();
+    EvalKey rlk = keygen.relinKey(sk);
+    KeySwitcher ks(ctx);
+
+    Rng rng(5);
+    RnsPoly a(ctx.n(), ctx.basisQ(5), Domain::Eval);
+    for (std::size_t i = 0; i <= 5; ++i)
+        a.tower(i) = rng.uniformPoly(ctx.n(), a.modulus(i));
+    auto mp = ks.keySwitch(a, rlk, 5, ScheduleOrder::MaxParallel);
+    auto oc = ks.keySwitch(a, rlk, 5, ScheduleOrder::OutputCentric);
+    EXPECT_EQ(mp.first, oc.first);
+    EXPECT_EQ(mp.second, oc.second);
+}
+
+TEST(KeySwitch, HoistedExtensionMatchesModUp)
+{
+    // applyExtended(modUpExtend(a)) must equal the fused keySwitch.
+    CkksContext ctx(paramsWith(3));
+    KeyGenerator keygen(ctx, 21);
+    SecretKey sk = keygen.secretKey();
+    EvalKey rlk = keygen.relinKey(sk);
+    KeySwitcher ks(ctx);
+
+    const std::size_t level = ctx.maxLevel();
+    Rng rng(22);
+    RnsPoly a(ctx.n(), ctx.basisQ(level), Domain::Eval);
+    for (std::size_t i = 0; i <= level; ++i)
+        a.tower(i) = rng.uniformPoly(ctx.n(), a.modulus(i));
+
+    auto direct = ks.keySwitch(a, rlk, level,
+                               ScheduleOrder::MaxParallel);
+    auto ext = ks.modUpExtend(a, level);
+    EXPECT_EQ(ext.size(), ctx.activeDigits(level));
+    auto hoisted = ks.applyExtended(ext, rlk, level);
+    EXPECT_EQ(direct.first, hoisted.first);
+    EXPECT_EQ(direct.second, hoisted.second);
+}
+
+TEST(KeySwitch, HoistedRotationsDecryptLikeRotate)
+{
+    // Hoisted and plain rotations are *functionally* equal: the
+    // ciphertext bits may differ by the fast-BConv u*F slack (which the
+    // evk structure cancels at decryption), but the decrypted slots
+    // must match to key-switching-noise precision.
+    CkksContext ctx(paramsWith(3));
+    Encoder enc(ctx);
+    KeyGenerator keygen(ctx, 23);
+    SecretKey sk = keygen.secretKey();
+    PublicKey pk = keygen.publicKey(sk);
+    Encryptor encryptor(ctx, pk);
+    Decryptor decryptor(ctx, sk);
+    Evaluator eval(ctx);
+    GaloisKeys gk = keygen.galoisKeys(sk, {1, 2, 7});
+
+    std::vector<double> z(enc.slots());
+    for (std::size_t i = 0; i < z.size(); ++i)
+        z[i] = 0.002 * static_cast<double>(i % 53);
+    Ciphertext ct =
+        encryptor.encrypt(enc.encode(z, ctx.maxLevel()), ctx.scale());
+
+    std::vector<long> rots = {1, 2, 7};
+    auto hoisted = eval.rotateHoisted(ct, rots, gk);
+    ASSERT_EQ(hoisted.size(), rots.size());
+    for (std::size_t i = 0; i < rots.size(); ++i) {
+        Ciphertext plain = eval.rotate(ct, rots[i], gk);
+        auto zh = enc.decode(decryptor.decrypt(hoisted[i]),
+                             hoisted[i].scale);
+        auto zp = enc.decode(decryptor.decrypt(plain), plain.scale);
+        for (std::size_t s = 0; s < enc.slots(); ++s) {
+            EXPECT_LT(std::abs(zh[s] - zp[s]), 1e-5)
+                << "r=" << rots[i] << " slot " << s;
+            // And both match the expected plaintext rotation.
+            double want =
+                z[(s + static_cast<std::size_t>(rots[i])) % enc.slots()];
+            EXPECT_LT(std::abs(zh[s] - cplx(want, 0)), 1e-4)
+                << "r=" << rots[i] << " slot " << s;
+        }
+    }
+}
+
+TEST(KeySwitch, CompressedKeyHalvesStorage)
+{
+    CkksContext ctx(paramsWith(3));
+    KeyGenerator keygen(ctx, 24);
+    SecretKey sk = keygen.secretKey();
+    RnsPoly s2 = sk.s;
+    s2.mulPointwiseInPlace(sk.s);
+    CompressedEvalKey cevk = keygen.makeCompressedEvalKey(sk, s2);
+    EvalKey evk = expandEvalKey(ctx, cevk);
+    EXPECT_LT(cevk.byteSize(), evk.byteSize() / 2 + 64);
+}
+
+TEST(KeySwitch, CompressedKeyExpansionDeterministic)
+{
+    CkksContext ctx(paramsWith(2));
+    KeyGenerator keygen(ctx, 25);
+    SecretKey sk = keygen.secretKey();
+    CompressedEvalKey cevk = keygen.makeCompressedEvalKey(sk, sk.s);
+    EvalKey e1 = expandEvalKey(ctx, cevk);
+    EvalKey e2 = expandEvalKey(ctx, cevk);
+    for (std::size_t j = 0; j < e1.digits.size(); ++j) {
+        EXPECT_EQ(e1.digits[j].a, e2.digits[j].a);
+        EXPECT_EQ(e1.digits[j].b, e2.digits[j].b);
+    }
+}
+
+TEST(KeySwitch, CompressedKeySwitchesCorrectly)
+{
+    // A multiply relinearized with an expanded compressed key must
+    // decrypt correctly.
+    CkksContext ctx(paramsWith(3));
+    Encoder enc(ctx);
+    KeyGenerator keygen(ctx, 26);
+    SecretKey sk = keygen.secretKey();
+    PublicKey pk = keygen.publicKey(sk);
+    Encryptor encryptor(ctx, pk);
+    Decryptor decryptor(ctx, sk);
+    Evaluator eval(ctx);
+
+    RnsPoly s2 = sk.s;
+    s2.mulPointwiseInPlace(sk.s);
+    EvalKey rlk = expandEvalKey(ctx, keygen.makeCompressedEvalKey(sk, s2));
+
+    std::vector<double> z(enc.slots(), 0.5);
+    Ciphertext ct =
+        encryptor.encrypt(enc.encode(z, ctx.maxLevel()), ctx.scale());
+    Ciphertext sq = eval.rescale(eval.multiply(ct, ct, rlk));
+    auto back = enc.decode(decryptor.decrypt(sq), sq.scale);
+    for (std::size_t i = 0; i < 16; ++i)
+        EXPECT_NEAR(back[i].real(), 0.25, 1e-4);
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Unit tests for 64-bit modular arithmetic primitives.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "hemath/modarith.h"
+
+using namespace ciflow;
+
+namespace
+{
+
+constexpr u64 kPrime = 0x7fffffff380001ull; // a 55-bit NTT prime shape
+
+} // namespace
+
+TEST(ModArith, AddSubNeg)
+{
+    EXPECT_EQ(addMod(5, 7, 11), 1u);
+    EXPECT_EQ(subMod(5, 7, 11), 9u);
+    EXPECT_EQ(negMod(0, 11), 0u);
+    EXPECT_EQ(negMod(4, 11), 7u);
+}
+
+TEST(ModArith, MulMatchesNaive)
+{
+    std::mt19937_64 gen(1);
+    for (int i = 0; i < 200; ++i) {
+        u64 q = (gen() % ((1ull << 61) - 3)) + 2;
+        u64 a = gen() % q, b = gen() % q;
+        u128 ref = static_cast<u128>(a) * b % q;
+        EXPECT_EQ(mulMod(a, b, q), static_cast<u64>(ref));
+    }
+}
+
+TEST(ModArith, PowModSmallCases)
+{
+    EXPECT_EQ(powMod(2, 10, 1000000007), 1024u);
+    EXPECT_EQ(powMod(3, 0, 17), 1u);
+    EXPECT_EQ(powMod(0, 5, 17), 0u);
+    // Fermat: a^(p-1) = 1 mod p.
+    EXPECT_EQ(powMod(123456, 1000000006, 1000000007), 1u);
+}
+
+TEST(ModArith, InvModIsInverse)
+{
+    std::mt19937_64 gen(2);
+    for (int i = 0; i < 100; ++i) {
+        u64 a = gen() % (kPrime - 1) + 1;
+        u64 inv = invMod(a, kPrime);
+        EXPECT_EQ(mulMod(a, inv, kPrime), 1u);
+    }
+}
+
+TEST(ModArith, ShoupMatchesPlainMul)
+{
+    std::mt19937_64 gen(3);
+    for (int i = 0; i < 500; ++i) {
+        u64 q = (gen() % ((1ull << 59) - 5)) + 3;
+        u64 w = gen() % q;
+        u64 x = gen(); // any 64-bit value is legal for Shoup's trick
+        u64 precon = preconMulMod(w, q);
+        EXPECT_EQ(mulModPrecon(x, w, precon, q),
+                  mulMod(x % q, w, q))
+            << "q=" << q << " w=" << w << " x=" << x;
+    }
+}
+
+TEST(ModArith, SignedConversions)
+{
+    EXPECT_EQ(signedToMod(-1, 17), 16u);
+    EXPECT_EQ(signedToMod(17, 17), 0u);
+    EXPECT_EQ(signedToMod(-18, 17), 16u);
+    EXPECT_EQ(toCentered(16, 17), -1);
+    EXPECT_EQ(toCentered(8, 17), 8);
+    EXPECT_EQ(toCentered(9, 17), -8);
+}
+
+TEST(ModArith, CenteredRoundTrip)
+{
+    std::mt19937_64 gen(4);
+    for (int i = 0; i < 200; ++i) {
+        u64 q = (gen() % ((1ull << 50))) | 3;
+        long long v = static_cast<long long>(gen() % q) -
+                      static_cast<long long>(q / 2);
+        EXPECT_EQ(toCentered(signedToMod(v, q), q), v);
+    }
+}

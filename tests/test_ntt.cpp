@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Unit and property tests for the negacyclic NTT.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "hemath/ntt.h"
+#include "hemath/primes.h"
+
+using namespace ciflow;
+
+namespace
+{
+
+/** Schoolbook negacyclic convolution in Z_q[X]/(X^N+1). */
+std::vector<u64>
+negacyclicMul(const std::vector<u64> &a, const std::vector<u64> &b, u64 q)
+{
+    const std::size_t n = a.size();
+    std::vector<u64> c(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            u64 p = mulMod(a[i], b[j], q);
+            std::size_t k = i + j;
+            if (k < n)
+                c[k] = addMod(c[k], p, q);
+            else
+                c[k - n] = subMod(c[k - n], p, q);
+        }
+    }
+    return c;
+}
+
+} // namespace
+
+class NttParamTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>>
+{
+};
+
+TEST_P(NttParamTest, ForwardInverseRoundTrip)
+{
+    auto [log_n, bits] = GetParam();
+    const std::size_t n = 1ull << log_n;
+    u64 q = generateNttPrimes(1, bits, n)[0];
+    NttTable t(n, q);
+
+    std::mt19937_64 gen(log_n * 1000 + bits);
+    std::vector<u64> a(n);
+    for (auto &x : a)
+        x = gen() % q;
+    std::vector<u64> orig = a;
+    t.forward(a);
+    EXPECT_NE(a, orig); // transform should not be identity
+    t.inverse(a);
+    EXPECT_EQ(a, orig);
+}
+
+TEST_P(NttParamTest, PointwiseProductIsNegacyclicConvolution)
+{
+    auto [log_n, bits] = GetParam();
+    const std::size_t n = 1ull << log_n;
+    if (n > 512)
+        GTEST_SKIP() << "schoolbook reference too slow";
+    u64 q = generateNttPrimes(1, bits, n)[0];
+    NttTable t(n, q);
+
+    std::mt19937_64 gen(99);
+    std::vector<u64> a(n), b(n);
+    for (auto &x : a)
+        x = gen() % q;
+    for (auto &x : b)
+        x = gen() % q;
+    std::vector<u64> ref = negacyclicMul(a, b, q);
+
+    t.forward(a);
+    t.forward(b);
+    std::vector<u64> c(n);
+    for (std::size_t i = 0; i < n; ++i)
+        c[i] = mulMod(a[i], b[i], q);
+    t.inverse(c);
+    EXPECT_EQ(c, ref);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, NttParamTest,
+    ::testing::Values(std::make_tuple(3, 30), std::make_tuple(5, 40),
+                      std::make_tuple(8, 45), std::make_tuple(9, 50),
+                      std::make_tuple(12, 45), std::make_tuple(13, 55)));
+
+TEST(Ntt, LinearityProperty)
+{
+    const std::size_t n = 256;
+    u64 q = generateNttPrimes(1, 45, n)[0];
+    NttTable t(n, q);
+    std::mt19937_64 gen(5);
+    std::vector<u64> a(n), b(n);
+    for (auto &x : a)
+        x = gen() % q;
+    for (auto &x : b)
+        x = gen() % q;
+
+    // NTT(a + b) == NTT(a) + NTT(b)
+    std::vector<u64> sum(n);
+    for (std::size_t i = 0; i < n; ++i)
+        sum[i] = addMod(a[i], b[i], q);
+    t.forward(sum);
+    t.forward(a);
+    t.forward(b);
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(sum[i], addMod(a[i], b[i], q));
+}
+
+TEST(Ntt, MultiplyByXIsNegacyclicShift)
+{
+    const std::size_t n = 128;
+    u64 q = generateNttPrimes(1, 40, n)[0];
+    NttTable t(n, q);
+    std::mt19937_64 gen(6);
+    std::vector<u64> a(n);
+    for (auto &x : a)
+        x = gen() % q;
+
+    // b = X: multiply in eval domain, expect shifted-with-sign coeffs.
+    std::vector<u64> x_poly(n, 0);
+    x_poly[1] = 1;
+    std::vector<u64> av = a, xv = x_poly;
+    t.forward(av);
+    t.forward(xv);
+    for (std::size_t i = 0; i < n; ++i)
+        av[i] = mulMod(av[i], xv[i], q);
+    t.inverse(av);
+
+    EXPECT_EQ(av[0], negMod(a[n - 1], q));
+    for (std::size_t i = 1; i < n; ++i)
+        EXPECT_EQ(av[i], a[i - 1]);
+}
+
+TEST(Ntt, TransformOfDeltaIsAllOnesTimesPsi)
+{
+    // NTT of the constant polynomial 1 has every evaluation equal 1.
+    const std::size_t n = 64;
+    u64 q = generateNttPrimes(1, 40, n)[0];
+    NttTable t(n, q);
+    std::vector<u64> one(n, 0);
+    one[0] = 1;
+    t.forward(one);
+    for (u64 v : one)
+        EXPECT_EQ(v, 1u);
+}
+
+TEST(Ntt, ButterflyCount)
+{
+    NttTable t(1 << 10, generateNttPrimes(1, 40, 1 << 10)[0]);
+    EXPECT_EQ(t.butterflies(), (1u << 9) * 10);
+}
+
+TEST(Ntt, RejectsBadModulus)
+{
+    // q = 17 is prime but 16 !≡ 0 mod 2*16 for n=16? 16 % 32 != 0.
+    EXPECT_DEATH({ NttTable t(16, 17); }, "");
+}

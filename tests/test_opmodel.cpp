@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests for the HKS operation-count model, including the closed-form
+ * complexity expressions from §III.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hksflow/opmodel.h"
+
+using namespace ciflow;
+
+namespace
+{
+
+std::uint64_t
+nttOps(const HksParams &p)
+{
+    return std::uint64_t(p.n()) / 2 * p.logN * 3;
+}
+
+} // namespace
+
+TEST(OpModel, NttTowerCounts)
+{
+    const HksParams &p = benchmarkByName("ARK");
+    OpModel om(p);
+    // N=2^16: butterflies = 2^15 * 16; 3 ops each; N*logN shuffles.
+    EXPECT_EQ(om.nttTower().modOps, (1ull << 15) * 16 * 3);
+    EXPECT_EQ(om.nttTower().shuffleOps, (1ull << 16) * 16);
+}
+
+TEST(OpModel, BconvDecomposition)
+{
+    const HksParams &p = benchmarkByName("BTS3");
+    OpModel om(p);
+    // Full conversion = scale once + one column per target.
+    const std::size_t a = 15, b = 45;
+    std::uint64_t via_cols = om.bconvScale(a).modOps;
+    for (std::size_t j = 0; j < b; ++j)
+        via_cols += om.bconvColumn(a).modOps;
+    EXPECT_EQ(via_cols,
+              om.bconvScale(a).modOps + om.bconvAccum(a, b).modOps);
+}
+
+TEST(OpModel, ModUpClosedForm)
+{
+    // For a non-ragged benchmark, ModUp ops =
+    //   kl*NTT + dnum*(N*alpha + 2N*alpha*beta) + dnum*beta*NTT
+    //   + dnum*(kl+kp)*2N + (dnum-1)*(kl+kp)*2N.
+    const HksParams &p = benchmarkByName("BTS3");
+    OpModel om(p);
+    const std::uint64_t n = p.n();
+    std::uint64_t expect =
+        p.kl * nttOps(p) +
+        p.dnum * (n * p.alpha + 2 * n * p.alpha * p.beta()) +
+        p.dnum * p.beta() * nttOps(p) +
+        p.dnum * p.extTowers() * 2 * n +
+        (p.dnum - 1) * p.extTowers() * 2 * n;
+    EXPECT_EQ(om.totalModUp().modOps, expect);
+}
+
+TEST(OpModel, ModDownClosedForm)
+{
+    // 2kp*NTT + 2*(N*kp + 2N*kp*kl) + 2kl*NTT + 2kl*2N.
+    const HksParams &p = benchmarkByName("ARK");
+    OpModel om(p);
+    const std::uint64_t n = p.n();
+    std::uint64_t expect = 2 * p.kp * nttOps(p) +
+                           2 * (n * p.kp + 2 * n * p.kp * p.kl) +
+                           2 * p.kl * nttOps(p) + 2 * p.kl * 2 * n;
+    EXPECT_EQ(om.totalModDown().modOps, expect);
+}
+
+TEST(OpModel, TotalIsSumOfPhases)
+{
+    for (const auto &p : paperBenchmarks()) {
+        OpModel om(p);
+        EXPECT_EQ(om.totalHks().modOps,
+                  om.totalModUp().modOps + om.totalModDown().modOps);
+        EXPECT_EQ(om.totalHks().shuffleOps,
+                  om.totalModUp().shuffleOps +
+                      om.totalModDown().shuffleOps);
+    }
+}
+
+TEST(OpModel, Bts1HasNoReduce)
+{
+    // dnum = 1: the reduce term vanishes.
+    const HksParams &p = benchmarkByName("BTS1");
+    OpModel om(p);
+    const std::uint64_t n = p.n();
+    std::uint64_t keymul = p.dnum * p.extTowers() * 2 * n;
+    std::uint64_t modup_pointwise =
+        om.totalModUp().modOps - p.kl * nttOps(p) -
+        p.dnum * p.beta() * nttOps(p) -
+        p.dnum * (n * p.alpha + 2 * n * p.alpha * p.beta());
+    EXPECT_EQ(modup_pointwise, keymul); // no reduce contribution
+}
+
+TEST(OpModel, RaggedDigitsCounted)
+{
+    // DPRIVE: digit sizes 9, 9, 8; conversion targets 24, 24, 25.
+    const HksParams &p = benchmarkByName("DPRIVE");
+    OpModel om(p);
+    const std::uint64_t n = p.n();
+    std::uint64_t bconv = 0;
+    for (std::size_t j = 0; j < p.dnum; ++j) {
+        std::size_t a = p.digitTowers(j);
+        std::size_t b = p.extTowers() - a;
+        bconv += n * a + 2 * n * a * b;
+    }
+    std::uint64_t expect = p.kl * nttOps(p) + bconv;
+    for (std::size_t j = 0; j < p.dnum; ++j)
+        expect += (p.extTowers() - p.digitTowers(j)) * nttOps(p);
+    expect += p.dnum * p.extTowers() * 2 * n;
+    expect += (p.dnum - 1) * p.extTowers() * 2 * n;
+    EXPECT_EQ(om.totalModUp().modOps, expect);
+}
+
+TEST(OpModel, PaperScaleSanity)
+{
+    // BTS3 should land in the ~2e9 modop range (AI ~1 at ~1.9 GB moved).
+    OpModel om(benchmarkByName("BTS3"));
+    std::uint64_t total = om.totalHks().modOps;
+    EXPECT_GT(total, 1'500'000'000ull);
+    EXPECT_LT(total, 2'500'000'000ull);
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Unit tests for primality testing and NTT-prime generation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hemath/primes.h"
+
+using namespace ciflow;
+
+TEST(Primes, SmallKnownValues)
+{
+    EXPECT_FALSE(isPrime(0));
+    EXPECT_FALSE(isPrime(1));
+    EXPECT_TRUE(isPrime(2));
+    EXPECT_TRUE(isPrime(3));
+    EXPECT_FALSE(isPrime(4));
+    EXPECT_TRUE(isPrime(97));
+    EXPECT_FALSE(isPrime(561));   // Carmichael number
+    EXPECT_FALSE(isPrime(41041)); // Carmichael number
+}
+
+TEST(Primes, LargeKnownValues)
+{
+    EXPECT_TRUE(isPrime(1000000007ull));
+    EXPECT_TRUE(isPrime((1ull << 61) - 1)); // Mersenne prime M61
+    EXPECT_FALSE(isPrime((1ull << 59) - 1));
+    // Largest 64-bit prime, and an obvious composite neighbor.
+    EXPECT_TRUE(isPrime(18446744073709551557ull));
+    EXPECT_FALSE(isPrime(18446744073709551555ull));
+}
+
+TEST(Primes, GeneratedPrimesAreNttFriendly)
+{
+    const std::size_t n = 1 << 12;
+    auto primes = generateNttPrimes(5, 45, n);
+    ASSERT_EQ(primes.size(), 5u);
+    for (u64 q : primes) {
+        EXPECT_TRUE(isPrime(q));
+        EXPECT_EQ((q - 1) % (2 * n), 0u);
+        EXPECT_GE(q, 1ull << 44);
+        EXPECT_LT(q, 1ull << 45);
+    }
+    // All distinct.
+    for (std::size_t i = 0; i < primes.size(); ++i)
+        for (std::size_t j = i + 1; j < primes.size(); ++j)
+            EXPECT_NE(primes[i], primes[j]);
+}
+
+TEST(Primes, AvoidListRespected)
+{
+    const std::size_t n = 1 << 10;
+    auto first = generateNttPrimes(3, 40, n);
+    auto second = generateNttPrimes(3, 40, n, first);
+    for (u64 q : second)
+        for (u64 p : first)
+            EXPECT_NE(q, p);
+}
+
+TEST(Primes, PrimitiveRootHasOrder2N)
+{
+    const std::size_t n = 1 << 10;
+    auto primes = generateNttPrimes(3, 45, n);
+    for (u64 q : primes) {
+        u64 psi = findPrimitiveRoot2N(q, n);
+        EXPECT_EQ(powMod(psi, n, q), q - 1);          // psi^N = -1
+        EXPECT_EQ(powMod(psi, 2 * n, q), 1u);         // psi^{2N} = 1
+        EXPECT_NE(powMod(psi, n / 2, q), q - 1);      // order not < 2N
+    }
+}
+
+TEST(Primes, DifferentDegreesDifferentCongruence)
+{
+    for (std::size_t log_n : {10u, 12u, 14u}) {
+        const std::size_t n = 1ull << log_n;
+        auto p = generateNttPrimes(1, 50, n);
+        EXPECT_EQ((p[0] - 1) % (2 * n), 0u);
+    }
+}

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests for B1K instruction-stream generation and the frontend pipeline
+ * model, including the paper's vector-length argument.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rpu/program.h"
+
+using namespace ciflow;
+
+namespace
+{
+
+constexpr std::size_t kN = 1 << 14;
+constexpr std::size_t kVl = 1024;
+constexpr std::size_t kLanes = 128;
+
+} // namespace
+
+TEST(Program, QueueCountsSplitCorrectly)
+{
+    Program p;
+    p.push(B1kOp::VMMUL);
+    p.push(B1kOp::VSHUF);
+    p.push(B1kOp::VLD);
+    p.push(B1kOp::SADD);
+    InstrCounts c = p.queueCounts();
+    EXPECT_EQ(c.compute, 2u); // VMMUL + scalar SADD share the frontend
+    EXPECT_EQ(c.shuffle, 1u);
+    EXPECT_EQ(c.memory, 1u);
+    EXPECT_EQ(p.countOp(B1kOp::VSHUF), 1u);
+}
+
+TEST(Program, AppendConcatenates)
+{
+    KernelGen kg(kVl, kN);
+    Program a = kg.pointwiseMul();
+    Program b = kg.pointwiseMac();
+    std::size_t na = a.size();
+    a.append(b);
+    EXPECT_EQ(a.size(), na + b.size());
+}
+
+TEST(KernelGen, NttInstructionCountsMatchCodeGen)
+{
+    // The emitted stream's vector-instruction counts must equal the
+    // count model used by the task-level engine.
+    KernelGen kg(kVl, kN);
+    Program p = kg.nttTower(false);
+
+    std::size_t log_n = 14;
+    // Butterflies: (N/2)/VL per stage; shuffles: N/VL per stage.
+    EXPECT_EQ(p.countOp(B1kOp::VBFLY), (kN / 2 / kVl) * log_n);
+    EXPECT_EQ(p.countOp(B1kOp::VSHUF), (kN / kVl) * log_n);
+
+    CodeGen cg(kVl);
+    Task t;
+    t.kind = TaskKind::Compute;
+    t.stage = StageId::ModUpNtt;
+    t.modOps = kN / 2 * log_n * 3;
+    t.shuffleOps = kN * log_n;
+    InstrCounts expect = cg.forComputeTask(t);
+    EXPECT_EQ(p.countOp(B1kOp::VBFLY), expect.compute);
+    EXPECT_EQ(p.countOp(B1kOp::VSHUF), expect.shuffle);
+}
+
+TEST(KernelGen, InverseNttAddsScaling)
+{
+    KernelGen kg(kVl, kN);
+    Program fwd = kg.nttTower(false);
+    Program inv = kg.nttTower(true);
+    EXPECT_EQ(inv.countOp(B1kOp::VIBFLY), fwd.countOp(B1kOp::VBFLY));
+    EXPECT_EQ(inv.countOp(B1kOp::VMSMUL), kN / kVl);
+    EXPECT_GT(inv.size(), fwd.size());
+}
+
+TEST(KernelGen, BconvColumnOpsPerSourceTower)
+{
+    KernelGen kg(kVl, kN);
+    Program p = kg.bconvColumn(6);
+    EXPECT_EQ(p.countOp(B1kOp::VMSMUL), 6 * kN / kVl);
+    EXPECT_EQ(p.countOp(B1kOp::VMMACC), 6 * kN / kVl);
+}
+
+TEST(KernelGen, TransferUsesMemoryQueue)
+{
+    KernelGen kg(kVl, kN);
+    Program ld = kg.towerTransfer(false);
+    Program st = kg.towerTransfer(true);
+    EXPECT_EQ(ld.countOp(B1kOp::VLD), kN / kVl);
+    EXPECT_EQ(st.countOp(B1kOp::VST), kN / kVl);
+    EXPECT_EQ(ld.queueCounts().memory, kN / kVl);
+}
+
+TEST(Pipeline, ComputeBoundKernelNearFullUtilization)
+{
+    // B1K (VL=1024) on 128 lanes: 8 cycles of work per decode slot —
+    // the frontend easily keeps the HPLEs fed on pointwise kernels.
+    KernelGen kg(kVl, kN);
+    PipelineStats s = replayProgram(kg.pointwiseMul(), kVl, kLanes);
+    EXPECT_GT(s.computeUtilization(), 0.9);
+    EXPECT_EQ(s.frontendStall, 0u);
+}
+
+TEST(Pipeline, ShortVectorsStarveTheBackend)
+{
+    // The §V-A argument: with VL = lanes, each vector instruction is
+    // one cycle of work, and the NTT's interleaved shuffle/scalar
+    // traffic leaves the lane pipes under-utilized.
+    KernelGen wide(1024, kN);
+    KernelGen narrow(128, kN);
+    PipelineStats sw = replayProgram(wide.nttTower(false), 1024, kLanes);
+    PipelineStats sn =
+        replayProgram(narrow.nttTower(false), 128, kLanes);
+    EXPECT_GT(sw.computeUtilization(), sn.computeUtilization() * 1.4);
+    // Total work is the same, so cycles must be worse for narrow.
+    EXPECT_GT(sn.cycles, sw.cycles);
+}
+
+TEST(Pipeline, CyclesAtLeastBusyTime)
+{
+    KernelGen kg(kVl, kN);
+    for (bool inverse : {false, true}) {
+        PipelineStats s =
+            replayProgram(kg.nttTower(inverse), kVl, kLanes);
+        EXPECT_GE(s.cycles, s.computeBusy);
+        EXPECT_GE(s.cycles, s.shuffleBusy);
+    }
+}
+
+TEST(Pipeline, ShuffleOverlapsCompute)
+{
+    // NTT stages alternate butterflies and shuffles; with both pipes
+    // running concurrently total cycles must be well under the serial
+    // sum of both pipes' busy time.
+    KernelGen kg(kVl, kN);
+    PipelineStats s = replayProgram(kg.nttTower(false), kVl, kLanes);
+    EXPECT_LT(s.cycles,
+              (s.computeBusy + s.shuffleBusy) * 95 / 100);
+}
+
+TEST(Pipeline, EmptyProgram)
+{
+    Program p;
+    PipelineStats s = replayProgram(p, kVl, kLanes);
+    EXPECT_EQ(s.cycles, 0u);
+    EXPECT_EQ(s.computeBusy, 0u);
+}

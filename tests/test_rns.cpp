@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Unit tests for RNS bases and CRT reconstruction.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "hemath/primes.h"
+#include "hemath/rns.h"
+
+using namespace ciflow;
+
+namespace
+{
+
+RnsBase
+makeBase(std::size_t count, std::size_t bits, std::size_t n = 1 << 10)
+{
+    return RnsBase(generateNttPrimes(count, bits, n));
+}
+
+} // namespace
+
+TEST(Rns, ProductAndPunctured)
+{
+    RnsBase base({3, 5, 7});
+    EXPECT_EQ(base.product().low64(), 105u);
+    EXPECT_EQ(base.puncturedProduct(0).low64(), 35u);
+    EXPECT_EQ(base.puncturedProduct(1).low64(), 21u);
+    EXPECT_EQ(base.puncturedProduct(2).low64(), 15u);
+    // 35^{-1} mod 3: 35 = 2 mod 3, inverse of 2 mod 3 is 2.
+    EXPECT_EQ(base.puncturedInv(0), 2u);
+}
+
+TEST(Rns, DecomposeReconstructSmall)
+{
+    RnsBase base({3, 5, 7});
+    for (u64 x = 0; x < 105; ++x) {
+        auto res = base.decompose(UBigInt(x));
+        EXPECT_EQ(base.reconstruct(res).low64(), x);
+    }
+}
+
+TEST(Rns, DecomposeReconstructLarge)
+{
+    RnsBase base = makeBase(6, 45);
+    std::mt19937_64 gen(11);
+    for (int i = 0; i < 30; ++i) {
+        UBigInt x = UBigInt(gen()) * UBigInt(gen()) * UBigInt(gen()) %
+                    base.product();
+        auto res = base.decompose(x);
+        EXPECT_EQ(base.reconstruct(res), x);
+    }
+}
+
+TEST(Rns, CenteredReconstruction)
+{
+    RnsBase base({3, 5, 7}); // B = 105
+    // +13 and -13 (i.e. 92 mod 105).
+    UBigInt mag;
+    bool neg;
+    base.reconstructCentered(base.decompose(UBigInt(13)), mag, neg);
+    EXPECT_FALSE(neg);
+    EXPECT_EQ(mag.low64(), 13u);
+    base.reconstructCentered(base.decompose(UBigInt(92)), mag, neg);
+    EXPECT_TRUE(neg);
+    EXPECT_EQ(mag.low64(), 13u);
+}
+
+TEST(Rns, SubBaseAndConcat)
+{
+    RnsBase base = makeBase(6, 40);
+    RnsBase lo = base.subBase(0, 3);
+    RnsBase hi = base.subBase(3, 3);
+    RnsBase joined = lo.concat(hi);
+    EXPECT_EQ(joined.primes(), base.primes());
+    EXPECT_EQ(joined.product(), base.product());
+}
+
+TEST(Rns, RejectsDuplicatePrimes)
+{
+    EXPECT_DEATH({ RnsBase base({5, 5, 7}); }, "");
+}
+
+TEST(Rns, ArithmeticHomomorphism)
+{
+    // CRT is a ring isomorphism: residue-wise ops match bigint ops.
+    RnsBase base = makeBase(4, 40);
+    std::mt19937_64 gen(13);
+    for (int iter = 0; iter < 20; ++iter) {
+        UBigInt x = UBigInt(gen()) * UBigInt(gen()) % base.product();
+        UBigInt y = UBigInt(gen()) * UBigInt(gen()) % base.product();
+        auto rx = base.decompose(x);
+        auto ry = base.decompose(y);
+        std::vector<u64> sum(rx.size()), prod(rx.size());
+        for (std::size_t i = 0; i < rx.size(); ++i) {
+            sum[i] = addMod(rx[i], ry[i], base.modulus(i));
+            prod[i] = mulMod(rx[i], ry[i], base.modulus(i));
+        }
+        EXPECT_EQ(base.reconstruct(sum), (x + y) % base.product());
+        EXPECT_EQ(base.reconstruct(prod), (x * y) % base.product());
+    }
+}

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Round-trip and validation tests for binary serialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ckks/encoder.h"
+#include "ckks/encryptor.h"
+#include "ckks/evaluator.h"
+#include "ckks/serialize.h"
+
+using namespace ciflow;
+
+namespace
+{
+
+CkksParams
+smallParams()
+{
+    CkksParams p;
+    p.logN = 10;
+    p.maxLevel = 3;
+    p.dnum = 2;
+    return p;
+}
+
+} // namespace
+
+class SerializeTest : public ::testing::Test
+{
+  protected:
+    SerializeTest()
+        : ctx(smallParams()), enc(ctx), keygen(ctx, 55),
+          sk(keygen.secretKey()), pk(keygen.publicKey(sk)),
+          encryptor(ctx, pk), decryptor(ctx, sk)
+    {
+    }
+
+    CkksContext ctx;
+    Encoder enc;
+    KeyGenerator keygen;
+    SecretKey sk;
+    PublicKey pk;
+    Encryptor encryptor;
+    Decryptor decryptor;
+};
+
+TEST_F(SerializeTest, PolyRoundTrip)
+{
+    std::vector<double> z(enc.slots(), 0.75);
+    RnsPoly p = enc.encode(z, ctx.maxLevel());
+    std::stringstream ss;
+    writePoly(ss, p);
+    RnsPoly q = readPoly(ss);
+    EXPECT_EQ(p, q);
+}
+
+TEST_F(SerializeTest, EvalDomainPolyRoundTrip)
+{
+    RnsPoly p = enc.encode(std::vector<double>{1.0, 2.0}, 1);
+    p.toEval(ctx.ntt());
+    std::stringstream ss;
+    writePoly(ss, p);
+    RnsPoly q = readPoly(ss);
+    EXPECT_EQ(q.domain(), Domain::Eval);
+    EXPECT_EQ(p, q);
+}
+
+TEST_F(SerializeTest, CiphertextRoundTripDecrypts)
+{
+    std::vector<double> z(enc.slots());
+    for (std::size_t i = 0; i < z.size(); ++i)
+        z[i] = 0.001 * static_cast<double>(i % 31);
+    Ciphertext ct =
+        encryptor.encrypt(enc.encode(z, ctx.maxLevel()), ctx.scale());
+
+    std::stringstream ss;
+    writeCiphertext(ss, ct);
+    Ciphertext back = readCiphertext(ss);
+    EXPECT_EQ(back.level, ct.level);
+    EXPECT_DOUBLE_EQ(back.scale, ct.scale);
+    EXPECT_EQ(back.c0, ct.c0);
+    EXPECT_EQ(back.c1, ct.c1);
+
+    auto got = enc.decode(decryptor.decrypt(back), back.scale);
+    for (std::size_t i = 0; i < 16; ++i)
+        EXPECT_NEAR(got[i].real(), z[i], 1e-5);
+}
+
+TEST_F(SerializeTest, EvalKeyRoundTripStillSwitches)
+{
+    EvalKey rlk = keygen.relinKey(sk);
+    std::stringstream ss;
+    writeEvalKey(ss, rlk);
+    EvalKey back = readEvalKey(ss);
+    ASSERT_EQ(back.digits.size(), rlk.digits.size());
+    for (std::size_t j = 0; j < rlk.digits.size(); ++j) {
+        EXPECT_EQ(back.digits[j].a, rlk.digits[j].a);
+        EXPECT_EQ(back.digits[j].b, rlk.digits[j].b);
+    }
+
+    // Use the deserialized key in a real multiply.
+    Evaluator eval(ctx);
+    std::vector<double> z(enc.slots(), 0.5);
+    Ciphertext ct =
+        encryptor.encrypt(enc.encode(z, ctx.maxLevel()), ctx.scale());
+    Ciphertext sq = eval.rescale(eval.multiply(ct, ct, back));
+    auto got = enc.decode(decryptor.decrypt(sq), sq.scale);
+    EXPECT_NEAR(got[0].real(), 0.25, 1e-4);
+}
+
+TEST_F(SerializeTest, CompressedKeyRoundTripAndSize)
+{
+    RnsPoly s2 = sk.s;
+    s2.mulPointwiseInPlace(sk.s);
+    CompressedEvalKey cevk = keygen.makeCompressedEvalKey(sk, s2);
+
+    std::stringstream css, fss;
+    writeCompressedEvalKey(css, cevk);
+    writeEvalKey(fss, expandEvalKey(ctx, cevk));
+    // Compressed stream is about half the full key stream.
+    EXPECT_LT(css.str().size(), fss.str().size() * 6 / 10);
+
+    CompressedEvalKey back = readCompressedEvalKey(css);
+    ASSERT_EQ(back.digits.size(), cevk.digits.size());
+    for (std::size_t j = 0; j < cevk.digits.size(); ++j) {
+        EXPECT_EQ(back.digits[j].seed, cevk.digits[j].seed);
+        EXPECT_EQ(back.digits[j].b, cevk.digits[j].b);
+    }
+    // Expansion of the deserialized key matches the original's.
+    EvalKey e1 = expandEvalKey(ctx, cevk);
+    EvalKey e2 = expandEvalKey(ctx, back);
+    for (std::size_t j = 0; j < e1.digits.size(); ++j)
+        EXPECT_EQ(e1.digits[j].a, e2.digits[j].a);
+}
+
+TEST_F(SerializeTest, GaloisKeysRoundTrip)
+{
+    GaloisKeys gk = keygen.galoisKeys(sk, {1, 5}, true);
+    std::stringstream ss;
+    writeGaloisKeys(ss, gk);
+    GaloisKeys back = readGaloisKeys(ss);
+    ASSERT_EQ(back.keys.size(), gk.keys.size());
+    for (const auto &[g, evk] : gk.keys) {
+        auto it = back.keys.find(g);
+        ASSERT_NE(it, back.keys.end());
+        EXPECT_EQ(it->second.digits[0].b, evk.digits[0].b);
+    }
+}
+
+TEST_F(SerializeTest, RejectsBadMagic)
+{
+    std::stringstream ss;
+    ss << "not a ciflow stream at all, definitely";
+    EXPECT_DEATH(readPoly(ss), "");
+}
+
+TEST_F(SerializeTest, RejectsTruncatedStream)
+{
+    RnsPoly p = enc.encode(std::vector<double>{1.0}, 1);
+    std::stringstream ss;
+    writePoly(ss, p);
+    std::string bytes = ss.str();
+    std::stringstream truncated(bytes.substr(0, bytes.size() / 2));
+    EXPECT_DEATH(readPoly(truncated), "");
+}
+
+TEST_F(SerializeTest, RejectsUnreducedResidues)
+{
+    RnsPoly p = enc.encode(std::vector<double>{1.0}, 0);
+    std::stringstream ss;
+    writePoly(ss, p);
+    std::string bytes = ss.str();
+    // Corrupt one residue to be >= modulus: flip high bits of the last
+    // 8 payload bytes.
+    for (std::size_t i = bytes.size() - 8; i < bytes.size(); ++i)
+        bytes[i] = static_cast<char>(0xff);
+    std::stringstream corrupted(bytes);
+    EXPECT_DEATH(readPoly(corrupted), "");
+}

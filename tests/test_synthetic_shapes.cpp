@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Property sweep over synthetic HKS shapes beyond the five paper
+ * benchmarks: the dataflow invariants (op equality, traffic ordering,
+ * compulsory-traffic floor, graph validity, engine monotonicity) must
+ * hold for arbitrary (logN, kl, kp, dnum) combinations, including
+ * ragged digit splits and degenerate single-digit / single-special
+ * cases.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hksflow/opmodel.h"
+#include "hksflow/traffic.h"
+#include "rpu/experiment.h"
+
+using namespace ciflow;
+
+namespace
+{
+
+struct Shape
+{
+    std::size_t logN, kl, kp, dnum;
+};
+
+HksParams
+makeParams(const Shape &s)
+{
+    std::size_t alpha = (s.kl + s.dnum - 1) / s.dnum;
+    return {"SYN", s.logN, s.kl, s.kp, s.dnum, alpha};
+}
+
+MemoryConfig
+memFor(const HksParams &p)
+{
+    // Capacity scaled to the shape: roughly a third of the temp data,
+    // but never below the feasibility minimum.
+    std::uint64_t cap = p.tempBytes() / 3;
+    for (Dataflow d : allDataflows())
+        cap = std::max(cap, minDataCapacity(p, d));
+    return {cap, false};
+}
+
+} // namespace
+
+class SyntheticShape : public ::testing::TestWithParam<Shape>
+{
+  protected:
+    SyntheticShape() : par(makeParams(GetParam())), mem(memFor(par)) {}
+
+    HksParams par;
+    MemoryConfig mem;
+};
+
+TEST_P(SyntheticShape, OpCountsInvariantAcrossDataflows)
+{
+    OpModel om(par);
+    for (Dataflow d : allDataflows()) {
+        TaskGraph g = buildHksGraph(par, d, mem);
+        EXPECT_EQ(g.totalModOps(), om.totalHks().modOps)
+            << dataflowName(d);
+        EXPECT_EQ(g.totalShuffleOps(), om.totalHks().shuffleOps)
+            << dataflowName(d);
+    }
+}
+
+TEST_P(SyntheticShape, OcNeverMovesMoreThanMp)
+{
+    TaskGraph mp = buildHksGraph(par, Dataflow::MP, mem);
+    TaskGraph oc = buildHksGraph(par, Dataflow::OC, mem);
+    EXPECT_LE(oc.trafficBytes(), mp.trafficBytes());
+}
+
+TEST_P(SyntheticShape, CompulsoryTrafficFloor)
+{
+    for (Dataflow d : allDataflows()) {
+        TaskGraph g = buildHksGraph(par, d, mem);
+        EXPECT_GE(g.loadBytes(), par.inputBytes() + par.evkBytes())
+            << dataflowName(d);
+        EXPECT_GE(g.storeBytes(), par.outputBytes()) << dataflowName(d);
+        g.validate();
+    }
+}
+
+TEST_P(SyntheticShape, EvkBytesExact)
+{
+    for (Dataflow d : allDataflows()) {
+        TaskGraph g = buildHksGraph(par, d, mem);
+        EXPECT_EQ(g.evkBytes(), par.evkBytes()) << dataflowName(d);
+    }
+}
+
+TEST_P(SyntheticShape, EngineMonotoneAndDeadlockFree)
+{
+    for (Dataflow d : allDataflows()) {
+        HksExperiment exp(par, d, mem);
+        double prev = 1e99;
+        for (double bw : {4.0, 16.0, 64.0, 256.0}) {
+            double rt = exp.simulate(bw).runtime;
+            EXPECT_GT(rt, 0.0);
+            EXPECT_LE(rt, prev * (1 + 1e-9)) << dataflowName(d);
+            prev = rt;
+        }
+    }
+}
+
+TEST_P(SyntheticShape, DigitGeometryConsistent)
+{
+    std::size_t total = 0;
+    for (std::size_t j = 0; j < par.dnum; ++j) {
+        EXPECT_GE(par.digitTowers(j), 1u);
+        EXPECT_LE(par.digitTowers(j), par.alpha);
+        total += par.digitTowers(j);
+    }
+    EXPECT_EQ(total, par.kl);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SyntheticShape,
+    ::testing::Values(
+        Shape{14, 8, 4, 2},    // small, even split
+        Shape{14, 9, 3, 2},    // ragged: 5 + 4
+        Shape{15, 12, 4, 3},   // mid-size
+        Shape{15, 7, 7, 1},    // single digit (BTS1-like)
+        Shape{16, 20, 4, 5},   // many digits
+        Shape{16, 13, 2, 4},   // ragged: 4+4+4+1, tiny P
+        Shape{17, 30, 10, 2},  // large, wide digits
+        Shape{13, 6, 6, 6},    // alpha = 1
+        Shape{17, 45, 15, 5},  // BTS3 towers, more digits
+        Shape{16, 24, 6, 2}),  // ARK towers, fewer digits
+    [](const ::testing::TestParamInfo<Shape> &info) {
+        const Shape &s = info.param;
+        return "logN" + std::to_string(s.logN) + "_kl" +
+               std::to_string(s.kl) + "_kp" + std::to_string(s.kp) +
+               "_d" + std::to_string(s.dnum);
+    });

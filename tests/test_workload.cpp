@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Tests for the multi-operation workload model and inter-operation key
+ * reuse.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rpu/workload.h"
+
+using namespace ciflow;
+
+namespace
+{
+
+MemoryConfig
+streamed()
+{
+    return {32ull << 20, false};
+}
+
+} // namespace
+
+TEST(Workload, GeneratorsShape)
+{
+    HeWorkload red = HeWorkload::reduction(16);
+    EXPECT_EQ(red.ops.size(), 4u); // rotations by 8,4,2,1
+    EXPECT_EQ(red.distinctKeyCount(), 4u);
+
+    HeWorkload mv = HeWorkload::matVec(8);
+    EXPECT_EQ(mv.ops.size(), 8u); // 7 rotations + 1 relin
+    EXPECT_EQ(mv.distinctKeyCount(), 8u);
+    EXPECT_EQ(mv.ops.back().kind, HeOpKind::Multiply);
+
+    HeWorkload rn = HeWorkload::resnet20(100, 10);
+    EXPECT_EQ(rn.keySwitchCount(), 100u);
+    EXPECT_EQ(rn.distinctKeyCount(), 10u);
+}
+
+TEST(Workload, RuntimeIsPerOpSum)
+{
+    const HksParams &ark = benchmarkByName("ARK");
+    HksExperiment exp(ark, Dataflow::OC, streamed());
+    double per_op = exp.simulate(32.0).runtime;
+
+    HeWorkload wl = HeWorkload::resnet20(10, 10);
+    WorkloadStats s =
+        simulateWorkload(wl, ark, Dataflow::OC, streamed(), 32.0);
+    EXPECT_NEAR(s.runtime, 10 * per_op, 1e-12);
+    EXPECT_EQ(s.keyCacheHits, 0u);
+    EXPECT_EQ(s.evkBytes, 10 * ark.evkBytes());
+}
+
+TEST(Workload, KeyCacheTurnsRepeatsIntoHits)
+{
+    const HksParams &ark = benchmarkByName("ARK");
+    // 100 rotations over 4 distinct keys; cache sized for 4 keys.
+    HeWorkload wl = HeWorkload::resnet20(100, 4);
+    KeyCacheConfig cache{4 * ark.evkBytes()};
+    WorkloadStats s = simulateWorkload(wl, ark, Dataflow::OC, streamed(),
+                                       32.0, cache);
+    EXPECT_EQ(s.keyCacheHits, 96u); // all but the first use of each key
+    EXPECT_EQ(s.evkBytes, 4 * ark.evkBytes());
+
+    WorkloadStats no_cache =
+        simulateWorkload(wl, ark, Dataflow::OC, streamed(), 32.0);
+    EXPECT_LT(s.runtime, no_cache.runtime);
+    EXPECT_LT(s.trafficBytes, no_cache.trafficBytes);
+}
+
+TEST(Workload, CacheTooSmallThrashes)
+{
+    const HksParams &ark = benchmarkByName("ARK");
+    // Round-robin over 8 keys with a 4-key cache: LRU never hits.
+    HeWorkload wl = HeWorkload::resnet20(64, 8);
+    KeyCacheConfig cache{4 * ark.evkBytes()};
+    WorkloadStats s = simulateWorkload(wl, ark, Dataflow::OC, streamed(),
+                                       32.0, cache);
+    EXPECT_EQ(s.keyCacheHits, 0u);
+}
+
+TEST(Workload, OnChipKeysAreAlwaysHits)
+{
+    const HksParams &ark = benchmarkByName("ARK");
+    MemoryConfig on{32ull << 20, true};
+    HeWorkload wl = HeWorkload::matVec(16);
+    WorkloadStats s =
+        simulateWorkload(wl, ark, Dataflow::OC, on, 32.0);
+    EXPECT_EQ(s.keyCacheHits, wl.ops.size());
+    EXPECT_EQ(s.evkBytes, 0u);
+}
+
+TEST(Workload, OcBeatsMpAtWorkloadScale)
+{
+    // The paper's end-to-end motivation: the per-HKS advantage
+    // compounds linearly over a rotation-heavy workload.
+    const HksParams &ark = benchmarkByName("ARK");
+    HeWorkload wl = HeWorkload::resnet20(200, 32);
+    WorkloadStats mp = simulateWorkload(wl, ark, Dataflow::MP,
+                                        streamed(), 16.0);
+    WorkloadStats oc = simulateWorkload(wl, ark, Dataflow::OC,
+                                        streamed(), 16.0);
+    EXPECT_GT(mp.runtime / oc.runtime, 2.0);
+}
+
+TEST(Workload, ReductionRejectsBadWidth)
+{
+    EXPECT_DEATH(HeWorkload::reduction(3), "");
+    EXPECT_DEATH(HeWorkload::reduction(0), "");
+}
