@@ -5,13 +5,15 @@
  * feasible size to 512 MiB. This isolates the design choice DESIGN.md
  * calls out — OC's advantage should be largest at small capacities and
  * all dataflows should converge to compulsory traffic once everything
- * fits on-chip.
+ * fits on-chip. Each capacity point needs its own task graphs, so the
+ * whole grid of builds is fanned out on the ExperimentRunner pool.
  */
 
+#include <array>
 #include <cstdio>
 
 #include "bench_util.h"
-#include "rpu/experiment.h"
+#include "rpu/runner.h"
 
 using namespace ciflow;
 
@@ -22,6 +24,7 @@ main()
                       "(evks streamed, 64 GB/s)");
 
     const double sizes_mib[] = {8, 16, 32, 64, 128, 256, 512};
+    ExperimentRunner runner;
     for (const char *name : {"ARK", "BTS3"}) {
         const HksParams &b = benchmarkByName(name);
         std::printf("\n# %s  (input %.0f MiB, evk %.0f MiB, temp %.0f "
@@ -31,29 +34,49 @@ main()
                     b.tempBytes() / 1048576.0);
         std::printf("capacity_mib,mp_traffic_mb,dc_traffic_mb,"
                     "oc_traffic_mb,mp_ms,dc_ms,oc_ms\n");
-        for (double mib : sizes_mib) {
+
+        struct Cell
+        {
+            double traffic_mb = 0, ms = 0;
+        };
+        const std::size_t n = std::size(sizes_mib);
+        std::vector<std::array<Cell, 3>> cells(n);
+        std::vector<bool> feasible(n, true);
+
+        std::vector<std::function<void()>> jobs;
+        for (std::size_t s = 0; s < n; ++s) {
             MemoryConfig mem{
-                static_cast<std::uint64_t>(mib * 1024 * 1024), false};
-            bool feasible = true;
+                static_cast<std::uint64_t>(sizes_mib[s] * 1024 * 1024),
+                false};
             for (Dataflow d : allDataflows())
-                feasible &= mem.dataCapacityBytes >=
-                            minDataCapacity(b, d);
-            if (!feasible) {
-                std::printf("%g,(below minimum capacity)\n", mib);
+                feasible[s] = feasible[s] &&
+                              mem.dataCapacityBytes >=
+                                  minDataCapacity(b, d);
+            if (!feasible[s])
+                continue;
+            for (std::size_t j = 0; j < 3; ++j)
+                jobs.push_back([&, mem, s, j] {
+                    auto exp =
+                        runner.experiment(b, allDataflows()[j], mem);
+                    cells[s][j].traffic_mb =
+                        static_cast<double>(
+                            exp->graph().trafficBytes()) /
+                        1048576.0;
+                    cells[s][j].ms = exp->simulate(64.0).runtimeMs();
+                });
+        }
+        runner.runAll(jobs);
+
+        for (std::size_t s = 0; s < n; ++s) {
+            if (!feasible[s]) {
+                std::printf("%g,(below minimum capacity)\n",
+                            sizes_mib[s]);
                 continue;
             }
-            double traffic[3], ms[3];
-            int i = 0;
-            for (Dataflow d : allDataflows()) {
-                HksExperiment exp(b, d, mem);
-                traffic[i] =
-                    exp.graph().trafficBytes() / 1048576.0;
-                ms[i] = exp.simulate(64.0).runtimeMs();
-                ++i;
-            }
-            std::printf("%g,%.0f,%.0f,%.0f,%.2f,%.2f,%.2f\n", mib,
-                        traffic[0], traffic[1], traffic[2], ms[0], ms[1],
-                        ms[2]);
+            std::printf("%g,%.0f,%.0f,%.0f,%.2f,%.2f,%.2f\n",
+                        sizes_mib[s], cells[s][0].traffic_mb,
+                        cells[s][1].traffic_mb, cells[s][2].traffic_mb,
+                        cells[s][0].ms, cells[s][1].ms, cells[s][2].ms);
         }
     }
     std::printf("\nExpectation: the MP/OC traffic gap shrinks as "

@@ -15,7 +15,7 @@
 #include "hemath/bconv.h"
 #include "hemath/ntt.h"
 #include "hemath/primes.h"
-#include "rpu/experiment.h"
+#include "rpu/runner.h"
 
 using namespace ciflow;
 
@@ -286,5 +286,20 @@ BM_SimulateGraph(benchmark::State &state)
     }
 }
 BENCHMARK(BM_SimulateGraph);
+
+static void
+BM_RunnerSweep(benchmark::State &state)
+{
+    // Parallel bandwidth sweep through the ExperimentRunner pool,
+    // graph build amortized by the cache.
+    ExperimentRunner runner;
+    auto exp = runner.experiment(benchmarkByName("BTS3"), Dataflow::OC,
+                                 MemoryConfig{32ull << 20, false});
+    for (auto _ : state) {
+        auto stats = runner.sweep(*exp, paperBandwidthSweepExtended());
+        benchmark::DoNotOptimize(stats);
+    }
+}
+BENCHMARK(BM_RunnerSweep);
 
 BENCHMARK_MAIN();

@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "rpu/runner.h"
+
 namespace ciflow::benchutil
 {
 
@@ -40,6 +42,33 @@ times(double v)
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%.2fx", v);
     return buf;
+}
+
+/**
+ * The Figure 5/6 CSV body: per-dataflow runtime across `sweep` with
+ * evks streamed (first three columns) and on-chip (last three), all
+ * graphs cached in `runner` and evaluated on its pool.
+ */
+inline void
+printStreamVsOnchipCsv(ExperimentRunner &runner, const HksParams &b,
+                       const std::vector<double> &sweep)
+{
+    MemoryConfig on{32ull << 20, true};
+    MemoryConfig off{32ull << 20, false};
+    std::vector<std::vector<SimStats>> cols;
+    for (const MemoryConfig &mem : {off, on})
+        for (Dataflow d : allDataflows())
+            cols.push_back(
+                runner.sweep(*runner.experiment(b, d, mem), sweep));
+
+    std::printf("bandwidth_gbps,mp_stream_ms,dc_stream_ms,oc_stream_ms,"
+                "mp_onchip_ms,dc_onchip_ms,oc_onchip_ms\n");
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+        std::printf("%g", sweep[i]);
+        for (const auto &col : cols)
+            std::printf(",%.3f", col[i].runtimeMs());
+        std::printf("\n");
+    }
 }
 
 } // namespace ciflow::benchutil

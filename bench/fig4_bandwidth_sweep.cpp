@@ -5,6 +5,10 @@
  * with evks pre-loaded on-chip (392 MiB configuration). ARK and BTS3
  * are extended to 1 TB/s as in the paper.
  *
+ * All 15 (benchmark, dataflow) graphs come from one ExperimentRunner,
+ * which builds each graph once and evaluates the bandwidth points on
+ * its thread pool.
+ *
  * Output is a set of CSV series (one block per benchmark) suitable for
  * plotting, followed by the paper's qualitative checkpoints.
  */
@@ -13,7 +17,7 @@
 #include <string>
 
 #include "bench_util.h"
-#include "rpu/experiment.h"
+#include "rpu/runner.h"
 
 using namespace ciflow;
 
@@ -24,66 +28,70 @@ main()
                       "(evks on-chip)");
 
     MemoryConfig mem{32ull << 20, true};
+    ExperimentRunner runner;
     for (const auto &b : paperBenchmarks()) {
         const bool extended = b.name == "ARK" || b.name == "BTS3";
         const auto &sweep = extended ? paperBandwidthSweepExtended()
                                      : paperBandwidthSweep();
 
-        HksExperiment mp(b, Dataflow::MP, mem);
-        HksExperiment dc(b, Dataflow::DC, mem);
-        HksExperiment oc(b, Dataflow::OC, mem);
+        auto mp = runner.experiment(b, Dataflow::MP, mem);
+        auto dc = runner.experiment(b, Dataflow::DC, mem);
+        auto oc = runner.experiment(b, Dataflow::OC, mem);
+
+        std::vector<SimStats> smp = runner.sweep(*mp, sweep);
+        std::vector<SimStats> sdc = runner.sweep(*dc, sweep);
+        std::vector<SimStats> soc = runner.sweep(*oc, sweep);
 
         std::printf("\n# %s (N=2^%zu, dnum=%zu)\n", b.name.c_str(),
                     b.logN, b.dnum);
         std::printf("bandwidth_gbps,mp_ms,dc_ms,oc_ms,oc_idle_pct\n");
-        for (double bw : sweep) {
-            SimStats smp = mp.simulate(bw);
-            SimStats sdc = dc.simulate(bw);
-            SimStats soc = oc.simulate(bw);
-            std::printf("%g,%.3f,%.3f,%.3f,%.1f\n", bw, smp.runtimeMs(),
-                        sdc.runtimeMs(), soc.runtimeMs(),
-                        soc.computeIdleFraction() * 100);
+        for (std::size_t i = 0; i < sweep.size(); ++i) {
+            std::printf("%g,%.3f,%.3f,%.3f,%.1f\n", sweep[i],
+                        smp[i].runtimeMs(), sdc[i].runtimeMs(),
+                        soc[i].runtimeMs(),
+                        soc[i].computeIdleFraction() * 100);
         }
     }
 
-    // Qualitative checkpoints quoted in §VI-A.
+    // Qualitative checkpoints quoted in §VI-A. The experiments are
+    // already cached; simulate() calls below are cheap.
     std::printf("\n# Checkpoints (paper values in parentheses)\n");
     {
         const HksParams &dp = benchmarkByName("DPRIVE");
-        HksExperiment oc(dp, Dataflow::OC, mem);
-        HksExperiment dc(dp, Dataflow::DC, mem);
-        HksExperiment mp(dp, Dataflow::MP, mem);
-        double r_oc = oc.simulate(12.8).runtime;
+        auto oc = runner.experiment(dp, Dataflow::OC, mem);
+        auto dc = runner.experiment(dp, Dataflow::DC, mem);
+        auto mp = runner.experiment(dp, Dataflow::MP, mem);
+        double r_oc = oc->simulate(12.8).runtime;
         std::printf("DPRIVE @12.8: OC %.2fx faster than DC (2.57x), "
                     "%.2fx than MP (2.96x); OC idle %.1f%% (20.9%%)\n",
-                    dc.simulate(12.8).runtime / r_oc,
-                    mp.simulate(12.8).runtime / r_oc,
-                    oc.simulate(12.8).computeIdleFraction() * 100);
+                    dc->simulate(12.8).runtime / r_oc,
+                    mp->simulate(12.8).runtime / r_oc,
+                    oc->simulate(12.8).computeIdleFraction() * 100);
     }
     {
         const HksParams &ark = benchmarkByName("ARK");
-        HksExperiment oc(ark, Dataflow::OC, mem);
-        HksExperiment dc(ark, Dataflow::DC, mem);
-        HksExperiment mp(ark, Dataflow::MP, mem);
-        double r_oc = oc.simulate(8.0).runtime;
+        auto oc = runner.experiment(ark, Dataflow::OC, mem);
+        auto dc = runner.experiment(ark, Dataflow::DC, mem);
+        auto mp = runner.experiment(ark, Dataflow::MP, mem);
+        double r_oc = oc->simulate(8.0).runtime;
         std::printf("ARK @8: OC %.2fx faster than MP (4.16x), %.2fx "
                     "than DC (3.22x)\n",
-                    mp.simulate(8.0).runtime / r_oc,
-                    dc.simulate(8.0).runtime / r_oc);
+                    mp->simulate(8.0).runtime / r_oc,
+                    dc->simulate(8.0).runtime / r_oc);
         std::printf("ARK: MP @8 vs MP @128 slowdown %.2fx (5.17x)\n",
-                    mp.simulate(8.0).runtime /
-                        mp.simulate(128.0).runtime);
+                    mp->simulate(8.0).runtime /
+                        mp->simulate(128.0).runtime);
     }
     {
         const HksParams &bts3 = benchmarkByName("BTS3");
-        HksExperiment oc(bts3, Dataflow::OC, mem);
-        HksExperiment mp(bts3, Dataflow::MP, mem);
+        auto oc = runner.experiment(bts3, Dataflow::OC, mem);
+        auto mp = runner.experiment(bts3, Dataflow::MP, mem);
         std::printf("BTS3: OC @OCbase vs OC @1TB/s %.2fx slower "
                     "(1.35x); MP @32 vs 1TB/s %.2fx (13.98x)\n",
-                    oc.simulate(ocBaseBandwidth(bts3)).runtime /
-                        oc.simulate(1000.0).runtime,
-                    mp.simulate(32.0).runtime /
-                        mp.simulate(1000.0).runtime);
+                    oc->simulate(ocBaseBandwidth(runner, bts3)).runtime /
+                        oc->simulate(1000.0).runtime,
+                    mp->simulate(32.0).runtime /
+                        mp->simulate(1000.0).runtime);
     }
     return 0;
 }

@@ -3,13 +3,15 @@
  * Reproduces paper Figure 5: BTS3 HKS runtime versus bandwidth with
  * evks streamed from off-chip (solid) against evks pre-loaded on-chip
  * (dotted), for all three dataflows, plus the bandwidth at which
- * streamed OC recovers the baseline (paper: 45.62 GB/s).
+ * streamed OC recovers the baseline (paper: 45.62 GB/s). The six
+ * experiments share one ExperimentRunner; each sweep fans out on its
+ * thread pool.
  */
 
 #include <cstdio>
 
 #include "bench_util.h"
-#include "rpu/experiment.h"
+#include "rpu/runner.h"
 
 using namespace ciflow;
 
@@ -19,27 +21,14 @@ main()
     benchutil::header("Figure 5: BTS3 runtime, evks streamed vs on-chip");
 
     const HksParams &b = benchmarkByName("BTS3");
-    MemoryConfig on{32ull << 20, true};
-    MemoryConfig off{32ull << 20, false};
+    ExperimentRunner runner;
+    benchutil::printStreamVsOnchipCsv(runner, b,
+                                      paperBandwidthSweepExtended());
 
-    HksExperiment mp_on(b, Dataflow::MP, on), mp_off(b, Dataflow::MP, off);
-    HksExperiment dc_on(b, Dataflow::DC, on), dc_off(b, Dataflow::DC, off);
-    HksExperiment oc_on(b, Dataflow::OC, on), oc_off(b, Dataflow::OC, off);
-
-    std::printf("bandwidth_gbps,mp_stream_ms,dc_stream_ms,oc_stream_ms,"
-                "mp_onchip_ms,dc_onchip_ms,oc_onchip_ms\n");
-    for (double bw : paperBandwidthSweepExtended()) {
-        std::printf("%g,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f\n", bw,
-                    mp_off.simulate(bw).runtimeMs(),
-                    dc_off.simulate(bw).runtimeMs(),
-                    oc_off.simulate(bw).runtimeMs(),
-                    mp_on.simulate(bw).runtimeMs(),
-                    dc_on.simulate(bw).runtimeMs(),
-                    oc_on.simulate(bw).runtimeMs());
-    }
-
-    const double base = baselineRuntime(b);
-    double bw_stream = bandwidthToMatch(oc_off, base);
+    const double base = baselineRuntime(runner, b);
+    auto oc_off =
+        runner.experiment(b, Dataflow::OC, MemoryConfig{32ull << 20, false});
+    double bw_stream = bandwidthToMatch(*oc_off, base);
     std::printf("\nOC (streamed) matches the baseline at %.2f GB/s "
                 "(paper: 45.62 GB/s; on-chip OCbase is 32 GB/s)\n",
                 bw_stream);

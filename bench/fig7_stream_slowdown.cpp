@@ -6,13 +6,16 @@
  * bandwidth. Paper: 1.3x (BTS1) to 2.9x (ARK) more bandwidth recovers
  * the on-chip runtime while saving 12.25x SRAM; BTS2 shows the largest
  * equal-bandwidth slowdown (1.33x).
+ *
+ * Each benchmark's OCbase search and bisection is independent, so the
+ * five rows run concurrently on the ExperimentRunner pool.
  */
 
 #include <cstdio>
 
 #include "bench_util.h"
 #include "rpu/area.h"
-#include "rpu/experiment.h"
+#include "rpu/runner.h"
 
 using namespace ciflow;
 
@@ -21,10 +24,6 @@ main()
 {
     benchutil::header("Figure 7: OC with evks streamed vs on-chip");
 
-    struct Ref
-    {
-        double equiv_bw; // paper's second clustered bar
-    };
     const std::vector<std::pair<std::string, double>> paper = {
         {"BTS1", 33.3}, {"BTS2", 17.0}, {"BTS3", 45.62},
         {"ARK", 23.4},  {"DPRIVE", 19.2}};
@@ -36,18 +35,35 @@ main()
 
     MemoryConfig on{32ull << 20, true};
     MemoryConfig off{32ull << 20, false};
-    for (const auto &[name, ref_bw] : paper) {
-        const HksParams &b = benchmarkByName(name);
-        double ocbase = ocBaseBandwidth(b);
-        HksExperiment oc_on(b, Dataflow::OC, on);
-        HksExperiment oc_off(b, Dataflow::OC, off);
-        double target = oc_on.simulate(ocbase).runtime;
-        double slowdown = oc_off.simulate(ocbase).runtime / target;
-        double equiv = bandwidthToMatch(oc_off, target);
+
+    struct Row
+    {
+        double ocbase = 0, slowdown = 0, equiv = 0;
+    };
+    std::vector<Row> rows(paper.size());
+
+    ExperimentRunner runner;
+    std::vector<std::function<void()>> jobs;
+    for (std::size_t i = 0; i < paper.size(); ++i) {
+        jobs.push_back([&, i] {
+            const HksParams &b = benchmarkByName(paper[i].first);
+            auto oc_on = runner.experiment(b, Dataflow::OC, on);
+            auto oc_off = runner.experiment(b, Dataflow::OC, off);
+            Row &r = rows[i];
+            r.ocbase = ocBaseBandwidth(runner, b);
+            double target = oc_on->simulate(r.ocbase).runtime;
+            r.slowdown = oc_off->simulate(r.ocbase).runtime / target;
+            r.equiv = bandwidthToMatch(*oc_off, target);
+        });
+    }
+    runner.runAll(jobs);
+
+    for (std::size_t i = 0; i < paper.size(); ++i) {
+        const Row &r = rows[i];
         std::printf("%-9s | %8.1f | %11.2fx | %9.2f GB/s | %7.2f GB/s | "
                     "%8.2fx\n",
-                    name.c_str(), ocbase, slowdown, equiv, ref_bw,
-                    equiv / ocbase);
+                    paper[i].first.c_str(), r.ocbase, r.slowdown,
+                    r.equiv, paper[i].second, r.equiv / r.ocbase);
     }
     benchutil::rule();
     std::printf("SRAM: streaming evks keeps 32 MiB on-chip instead of "
@@ -60,8 +76,8 @@ main()
     // bandwidth against the original 64 GB/s MP-with-evks-on-chip.
     for (const char *name : {"BTS2", "BTS3"}) {
         const HksParams &b = benchmarkByName(name);
-        HksExperiment oc_off(b, Dataflow::OC, off);
-        double bw = bandwidthToMatch(oc_off, baselineRuntime(b));
+        auto oc_off = runner.experiment(b, Dataflow::OC, off);
+        double bw = bandwidthToMatch(*oc_off, baselineRuntime(runner, b));
         std::printf("%s: streamed OC matches the MP baseline at %.1f "
                     "GB/s -> %.1fx bandwidth saving (paper: %s)\n",
                     name, bw, 64.0 / bw,

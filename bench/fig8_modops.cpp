@@ -3,13 +3,14 @@
  * Reproduces paper Figure 8: ARK HKS runtime under the OC dataflow at
  * 1x/2x/4x/8x/16x MODOPS across the bandwidth sweep (evks on-chip),
  * including the saturation-point observation that 2x MODOPS reaches the
- * 1x saturation runtime with ~10x less bandwidth.
+ * 1x saturation runtime with ~10x less bandwidth. The full
+ * (bandwidth x MODOPS) grid is one parallel sweep on the runner pool.
  */
 
 #include <cstdio>
 
 #include "bench_util.h"
-#include "rpu/experiment.h"
+#include "rpu/runner.h"
 
 using namespace ciflow;
 
@@ -21,33 +22,43 @@ main()
 
     const HksParams &b = benchmarkByName("ARK");
     MemoryConfig mem{32ull << 20, true};
-    HksExperiment oc(b, Dataflow::OC, mem);
+    ExperimentRunner runner;
+    auto oc = runner.experiment(b, Dataflow::OC, mem);
 
     const double mults[] = {1, 2, 4, 8, 16};
+    const auto &bws = paperBandwidthSweepExtended();
+
+    std::vector<SweepPoint> grid;
+    for (double bw : bws)
+        for (double m : mults)
+            grid.push_back({bw, m});
+    std::vector<SimStats> stats = runner.sweep(*oc, grid);
+
     std::printf("bandwidth_gbps");
     for (double m : mults)
         std::printf(",oc_%gx_ms", m);
     std::printf("\n");
-    for (double bw : paperBandwidthSweepExtended()) {
+    std::size_t k = 0;
+    for (double bw : bws) {
         std::printf("%g", bw);
-        for (double m : mults)
-            std::printf(",%.3f", oc.simulate(bw, m).runtimeMs());
+        for (std::size_t j = 0; j < std::size(mults); ++j)
+            std::printf(",%.3f", stats[k++].runtimeMs());
         std::printf("\n");
     }
 
     // Saturation analysis (§VI-C.2).
-    const double sat = oc.simulate(128.0, 1.0).runtime;
+    const double sat = oc->simulate(128.0, 1.0).runtime;
     std::printf("\nARK saturation point: OC @128 GB/s, 1x MODOPS = "
                 "%.2f ms\n",
                 sat * 1e3);
-    double bw2 = bandwidthToMatch(oc, sat, 1.0, 2000.0, 2.0);
+    double bw2 = bandwidthToMatch(*oc, sat, 1.0, 2000.0, 2.0);
     std::printf("2x MODOPS reaches saturation runtime at %.2f GB/s -> "
                 "%.1fx bandwidth saving (paper: 12.8 GB/s, 10x)\n",
                 bw2, 128.0 / bw2);
 
     // Low-bandwidth regime: MODOPS does not help when memory bound.
-    double lo1 = oc.simulate(8.0, 1.0).runtime;
-    double lo16 = oc.simulate(8.0, 16.0).runtime;
+    double lo1 = oc->simulate(8.0, 1.0).runtime;
+    double lo16 = oc->simulate(8.0, 16.0).runtime;
     std::printf("@8 GB/s, 16x MODOPS is only %.2fx faster than 1x "
                 "(bandwidth limited)\n",
                 lo1 / lo16);

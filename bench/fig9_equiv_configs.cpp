@@ -6,12 +6,15 @@
  * Paper: matching saturation while streaming takes 2.6x more bandwidth
  * at 2x MODOPS (vs evks on-chip), or 20x more at 1x MODOPS; for the
  * baseline, doubling MODOPS saves ~1.2x bandwidth.
+ *
+ * The independent bisections (one per MODOPS level) run concurrently
+ * on the ExperimentRunner pool.
  */
 
 #include <cstdio>
 
 #include "bench_util.h"
-#include "rpu/experiment.h"
+#include "rpu/runner.h"
 
 using namespace ciflow;
 
@@ -24,38 +27,52 @@ main()
     const HksParams &b = benchmarkByName("ARK");
     MemoryConfig on{32ull << 20, true};
     MemoryConfig off{32ull << 20, false};
-    HksExperiment oc_on(b, Dataflow::OC, on);
-    HksExperiment oc_off(b, Dataflow::OC, off);
+    ExperimentRunner runner;
+    auto oc_on = runner.experiment(b, Dataflow::OC, on);
+    auto oc_off = runner.experiment(b, Dataflow::OC, off);
 
-    const double sat = oc_on.simulate(128.0, 1.0).runtime;
-    const double base = baselineRuntime(b);
+    const double sat = oc_on->simulate(128.0, 1.0).runtime;
+    const double base = baselineRuntime(runner, b);
+
+    // All bisections in one parallel batch.
+    const double sat_mults[] = {1.0, 2.0, 4.0, 8.0};
+    const double base_mults[] = {1.0, 2.0, 4.0};
+    double sat_bw[4], base_bw[3], bw_on_2x = 0;
+    std::vector<std::function<void()>> jobs;
+    for (std::size_t i = 0; i < std::size(sat_mults); ++i)
+        jobs.push_back([&, i] {
+            sat_bw[i] = bandwidthToMatch(*oc_off, sat, 1.0, 8000.0,
+                                         sat_mults[i]);
+        });
+    for (std::size_t i = 0; i < std::size(base_mults); ++i)
+        jobs.push_back([&, i] {
+            base_bw[i] = bandwidthToMatch(*oc_off, base, 1.0, 8000.0,
+                                          base_mults[i]);
+        });
+    jobs.push_back([&] {
+        bw_on_2x = bandwidthToMatch(*oc_on, sat, 1.0, 8000.0, 2.0);
+    });
+    runner.runAll(jobs);
 
     std::printf("(a) equivalent to the saturation point (%.2f ms):\n",
                 sat * 1e3);
     std::printf("%8s | %14s\n", "MODOPS", "BW (GB/s)");
-    for (double m : {1.0, 2.0, 4.0, 8.0}) {
-        double bw = bandwidthToMatch(oc_off, sat, 1.0, 8000.0, m);
-        std::printf("%7.0fx | %14.2f\n", m, bw);
-    }
-    double bw_on_2x = bandwidthToMatch(oc_on, sat, 1.0, 8000.0, 2.0);
-    double bw_off_2x = bandwidthToMatch(oc_off, sat, 1.0, 8000.0, 2.0);
+    for (std::size_t i = 0; i < std::size(sat_mults); ++i)
+        std::printf("%7.0fx | %14.2f\n", sat_mults[i], sat_bw[i]);
     std::printf("streaming premium at 2x MODOPS: %.2fx more bandwidth "
                 "(paper: 2.6x)\n\n",
-                bw_off_2x / bw_on_2x);
+                sat_bw[1] / bw_on_2x);
 
     std::printf("(b) equivalent to the baseline (MP @64 GB/s, evks "
                 "on-chip; %.2f ms):\n",
                 base * 1e3);
     std::printf("%8s | %14s\n", "MODOPS", "BW (GB/s)");
-    double prev = 0;
-    for (double m : {1.0, 2.0, 4.0}) {
-        double bw = bandwidthToMatch(oc_off, base, 1.0, 8000.0, m);
-        std::printf("%7.0fx | %14.2f\n", m, bw);
-        if (m == 2.0 && prev > 0)
+    for (std::size_t i = 0; i < std::size(base_mults); ++i) {
+        std::printf("%7.0fx | %14.2f\n", base_mults[i], base_bw[i]);
+        if (base_mults[i] == 2.0)
             std::printf("doubling MODOPS saves %.2fx bandwidth "
                         "(paper: ~1.2x)\n",
-                        prev / bw);
-        prev = bw;
+                        base_bw[i - 1] / base_bw[i]);
     }
     std::printf("\nAll rows keep only 32 MiB on-chip: 12.25x SRAM "
                 "saving against the 392 MiB design.\n");

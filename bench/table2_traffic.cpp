@@ -2,13 +2,15 @@
  * @file
  * Reproduces paper Table II: DRAM transfers (MB, including streamed
  * evks, 32 MiB on-chip data memory) and arithmetic intensity for every
- * benchmark under the MP, DC and OC dataflows.
+ * benchmark under the MP, DC and OC dataflows. The 15 graph builds are
+ * independent, so they run concurrently on the ExperimentRunner pool.
  */
 
 #include <cstdio>
 
 #include "bench_util.h"
 #include "hksflow/traffic.h"
+#include "rpu/runner.h"
 
 using namespace ciflow;
 
@@ -38,20 +40,38 @@ main()
     benchutil::rule();
 
     MemoryConfig mem{32ull << 20, false};
-    for (const auto &[name, ref] : paper) {
-        const HksParams &b = benchmarkByName(name);
+    ExperimentRunner runner;
+
+    // Fan the 15 builder runs (and the compression variants below) out
+    // across the pool; print in table order afterwards.
+    std::vector<TrafficSummary> rows(paper.size() * 3);
+    MemoryConfig comp{32ull << 20, false, true};
+    std::vector<TrafficSummary> comp_rows(paper.size());
+    std::vector<std::function<void()>> jobs;
+    for (std::size_t i = 0; i < paper.size(); ++i) {
+        const HksParams *b = &benchmarkByName(paper[i].first);
+        for (std::size_t j = 0; j < 3; ++j)
+            jobs.push_back([&, b, i, j] {
+                rows[i * 3 + j] =
+                    analyzeTraffic(*b, allDataflows()[j], mem);
+            });
+        jobs.push_back([&, b, i] {
+            comp_rows[i] = analyzeTraffic(*b, Dataflow::OC, comp);
+        });
+    }
+    runner.runAll(jobs);
+
+    for (std::size_t i = 0; i < paper.size(); ++i) {
+        const Ref &ref = paper[i].second;
         double mb[3], ai[3];
-        int i = 0;
-        for (Dataflow d : allDataflows()) {
-            TrafficSummary s = analyzeTraffic(b, d, mem);
-            mb[i] = s.trafficMb();
-            ai[i] = s.arithmeticIntensity;
-            ++i;
+        for (std::size_t j = 0; j < 3; ++j) {
+            mb[j] = rows[i * 3 + j].trafficMb();
+            ai[j] = rows[i * 3 + j].arithmeticIntensity;
         }
         std::printf("%-9s | %10.0f %10.2f | %10.0f %10.2f | %10.0f "
                     "%10.2f\n",
-                    name.c_str(), mb[0], ai[0], mb[1], ai[1], mb[2],
-                    ai[2]);
+                    paper[i].first.c_str(), mb[0], ai[0], mb[1], ai[1],
+                    mb[2], ai[2]);
         std::printf("%-9s | %10.0f %10.2f | %10.0f %10.2f | %10.0f "
                     "%10.2f   (paper)\n",
                     "", ref.mb[0], ref.ai[0], ref.mb[1], ref.ai[1],
@@ -61,11 +81,9 @@ main()
 
     // The paper's §IV-D headline: OC has 1.43x-2.4x more AI than MP.
     double lo = 1e9, hi = 0;
-    for (const auto &b : paperBenchmarks()) {
-        double gain = analyzeTraffic(b, Dataflow::OC, mem)
-                          .arithmeticIntensity /
-                      analyzeTraffic(b, Dataflow::MP, mem)
-                          .arithmeticIntensity;
+    for (std::size_t i = 0; i < paper.size(); ++i) {
+        double gain = rows[i * 3 + 2].arithmeticIntensity /
+                      rows[i * 3 + 0].arithmeticIntensity;
         lo = std::min(lo, gain);
         hi = std::max(hi, gain);
     }
@@ -75,12 +93,11 @@ main()
 
     // §IV-D extension: seeded key compression halves evk traffic and
     // lifts OC's best arithmetic intensity toward the projected 3.82.
-    MemoryConfig comp{32ull << 20, false, true};
     std::printf("\nWith key compression (OC):\n");
     double best_ai = 0;
-    for (const auto &b : paperBenchmarks()) {
-        TrafficSummary s = analyzeTraffic(b, Dataflow::OC, comp);
-        std::printf("  %-7s %7.0f MB  AI=%.2f\n", b.name.c_str(),
+    for (std::size_t i = 0; i < paper.size(); ++i) {
+        const TrafficSummary &s = comp_rows[i];
+        std::printf("  %-7s %7.0f MB  AI=%.2f\n", paper[i].first.c_str(),
                     s.trafficMb(), s.arithmeticIntensity);
         best_ai = std::max(best_ai, s.arithmeticIntensity);
     }

@@ -2,13 +2,14 @@
  * @file
  * Reproduces paper Table IV: the bandwidth OCbase at which the OC
  * dataflow matches the baseline (MP at 64 GB/s, evks on-chip), the
- * bandwidth saving, and OC's speedup over MP at that bandwidth.
+ * bandwidth saving, and OC's speedup over MP at that bandwidth. The
+ * five benchmark rows run concurrently on the ExperimentRunner pool.
  */
 
 #include <cstdio>
 
 #include "bench_util.h"
-#include "rpu/experiment.h"
+#include "rpu/runner.h"
 
 using namespace ciflow;
 
@@ -36,18 +37,36 @@ main()
     benchutil::rule();
 
     MemoryConfig mem{32ull << 20, true};
-    for (const auto &[name, ref] : paper) {
-        const HksParams &b = benchmarkByName(name);
-        double ocbase = ocBaseBandwidth(b);
-        HksExperiment oc(b, Dataflow::OC, mem);
-        HksExperiment mp(b, Dataflow::MP, mem);
-        SimStats soc = oc.simulate(ocbase);
-        SimStats smp = mp.simulate(ocbase);
+    ExperimentRunner runner;
+
+    struct Row
+    {
+        double ocbase = 0;
+        SimStats oc, mp;
+    };
+    std::vector<Row> rows(paper.size());
+    std::vector<std::function<void()>> jobs;
+    for (std::size_t i = 0; i < paper.size(); ++i)
+        jobs.push_back([&, i] {
+            const HksParams &b = benchmarkByName(paper[i].first);
+            Row &r = rows[i];
+            r.ocbase = ocBaseBandwidth(runner, b);
+            r.oc = runner.experiment(b, Dataflow::OC, mem)
+                       ->simulate(r.ocbase);
+            r.mp = runner.experiment(b, Dataflow::MP, mem)
+                       ->simulate(r.ocbase);
+        });
+    runner.runAll(jobs);
+
+    for (std::size_t i = 0; i < paper.size(); ++i) {
+        const Ref &ref = paper[i].second;
+        const Row &r = rows[i];
         std::printf("%-9s | %8.1f %8.1f | %5.1fx %5.1fx | %9.2f %9.2f | "
                     "%7.2fx %7.2fx\n",
-                    name.c_str(), ocbase, ref.bw, 64.0 / ocbase,
-                    64.0 / ref.bw, soc.runtimeMs(), smp.runtimeMs(),
-                    smp.runtime / soc.runtime, ref.speedup);
+                    paper[i].first.c_str(), r.ocbase, ref.bw,
+                    64.0 / r.ocbase, 64.0 / ref.bw, r.oc.runtimeMs(),
+                    r.mp.runtimeMs(), r.mp.runtime / r.oc.runtime,
+                    ref.speedup);
     }
     benchutil::rule();
     std::printf("Baseline = MP dataflow at 64 GB/s (peak DDR5) with all "

@@ -2,14 +2,15 @@
  * @file
  * Reproduces paper Table V: the (bandwidth, MODOPS) configurations at
  * which each dataflow matches "ARK's saturation point" — the OC runtime
- * at 128 GB/s where off-chip movement is fully masked by compute.
+ * at 128 GB/s where off-chip movement is fully masked by compute. The
+ * three per-dataflow bisections run concurrently on the runner pool.
  */
 
 #include <cmath>
 #include <cstdio>
 
 #include "bench_util.h"
-#include "rpu/experiment.h"
+#include "rpu/runner.h"
 
 using namespace ciflow;
 
@@ -22,12 +23,13 @@ main()
     const HksParams &ark = benchmarkByName("ARK");
     MemoryConfig mem{32ull << 20, true};
 
-    HksExperiment oc(ark, Dataflow::OC, mem);
-    HksExperiment dc(ark, Dataflow::DC, mem);
-    HksExperiment mp(ark, Dataflow::MP, mem);
+    ExperimentRunner runner;
+    auto oc = runner.experiment(ark, Dataflow::OC, mem);
+    auto dc = runner.experiment(ark, Dataflow::DC, mem);
+    auto mp = runner.experiment(ark, Dataflow::MP, mem);
 
     const double sat_bw = 128.0;
-    const double sat_runtime = oc.simulate(sat_bw, 1.0).runtime;
+    const double sat_runtime = oc->simulate(sat_bw, 1.0).runtime;
     std::printf("Saturation point: OC @ %.0f GB/s, 1x MODOPS -> %.2f ms\n\n",
                 sat_bw, sat_runtime * 1e3);
 
@@ -36,22 +38,30 @@ main()
         const char *name;
         const HksExperiment *exp;
         double paper_bw, paper_mult;
+        double bw = 0;
     };
-    const Row rows[] = {
-        {"OC", &oc, 12.80, 2.0},
-        {"DC", &dc, 54.64, 2.0},
-        {"MP", &mp, 128.0, 2.0},
+    Row rows[] = {
+        {"OC", oc.get(), 12.80, 2.0, 0},
+        {"DC", dc.get(), 54.64, 2.0, 0},
+        {"MP", mp.get(), 128.0, 2.0, 0},
     };
+
+    // With 2x MODOPS, find the least bandwidth matching saturation —
+    // one bisection per dataflow, in parallel.
+    std::vector<std::function<void()>> jobs;
+    for (Row &r : rows)
+        jobs.push_back([&r, sat_runtime] {
+            r.bw = bandwidthToMatch(*r.exp, sat_runtime, 1.0, 4000.0,
+                                    2.0);
+        });
+    runner.runAll(jobs);
 
     std::printf("%-9s | %9s %9s | %7s | %8s %8s\n", "Dataflow",
                 "BW(GB/s)", "paper", "MODOPS", "Rel.BW", "paper");
     benchutil::rule();
     for (const Row &r : rows) {
-        // With 2x MODOPS, find the least bandwidth matching saturation.
-        double bw = bandwidthToMatch(*r.exp, sat_runtime, 1.0, 4000.0,
-                                     2.0);
         std::printf("%-9s | %9.2f %9.2f | %6.1fx | %7.3fx %7.3fx\n",
-                    r.name, bw, r.paper_bw, 2.0, bw / sat_bw,
+                    r.name, r.bw, r.paper_bw, 2.0, r.bw / sat_bw,
                     r.paper_bw / 128.0);
     }
     benchutil::rule();
@@ -61,11 +71,8 @@ main()
                 "than OC respectively.\n");
 
     // The relative-bandwidth claim, computed from our numbers.
-    double bw_oc = bandwidthToMatch(oc, sat_runtime, 1.0, 4000.0, 2.0);
-    double bw_dc = bandwidthToMatch(dc, sat_runtime, 1.0, 4000.0, 2.0);
-    double bw_mp = bandwidthToMatch(mp, sat_runtime, 1.0, 4000.0, 2.0);
     std::printf("Measured: DC needs %.2fx and MP %.2fx the bandwidth of "
                 "OC (paper: 4.26x, 10x).\n",
-                bw_dc / bw_oc, bw_mp / bw_oc);
+                rows[1].bw / rows[0].bw, rows[2].bw / rows[0].bw);
     return 0;
 }

@@ -27,14 +27,18 @@ main()
                 "keys\n\n",
                 wl.keySwitchCount(), wl.distinctKeyCount());
 
+    // One runner for the whole harness: the hit/miss experiments per
+    // dataflow are built once and shared across every row below.
+    ExperimentRunner runner;
+
     std::printf("%-9s | %14s | %14s | %12s\n", "Dataflow",
                 "time @16GB/s", "time @64GB/s", "traffic@16");
     benchutil::rule();
     for (Dataflow d : allDataflows()) {
         WorkloadStats lo =
-            simulateWorkload(wl, ark, d, streamed, 16.0);
+            simulateWorkload(runner, wl, ark, d, streamed, 16.0);
         WorkloadStats hi =
-            simulateWorkload(wl, ark, d, streamed, 64.0);
+            simulateWorkload(runner, wl, ark, d, streamed, 64.0);
         std::printf("%-9s | %11.2f s  | %11.2f s  | %9.1f GB\n",
                     dataflowName(d), lo.runtime, hi.runtime,
                     lo.trafficBytes / 1e9);
@@ -49,7 +53,7 @@ main()
     benchutil::rule();
     for (std::size_t keys : {0, 1, 2, 4}) {
         KeyCacheConfig cache{keys * ark.evkBytes()};
-        WorkloadStats s = simulateWorkload(wl, ark, Dataflow::OC,
+        WorkloadStats s = simulateWorkload(runner, wl, ark, Dataflow::OC,
                                            streamed, 16.0, cache);
         std::printf("%3zu keys (%5.1f MiB SRAM)   | %10.2f | %10zu | "
                     "%10.1f\n",

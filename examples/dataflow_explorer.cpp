@@ -5,10 +5,13 @@
  * Usage:
  *   dataflow_explorer [benchmark] [dataflow] [bandwidth_gbps]
  *                     [capacity_mib] [stream|onchip] [modops_mult]
+ *                     [channels] [interleave|evkdedicated]
+ *                     [fused|split]
  *
- * Defaults: BTS3 OC 64 32 stream 1. Prints the task-graph composition,
- * per-stage operation breakdown, DRAM traffic, and the simulated
- * schedule (runtime, busy/idle time of both channels).
+ * Defaults: BTS3 OC 64 32 stream 1 1 interleave fused. Prints the
+ * task-graph composition, per-stage operation breakdown, DRAM traffic,
+ * and the simulated schedule: runtime plus the busy/idle time of every
+ * simulated resource (DRAM channels, compute pipes).
  */
 
 #include <cstdio>
@@ -16,7 +19,7 @@
 #include <string>
 
 #include "common/units.h"
-#include "rpu/experiment.h"
+#include "rpu/runner.h"
 
 using namespace ciflow;
 
@@ -29,6 +32,11 @@ main(int argc, char **argv)
     double cap_mib = argc > 4 ? std::atof(argv[4]) : 32.0;
     bool stream = argc > 5 ? std::string(argv[5]) == "stream" : true;
     double mult = argc > 6 ? std::atof(argv[6]) : 1.0;
+    std::size_t channels =
+        argc > 7 ? static_cast<std::size_t>(std::atoi(argv[7])) : 1;
+    bool evk_dedicated =
+        argc > 8 ? std::string(argv[8]) == "evkdedicated" : false;
+    bool split = argc > 9 ? std::string(argv[9]) == "split" : false;
 
     const HksParams &par = benchmarkByName(bench);
     Dataflow d = Dataflow::OC;
@@ -48,12 +56,15 @@ main(int argc, char **argv)
 
     std::printf("%s\n", par.describe().c_str());
     std::printf("dataflow=%s bandwidth=%.1fGB/s capacity=%.0fMiB "
-                "evk=%s modops=%.0fx\n\n",
+                "evk=%s modops=%.0fx channels=%zu%s pipes=%s\n\n",
                 dataflowName(d), bw, cap_mib,
-                stream ? "streamed" : "on-chip", mult);
+                stream ? "streamed" : "on-chip", mult, channels,
+                evk_dedicated ? " (evk dedicated)" : "",
+                split ? "split" : "fused");
 
-    HksExperiment exp(par, d, mem);
-    const TaskGraph &g = exp.graph();
+    ExperimentRunner runner;
+    auto exp = runner.experiment(par, d, mem);
+    const TaskGraph &g = exp->graph();
 
     std::printf("Task graph: %zu tasks (%zu loads, %zu stores, %zu "
                 "compute)\n",
@@ -82,14 +93,32 @@ main(int argc, char **argv)
                         static_cast<double>(g.totalModOps()));
     }
 
-    SimStats s = exp.simulate(bw, mult);
+    RpuConfig cfg;
+    cfg.bandwidthGBps = bw;
+    cfg.modopsMult = mult;
+    cfg.memChannels = channels;
+    cfg.channelPolicy = evk_dedicated ? ChannelPolicy::EvkDedicated
+                                      : ChannelPolicy::Interleave;
+    cfg.splitComputePipes = split;
+    SimStats s = exp->simulate(cfg);
     std::printf("\nSimulated on the RPU (%zu HPLEs @ %.1f GHz, x%.0f "
                 "MODOPS):\n",
-                RpuConfig{}.hples, RpuConfig{}.freqGHz, mult);
+                cfg.hples, cfg.freqGHz, mult);
     std::printf("  runtime        %9.3f ms\n", s.runtimeMs());
-    std::printf("  DRAM busy      %9.3f ms (%.1f%% idle)\n",
-                s.memBusy * 1e3, s.memIdleFraction() * 100);
-    std::printf("  compute busy   %9.3f ms (%.1f%% idle)\n",
-                s.compBusy * 1e3, s.computeIdleFraction() * 100);
+    std::printf("  DRAM busy      %9.3f ms (%.1f%% idle, %zu "
+                "channel%s)\n",
+                s.memBusy * 1e3, s.memIdleFraction() * 100,
+                s.memChannels, s.memChannels == 1 ? "" : "s");
+    std::printf("  compute busy   %9.3f ms (%.1f%% idle, %zu "
+                "pipe%s)\n",
+                s.compBusy * 1e3, s.computeIdleFraction() * 100,
+                s.computePipes, s.computePipes == 1 ? "" : "s");
+    std::printf("\nPer-resource schedule:\n");
+    for (const auto &r : s.resources)
+        std::printf("  %-8s busy %9.3f ms  (%zu tasks, %.1f%% of "
+                    "runtime)\n",
+                    r.name.c_str(), r.busySeconds * 1e3, r.jobs,
+                    s.runtime > 0 ? 100.0 * r.busySeconds / s.runtime
+                                  : 0.0);
     return 0;
 }

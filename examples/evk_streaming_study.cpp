@@ -13,7 +13,7 @@
 #include <cstdio>
 
 #include "rpu/area.h"
-#include "rpu/experiment.h"
+#include "rpu/runner.h"
 
 using namespace ciflow;
 
@@ -36,21 +36,28 @@ main(int argc, char **argv)
 
     MemoryConfig on{32ull << 20, true};
     MemoryConfig off{32ull << 20, false};
-    HksExperiment oc_on(b, Dataflow::OC, on);
-    HksExperiment oc_off(b, Dataflow::OC, off);
+    ExperimentRunner runner;
+    auto oc_on = runner.experiment(b, Dataflow::OC, on);
+    auto oc_off = runner.experiment(b, Dataflow::OC, off);
+
+    // Both bandwidth columns in parallel on the runner pool.
+    std::vector<SimStats> col_on =
+        runner.sweep(*oc_on, paperBandwidthSweep());
+    std::vector<SimStats> col_off =
+        runner.sweep(*oc_off, paperBandwidthSweep());
 
     std::printf("\n%12s | %14s | %14s | %9s\n", "BW (GB/s)",
                 "buffered (ms)", "streamed (ms)", "slowdown");
-    for (double bw : paperBandwidthSweep()) {
-        double a = oc_on.simulate(bw).runtimeMs();
-        double c = oc_off.simulate(bw).runtimeMs();
-        std::printf("%12g | %14.2f | %14.2f | %8.2fx\n", bw, a, c,
-                    c / a);
+    for (std::size_t i = 0; i < paperBandwidthSweep().size(); ++i) {
+        double a = col_on[i].runtimeMs();
+        double c = col_off[i].runtimeMs();
+        std::printf("%12g | %14.2f | %14.2f | %8.2fx\n",
+                    paperBandwidthSweep()[i], a, c, c / a);
     }
 
-    double ocbase = ocBaseBandwidth(b);
-    double target = oc_on.simulate(ocbase).runtime;
-    double equiv = bandwidthToMatch(oc_off, target);
+    double ocbase = ocBaseBandwidth(runner, b);
+    double target = oc_on->simulate(ocbase).runtime;
+    double equiv = bandwidthToMatch(*oc_off, target);
     std::printf("\nAt OCbase = %.1f GB/s the buffered design runs in "
                 "%.2f ms;\nthe streamed design recovers that runtime at "
                 "%.2f GB/s (%.2fx more bandwidth)\nwhile saving %.0f "

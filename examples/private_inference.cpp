@@ -19,7 +19,7 @@
 #include "ckks/encoder.h"
 #include "ckks/encryptor.h"
 #include "ckks/evaluator.h"
-#include "rpu/experiment.h"
+#include "rpu/runner.h"
 
 using namespace ciflow;
 
@@ -159,10 +159,11 @@ main()
     std::printf("\nProjected accelerator time for %zu key switches "
                 "(ARK parameters, 32 GB/s, evk streamed):\n",
                 key_switches);
+    ExperimentRunner runner;
     for (Dataflow d : allDataflows()) {
-        HksExperiment exp(benchmarkByName("ARK"), d,
-                          MemoryConfig{32ull << 20, false});
-        double per_ks = exp.simulate(32.0).runtime;
+        auto exp = runner.experiment(benchmarkByName("ARK"), d,
+                                     MemoryConfig{32ull << 20, false});
+        double per_ks = exp->simulate(32.0).runtime;
         std::printf("  %s: %.2f ms/key-switch -> %.1f ms for the "
                     "layer\n",
                     dataflowName(d), per_ks * 1e3,

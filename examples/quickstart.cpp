@@ -17,7 +17,7 @@
 #include "ckks/encoder.h"
 #include "ckks/encryptor.h"
 #include "ckks/evaluator.h"
-#include "rpu/experiment.h"
+#include "rpu/runner.h"
 
 using namespace ciflow;
 
@@ -83,14 +83,16 @@ main()
     std::printf("\nHKS on the RPU model (ARK parameters, 32 MiB "
                 "on-chip, evk streamed, 32 GB/s):\n");
     const HksParams &ark = benchmarkByName("ARK");
+    ExperimentRunner runner;
     for (Dataflow d : allDataflows()) {
-        HksExperiment exp(ark, d, MemoryConfig{32ull << 20, false});
-        SimStats s = exp.simulate(32.0);
+        auto exp =
+            runner.experiment(ark, d, MemoryConfig{32ull << 20, false});
+        SimStats s = exp->simulate(32.0);
         std::printf("  %s: %6.2f ms, traffic %4.0f MB, compute idle "
                     "%4.1f%%, %zu tasks\n",
                     dataflowName(d), s.runtimeMs(),
                     s.trafficBytes / 1048576.0,
-                    s.computeIdleFraction() * 100, exp.graph().size());
+                    s.computeIdleFraction() * 100, exp->graph().size());
     }
     std::printf("\nOutput-Centric (OC) wins because it reuses on-chip "
                 "data and never materializes the BConv expansion.\n");

@@ -20,6 +20,18 @@
 namespace ciflow
 {
 
+/** How memory tasks are distributed across multiple DRAM channels. */
+enum class ChannelPolicy : std::uint8_t {
+    /** Round-robin all memory tasks over all channels. */
+    Interleave,
+    /**
+     * Reserve the last channel for evk streams; everything else
+     * round-robins over the remaining channels. Falls back to
+     * Interleave with fewer than two channels.
+     */
+    EvkDedicated,
+};
+
 /** Configuration of one simulated RPU instance. */
 struct RpuConfig
 {
@@ -45,6 +57,21 @@ struct RpuConfig
     std::uint64_t dataMemBytes = 32ull << 20;
     /** True: evks preloaded in a dedicated on-chip key memory. */
     bool evkOnChip = false;
+    /**
+     * Number of independent DRAM channels. `bandwidthGBps` is the
+     * aggregate: each channel serves bandwidthGBps/memChannels. One
+     * channel reproduces the paper's single-queue memory system.
+     */
+    std::size_t memChannels = 1;
+    /** Memory-task placement across channels. */
+    ChannelPolicy channelPolicy = ChannelPolicy::Interleave;
+    /**
+     * False (paper): one fused compute pipe per task, costing the
+     * slower of its arithmetic and shuffle halves. True: arithmetic
+     * and shuffle are separate in-order resources that overlap across
+     * tasks; a task's dependents wait for both halves.
+     */
+    bool splitComputePipes = false;
 
     /** Modular operations per second (the paper's MODOPS). */
     double
@@ -61,11 +88,32 @@ struct RpuConfig
         return static_cast<double>(hples) * freqGHz * 1e9;
     }
 
-    /** Off-chip bytes per second. */
+    /** Off-chip bytes per second (aggregate over all channels). */
     double
     bytesPerSec() const
     {
         return gbps(bandwidthGBps);
+    }
+
+    /** Channels, clamped to at least one. */
+    std::size_t
+    channelCount() const
+    {
+        return memChannels > 0 ? memChannels : 1;
+    }
+
+    /** Bytes per second of one DRAM channel. */
+    double
+    channelBytesPerSec() const
+    {
+        return bytesPerSec() / static_cast<double>(channelCount());
+    }
+
+    /** Number of compute resources (1 fused, or 2 split pipes). */
+    std::size_t
+    computePipeCount() const
+    {
+        return splitComputePipes ? 2 : 1;
     }
 
     /** Memory configuration handed to the dataflow builders. */

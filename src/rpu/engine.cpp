@@ -1,6 +1,7 @@
 #include "rpu/engine.h"
 
 #include <algorithm>
+#include <string>
 
 #include "common/logging.h"
 
@@ -8,94 +9,104 @@ namespace ciflow
 {
 
 double
-RpuEngine::computeTaskSeconds(const Task &t, const CodeGen &cg) const
+RpuEngine::arithTaskSeconds(const Task &t) const
+{
+    return static_cast<double>(t.modOps) / cfg.modopsPerSec();
+}
+
+double
+RpuEngine::shuffleTaskSeconds(const Task &t, const CodeGen &cg) const
 {
     InstrCounts ic = cg.forComputeTask(t);
-    // Arithmetic pipe time follows the modular-op count (the paper's
-    // MODOPS metric); the shuffle crossbar moves one element per lane
-    // per cycle and overlaps, so a task costs the slower of the two.
+    // The shuffle crossbar moves one element per lane per cycle.
     const double shuf_elems = static_cast<double>(ic.shuffle) *
                               static_cast<double>(cg.vectorLen());
-    double arith = static_cast<double>(t.modOps) / cfg.modopsPerSec();
-    double shuf = shuf_elems / cfg.shuffleElemsPerSec();
-    return std::max(arith, shuf);
+    return shuf_elems / cfg.shuffleElemsPerSec();
+}
+
+double
+RpuEngine::computeTaskSeconds(const Task &t, const CodeGen &cg) const
+{
+    // Arithmetic pipe time follows the modular-op count (the paper's
+    // MODOPS metric); the shuffle crossbar overlaps on the fused pipe,
+    // so a task costs the slower of the two.
+    return std::max(arithTaskSeconds(t), shuffleTaskSeconds(t, cg));
 }
 
 double
 RpuEngine::memTaskSeconds(const Task &t) const
 {
-    return static_cast<double>(t.bytes) / cfg.bytesPerSec();
+    return static_cast<double>(t.bytes) / cfg.channelBytesPerSec();
 }
 
 SimStats
 RpuEngine::run(const TaskGraph &g) const
 {
+    g.validate();
+
     CodeGen cg(cfg.vectorLen);
+    sim::EventQueue eq;
 
-    // Partition into the two in-order queues.
-    std::vector<std::uint32_t> mem_q, comp_q;
-    mem_q.reserve(g.size());
-    comp_q.reserve(g.size());
-    for (const auto &t : g.tasks()) {
-        if (t.kind == TaskKind::Compute)
-            comp_q.push_back(t.id);
-        else
-            mem_q.push_back(t.id);
+    // Channels are registered first, so their ResourceIds are 0..N-1.
+    const std::size_t nchan = cfg.channelCount();
+    for (std::size_t c = 0; c < nchan; ++c)
+        eq.addChannel("dram" + std::to_string(c),
+                      cfg.channelBytesPerSec());
+
+    sim::ResourceId comp = 0, arith = 0, shuf = 0;
+    if (cfg.splitComputePipes) {
+        arith = eq.addResource("arith");
+        shuf = eq.addResource("shuffle");
+    } else {
+        comp = eq.addResource("compute");
     }
 
-    std::vector<double> finish(g.size(), -1.0);
-    std::size_t im = 0, ic = 0;
-    double mem_free = 0.0, comp_free = 0.0;
-    double mem_busy = 0.0, comp_busy = 0.0;
+    // Round-robin counter for memory-task placement. With the
+    // EvkDedicated policy (and >= 2 channels) evk streams own the last
+    // channel and everything else interleaves over the rest.
+    const bool dedicate_evk =
+        cfg.channelPolicy == ChannelPolicy::EvkDedicated && nchan >= 2;
+    const std::size_t data_chans = dedicate_evk ? nchan - 1 : nchan;
+    std::size_t mem_rr = 0;
 
-    auto deps_ready = [&](const Task &t, double &ready) {
-        ready = 0.0;
-        for (std::uint32_t d : t.deps) {
-            if (finish[d] < 0)
-                return false;
-            ready = std::max(ready, finish[d]);
-        }
-        return true;
-    };
-
-    while (im < mem_q.size() || ic < comp_q.size()) {
-        bool progress = false;
-        if (im < mem_q.size()) {
-            const Task &t = g[mem_q[im]];
-            double ready;
-            if (deps_ready(t, ready)) {
-                double start = std::max(mem_free, ready);
-                double dur = memTaskSeconds(t);
-                finish[t.id] = start + dur;
-                mem_free = start + dur;
-                mem_busy += dur;
-                ++im;
-                progress = true;
+    std::vector<sim::SimOp> ops;
+    for (const Task &t : g.tasks()) {
+        ops.clear();
+        if (t.kind == TaskKind::Compute) {
+            if (cfg.splitComputePipes) {
+                ops.push_back({arith, arithTaskSeconds(t)});
+                if (t.shuffleOps > 0)
+                    ops.push_back({shuf, shuffleTaskSeconds(t, cg)});
+            } else {
+                ops.push_back({comp, computeTaskSeconds(t, cg)});
             }
-        }
-        if (ic < comp_q.size()) {
-            const Task &t = g[comp_q[ic]];
-            double ready;
-            if (deps_ready(t, ready)) {
-                double start = std::max(comp_free, ready);
-                double dur = computeTaskSeconds(t, cg);
-                finish[t.id] = start + dur;
-                comp_free = start + dur;
-                comp_busy += dur;
-                ++ic;
-                progress = true;
+        } else {
+            sim::ResourceId chan;
+            if (dedicate_evk && t.isEvk) {
+                chan = static_cast<sim::ResourceId>(nchan - 1);
+            } else {
+                chan = static_cast<sim::ResourceId>(mem_rr % data_chans);
+                ++mem_rr;
             }
+            ops.push_back(
+                {chan, eq.channel(chan).transferSeconds(t.bytes)});
         }
-        panicIf(!progress,
-                "simulation deadlock: task graph violates queue order");
+        eq.addTask(t.deps, ops);
     }
+
+    sim::SimResult r = eq.run();
 
     SimStats s;
-    s.runtime = std::max(mem_free, comp_free);
-    s.memBusy = mem_busy;
-    s.compBusy = comp_busy;
+    s.runtime = r.makespan;
+    s.memChannels = nchan;
+    s.computePipes = cfg.computePipeCount();
+    for (std::size_t c = 0; c < nchan; ++c)
+        s.memBusy += r.resources[c].busySeconds;
+    for (std::size_t p = nchan; p < r.resources.size(); ++p)
+        s.compBusy += r.resources[p].busySeconds;
     s.trafficBytes = g.trafficBytes();
     s.modOps = g.totalModOps();
+    s.resources = std::move(r.resources);
     return s;
 }
 

@@ -1,18 +1,29 @@
 /**
  * @file
- * Decoupled-queue discrete-event engine for HKS task graphs.
+ * RPU front end to the generic discrete-event core (src/sim/).
  *
- * Mirrors the paper's simulation framework (§V-C): memory tasks and
- * compute tasks sit in two in-order queues; the head of each queue
- * issues once all its dependencies have completed, and the two channels
- * run concurrently so independent off-chip transfers are masked by
- * computation. Because the builders emit dependencies that always point
- * to earlier tasks, the earliest unprocessed task is always issuable and
- * the simulation cannot deadlock.
+ * Mirrors the paper's simulation framework (§V-C) and generalizes it:
+ * memory tasks and compute tasks sit in per-resource in-order queues;
+ * the head of each queue issues once all its dependencies have
+ * completed, and the resources run concurrently so independent
+ * off-chip transfers are masked by computation. Because the builders
+ * emit dependencies that always point to earlier tasks, the earliest
+ * unprocessed task is always issuable and the simulation cannot
+ * deadlock — the invariant now lives in sim::EventQueue, and
+ * TaskGraph::validate() re-checks it on entry instead of assuming it.
  *
- * Costs: a memory task occupies the DRAM channel for bytes/BW seconds; a
- * compute task occupies the backend for max(arithmetic, shuffle) pipe
- * time derived from the B1K instruction counts.
+ * Resource mapping, driven by RpuConfig:
+ *  - N DRAM channels, each serving bandwidth/N; memory tasks are
+ *    placed by ChannelPolicy (interleaved, or evk streams on a
+ *    dedicated channel).
+ *  - one fused compute pipe (paper configuration: a compute task costs
+ *    max(arithmetic, shuffle) pipe time derived from the B1K
+ *    instruction counts), or split arithmetic/shuffle pipes that
+ *    overlap across tasks.
+ *
+ * With one channel and the fused pipe, results are bit-identical to
+ * the original hard-coded two-queue engine (asserted by
+ * tests/test_sim_core.cpp).
  */
 
 #ifndef CIFLOW_RPU_ENGINE_H
@@ -23,6 +34,7 @@
 #include "hksflow/task.h"
 #include "rpu/config.h"
 #include "rpu/isa.h"
+#include "sim/event_queue.h"
 
 namespace ciflow
 {
@@ -32,26 +44,38 @@ struct SimStats
 {
     /** End-to-end runtime in seconds. */
     double runtime = 0.0;
-    /** Seconds the DRAM channel was busy. */
+    /** Seconds of DRAM-channel busy time, summed over channels. */
     double memBusy = 0.0;
-    /** Seconds the compute backend was busy. */
+    /** Seconds of compute busy time, summed over pipes. */
     double compBusy = 0.0;
-    /** Fraction of the runtime the compute backend was idle. */
+    /** DRAM channels simulated. */
+    std::size_t memChannels = 1;
+    /** Compute pipes simulated (1 fused, 2 split). */
+    std::size_t computePipes = 1;
+    /** Fraction of aggregate compute capacity left idle. */
     double
     computeIdleFraction() const
     {
-        return runtime > 0 ? 1.0 - compBusy / runtime : 0.0;
+        return runtime > 0
+                   ? 1.0 - compBusy / (runtime * static_cast<double>(
+                                                     computePipes))
+                   : 0.0;
     }
-    /** Fraction of the runtime the DRAM channel was idle. */
+    /** Fraction of aggregate DRAM-channel capacity left idle. */
     double
     memIdleFraction() const
     {
-        return runtime > 0 ? 1.0 - memBusy / runtime : 0.0;
+        return runtime > 0
+                   ? 1.0 - memBusy / (runtime * static_cast<double>(
+                                                    memChannels))
+                   : 0.0;
     }
     /** DRAM bytes moved. */
     std::uint64_t trafficBytes = 0;
     /** Total modular operations executed. */
     std::uint64_t modOps = 0;
+    /** Per-resource utilization (channels first, then pipes). */
+    std::vector<sim::ResourceUse> resources;
     /** Runtime in milliseconds (reporting convenience). */
     double runtimeMs() const { return runtime * 1e3; }
 };
@@ -65,10 +89,16 @@ class RpuEngine
     /** Run the graph to completion and return timing statistics. */
     SimStats run(const TaskGraph &g) const;
 
-    /** Duration of one compute task on this configuration. */
+    /** Arithmetic-pipe seconds of one compute task. */
+    double arithTaskSeconds(const Task &t) const;
+
+    /** Shuffle-pipe seconds of one compute task. */
+    double shuffleTaskSeconds(const Task &t, const CodeGen &cg) const;
+
+    /** Duration of one compute task on the fused pipe. */
     double computeTaskSeconds(const Task &t, const CodeGen &cg) const;
 
-    /** Duration of one memory task on this configuration. */
+    /** Duration of one memory task on one channel. */
     double memTaskSeconds(const Task &t) const;
 
     const RpuConfig &config() const { return cfg; }

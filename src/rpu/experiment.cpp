@@ -20,6 +20,13 @@ HksExperiment::simulate(double bandwidth_gbps, double modops_mult) const
     RpuConfig cfg;
     cfg.bandwidthGBps = bandwidth_gbps;
     cfg.modopsMult = modops_mult;
+    return simulate(cfg);
+}
+
+SimStats
+HksExperiment::simulate(const RpuConfig &cfg_in) const
+{
+    RpuConfig cfg = cfg_in;
     cfg.dataMemBytes = mem.dataCapacityBytes;
     cfg.evkOnChip = mem.evkOnChip;
     return RpuEngine(cfg).run(g);

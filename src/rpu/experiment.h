@@ -33,6 +33,14 @@ class HksExperiment
     SimStats simulate(double bandwidth_gbps,
                       double modops_mult = 1.0) const;
 
+    /**
+     * Simulate under a full RPU configuration (channel count and
+     * policy, split pipes, ...). The configuration's memory-system
+     * fields are overridden by this experiment's MemoryConfig, which
+     * the task graph was built against.
+     */
+    SimStats simulate(const RpuConfig &cfg) const;
+
     const TaskGraph &graph() const { return g; }
     const HksParams &params() const { return par; }
     Dataflow dataflow() const { return df; }

@@ -1,0 +1,206 @@
+#include "rpu/runner.h"
+
+#include <atomic>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace ciflow
+{
+
+namespace
+{
+
+/** Cache key: every field that shapes the task graph. */
+std::string
+cacheKey(const HksParams &par, Dataflow d, const MemoryConfig &mem)
+{
+    std::ostringstream key;
+    key << par.name << '/' << par.logN << '/' << par.kl << '/' << par.kp
+        << '/' << par.dnum << '/' << par.alpha << '/' << dataflowName(d)
+        << '/' << mem.dataCapacityBytes << '/' << mem.evkOnChip << '/'
+        << mem.evkCompressed;
+    return key.str();
+}
+
+/** The runner whose pool the current thread belongs to, if any. */
+thread_local const ExperimentRunner *tls_pool_owner = nullptr;
+
+} // namespace
+
+ExperimentRunner::ExperimentRunner(std::size_t threads)
+{
+    if (threads == 0) {
+        threads = std::thread::hardware_concurrency();
+        if (threads == 0)
+            threads = 1;
+    }
+    workers.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ExperimentRunner::~ExperimentRunner()
+{
+    {
+        std::lock_guard<std::mutex> lk(pool_mu);
+        stopping = true;
+    }
+    pool_cv.notify_all();
+    for (std::thread &w : workers)
+        w.join();
+}
+
+void
+ExperimentRunner::workerLoop()
+{
+    tls_pool_owner = this;
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lk(pool_mu);
+            pool_cv.wait(lk,
+                         [this] { return stopping || !pending.empty(); });
+            if (pending.empty())
+                return; // stopping and drained
+            job = std::move(pending.front());
+            pending.pop_front();
+        }
+        job();
+    }
+}
+
+std::shared_ptr<const HksExperiment>
+ExperimentRunner::experiment(const HksParams &par, Dataflow d,
+                             const MemoryConfig &mem)
+{
+    const std::string key = cacheKey(par, d, mem);
+    {
+        std::lock_guard<std::mutex> lk(cache_mu);
+        auto it = cache.find(key);
+        if (it != cache.end())
+            return it->second;
+    }
+    // Build outside the lock: graph construction is the slow part and
+    // independent builds may proceed concurrently. A racing builder of
+    // the same key loses gracefully below.
+    auto built = std::make_shared<const HksExperiment>(par, d, mem);
+    std::lock_guard<std::mutex> lk(cache_mu);
+    auto [it, inserted] = cache.emplace(key, std::move(built));
+    (void)inserted;
+    return it->second;
+}
+
+std::size_t
+ExperimentRunner::cachedExperiments() const
+{
+    std::lock_guard<std::mutex> lk(cache_mu);
+    return cache.size();
+}
+
+void
+ExperimentRunner::runAll(const std::vector<std::function<void()>> &jobs)
+{
+    if (jobs.empty())
+        return;
+    // A pool worker waiting on its own pool would deadlock once every
+    // worker is blocked the same way: the nested jobs could never run.
+    panicIf(tls_pool_owner == this,
+            "runAll called from one of this runner's own pool workers");
+    // Completion latch shared with the wrappers so no job ever touches
+    // this frame's stack after the final decrement releases the waiter.
+    struct Latch
+    {
+        std::mutex mu;
+        std::condition_variable cv;
+        std::size_t remaining;
+    };
+    auto latch = std::make_shared<Latch>();
+    latch->remaining = jobs.size();
+    {
+        std::lock_guard<std::mutex> lk(pool_mu);
+        panicIf(stopping, "runner already shut down");
+        for (const auto &job : jobs) {
+            pending.push_back([latch, job] {
+                job();
+                std::lock_guard<std::mutex> dlk(latch->mu);
+                if (--latch->remaining == 0)
+                    latch->cv.notify_all();
+            });
+        }
+    }
+    pool_cv.notify_all();
+    std::unique_lock<std::mutex> lk(latch->mu);
+    latch->cv.wait(lk, [&] { return latch->remaining == 0; });
+}
+
+std::vector<SimStats>
+ExperimentRunner::sweep(const HksExperiment &exp,
+                        const std::vector<SweepPoint> &points)
+{
+    std::vector<SimStats> out(points.size());
+    std::vector<std::function<void()>> jobs;
+    jobs.reserve(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        jobs.push_back([&, i] {
+            out[i] = exp.simulate(points[i].bandwidthGBps,
+                                  points[i].modopsMult);
+        });
+    }
+    runAll(jobs);
+    return out;
+}
+
+std::vector<SimStats>
+ExperimentRunner::sweep(const HksExperiment &exp,
+                        const std::vector<double> &bandwidths,
+                        double modops_mult)
+{
+    std::vector<SweepPoint> points;
+    points.reserve(bandwidths.size());
+    for (double bw : bandwidths)
+        points.push_back({bw, modops_mult});
+    return sweep(exp, points);
+}
+
+double
+baselineRuntime(ExperimentRunner &runner, const HksParams &par)
+{
+    MemoryConfig mem;
+    mem.dataCapacityBytes = 32ull << 20;
+    mem.evkOnChip = true;
+    return runner.experiment(par, Dataflow::MP, mem)
+        ->simulate(64.0)
+        .runtime;
+}
+
+double
+ocBaseBandwidth(ExperimentRunner &runner, const HksParams &par)
+{
+    const double target = baselineRuntime(runner, par);
+    MemoryConfig mem;
+    mem.dataCapacityBytes = 32ull << 20;
+    mem.evkOnChip = true;
+    auto oc = runner.experiment(par, Dataflow::OC, mem);
+    // Report on the paper's grid: first sweep point that meets the
+    // baseline runtime.
+    for (double bw : paperBandwidthSweep())
+        if (oc->simulate(bw).runtime <= target * 1.001)
+            return bw;
+    return 64.0;
+}
+
+std::vector<SimStats>
+ExperimentRunner::sweepConfigs(const HksExperiment &exp,
+                               const std::vector<RpuConfig> &configs)
+{
+    std::vector<SimStats> out(configs.size());
+    std::vector<std::function<void()>> jobs;
+    jobs.reserve(configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i)
+        jobs.push_back([&, i] { out[i] = exp.simulate(configs[i]); });
+    runAll(jobs);
+    return out;
+}
+
+} // namespace ciflow

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * ExperimentRunner: cached task-graph construction plus parallel
+ * sweep evaluation.
+ *
+ * Building an HKS task graph is the expensive half of an experiment
+ * (capacity-aware scheduling over tens of thousands of tasks), and it
+ * depends only on (benchmark, dataflow, memory config) — not on
+ * bandwidth or MODOPS. The runner therefore caches one immutable
+ * HksExperiment per key and shares it across harnesses via
+ * shared_ptr; the cheap timing evaluations fan out across a
+ * std::thread pool. Simulation is a pure function of (graph, config),
+ * so parallel sweeps return bit-identical results to serial loops
+ * (asserted by tests/test_runner.cpp).
+ */
+
+#ifndef CIFLOW_RPU_RUNNER_H
+#define CIFLOW_RPU_RUNNER_H
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "hksflow/dataflow.h"
+#include "hksflow/hks_params.h"
+#include "rpu/experiment.h"
+
+namespace ciflow
+{
+
+/** One sweep point: timing knobs that do not affect the task graph. */
+struct SweepPoint
+{
+    double bandwidthGBps = 64.0;
+    double modopsMult = 1.0;
+};
+
+/** Graph cache + thread pool for experiment sweeps. */
+class ExperimentRunner
+{
+  public:
+    /** @param threads  worker threads; 0 = hardware concurrency */
+    explicit ExperimentRunner(std::size_t threads = 0);
+    ~ExperimentRunner();
+
+    ExperimentRunner(const ExperimentRunner &) = delete;
+    ExperimentRunner &operator=(const ExperimentRunner &) = delete;
+
+    /**
+     * The experiment for (par, d, mem), building its task graph on
+     * first use and returning the cached instance afterwards.
+     */
+    std::shared_ptr<const HksExperiment>
+    experiment(const HksParams &par, Dataflow d, const MemoryConfig &mem);
+
+    /** Simulate every point in parallel; results in point order. */
+    std::vector<SimStats> sweep(const HksExperiment &exp,
+                                const std::vector<SweepPoint> &points);
+
+    /** Bandwidth sweep at a fixed MODOPS multiplier. */
+    std::vector<SimStats> sweep(const HksExperiment &exp,
+                                const std::vector<double> &bandwidths,
+                                double modops_mult = 1.0);
+
+    /** Fully general sweep: one RpuConfig per point. */
+    std::vector<SimStats>
+    sweepConfigs(const HksExperiment &exp,
+                 const std::vector<RpuConfig> &configs);
+
+    /**
+     * Run arbitrary jobs on the pool and wait for all of them (used by
+     * harnesses that parallelize beyond per-point sweeps, e.g. one
+     * bisection per benchmark).
+     */
+    void runAll(const std::vector<std::function<void()>> &jobs);
+
+    std::size_t threadCount() const { return workers.size(); }
+    std::size_t cachedExperiments() const;
+
+  private:
+    void workerLoop();
+
+    // Graph cache.
+    mutable std::mutex cache_mu;
+    std::map<std::string, std::shared_ptr<const HksExperiment>> cache;
+
+    // Thread pool.
+    std::mutex pool_mu;
+    std::condition_variable pool_cv;
+    std::deque<std::function<void()>> pending;
+    std::vector<std::thread> workers;
+    bool stopping = false;
+};
+
+/**
+ * Runner-aware variants of the experiment.h helpers: identical
+ * results, but the underlying MP/OC experiments come from (and feed)
+ * the runner's cache instead of being rebuilt per call.
+ */
+double baselineRuntime(ExperimentRunner &runner, const HksParams &par);
+double ocBaseBandwidth(ExperimentRunner &runner, const HksParams &par);
+
+} // namespace ciflow
+
+#endif // CIFLOW_RPU_RUNNER_H

@@ -69,18 +69,16 @@ HeWorkload::resnet20(std::size_t rotations, std::size_t distinct,
     return wl;
 }
 
-WorkloadStats
-simulateWorkload(const HeWorkload &wl, const HksParams &par, Dataflow d,
-                 const MemoryConfig &mem, double bandwidth_gbps,
-                 const KeyCacheConfig &cache)
+namespace
 {
-    // Per-op cost for a key-cache miss (keys streamed, if configured)
-    // and a hit (keys already on-chip).
-    HksExperiment miss_exp(par, d, mem);
-    MemoryConfig hit_mem = mem;
-    hit_mem.evkOnChip = true;
-    HksExperiment hit_exp(par, d, hit_mem);
 
+/** Shared body once the hit/miss experiments are in hand. */
+WorkloadStats
+runWorkload(const HeWorkload &wl, const HksExperiment &miss_exp,
+            const HksExperiment &hit_exp, const HksParams &par,
+            const MemoryConfig &mem, double bandwidth_gbps,
+            const KeyCacheConfig &cache)
+{
     SimStats miss = miss_exp.simulate(bandwidth_gbps);
     SimStats hit = hit_exp.simulate(bandwidth_gbps);
 
@@ -124,6 +122,36 @@ simulateWorkload(const HeWorkload &wl, const HksParams &par, Dataflow d,
         }
     }
     return ws;
+}
+
+} // namespace
+
+WorkloadStats
+simulateWorkload(const HeWorkload &wl, const HksParams &par, Dataflow d,
+                 const MemoryConfig &mem, double bandwidth_gbps,
+                 const KeyCacheConfig &cache)
+{
+    // Per-op cost for a key-cache miss (keys streamed, if configured)
+    // and a hit (keys already on-chip).
+    HksExperiment miss_exp(par, d, mem);
+    MemoryConfig hit_mem = mem;
+    hit_mem.evkOnChip = true;
+    HksExperiment hit_exp(par, d, hit_mem);
+    return runWorkload(wl, miss_exp, hit_exp, par, mem, bandwidth_gbps,
+                       cache);
+}
+
+WorkloadStats
+simulateWorkload(ExperimentRunner &runner, const HeWorkload &wl,
+                 const HksParams &par, Dataflow d, const MemoryConfig &mem,
+                 double bandwidth_gbps, const KeyCacheConfig &cache)
+{
+    MemoryConfig hit_mem = mem;
+    hit_mem.evkOnChip = true;
+    auto miss_exp = runner.experiment(par, d, mem);
+    auto hit_exp = runner.experiment(par, d, hit_mem);
+    return runWorkload(wl, *miss_exp, *hit_exp, par, mem, bandwidth_gbps,
+                       cache);
 }
 
 } // namespace ciflow

@@ -24,8 +24,8 @@
 #include <vector>
 
 #include "hksflow/dataflow.h"
-#include "rpu/experiment.h"
 #include "hksflow/hks_params.h"
+#include "rpu/runner.h"
 
 namespace ciflow
 {
@@ -113,6 +113,17 @@ struct WorkloadStats
  * set of distinct keys.
  */
 WorkloadStats simulateWorkload(const HeWorkload &wl, const HksParams &par,
+                               Dataflow d, const MemoryConfig &mem,
+                               double bandwidth_gbps,
+                               const KeyCacheConfig &cache = {});
+
+/**
+ * As above, but sourcing the per-op hit/miss experiments from a shared
+ * ExperimentRunner so repeated calls (sweeps over cache sizes,
+ * bandwidths or dataflows) rebuild no task graphs.
+ */
+WorkloadStats simulateWorkload(ExperimentRunner &runner,
+                               const HeWorkload &wl, const HksParams &par,
                                Dataflow d, const MemoryConfig &mem,
                                double bandwidth_gbps,
                                const KeyCacheConfig &cache = {});

@@ -1,0 +1,137 @@
+#include "sim/event_queue.h"
+
+#include "common/logging.h"
+
+namespace ciflow::sim
+{
+
+ResourceId
+EventQueue::addResource(std::string name)
+{
+    res.push_back(std::make_unique<Resource>(std::move(name)));
+    return static_cast<ResourceId>(res.size() - 1);
+}
+
+ResourceId
+EventQueue::addChannel(std::string name, double bytes_per_sec)
+{
+    panicIf(bytes_per_sec <= 0.0, "channel bandwidth must be positive");
+    res.push_back(
+        std::make_unique<Channel>(std::move(name), bytes_per_sec));
+    return static_cast<ResourceId>(res.size() - 1);
+}
+
+Resource &
+EventQueue::resource(ResourceId id)
+{
+    panicIf(id >= res.size(), "unknown resource id");
+    return *res[id];
+}
+
+const Resource &
+EventQueue::resource(ResourceId id) const
+{
+    panicIf(id >= res.size(), "unknown resource id");
+    return *res[id];
+}
+
+const Channel &
+EventQueue::channel(ResourceId id) const
+{
+    const auto *c = dynamic_cast<const Channel *>(&resource(id));
+    panicIf(c == nullptr, "resource is not a channel");
+    return *c;
+}
+
+TaskId
+EventQueue::addTask(const std::vector<TaskId> &deps,
+                    const std::vector<SimOp> &ops)
+{
+    const TaskId id = static_cast<TaskId>(tasks.size());
+    panicIf(ops.empty(), "task with no ops");
+    for (const SimOp &op : ops)
+        panicIf(op.resource >= res.size(), "op on unknown resource");
+    for (TaskId d : deps)
+        panicIf(d >= id, "forward dependency in sim task");
+    tasks.push_back({deps, ops});
+    return id;
+}
+
+SimResult
+EventQueue::run()
+{
+    const std::size_t nr = res.size();
+    const std::size_t nt = tasks.size();
+    for (auto &r : res)
+        r->reset();
+
+    // Per-resource in-order queues, filled in task order.
+    struct Queued
+    {
+        TaskId task;
+        double duration;
+    };
+    std::vector<std::vector<Queued>> queue(nr);
+    std::size_t total_ops = 0;
+    for (TaskId t = 0; t < nt; ++t) {
+        for (const SimOp &op : tasks[t].ops) {
+            queue[op.resource].push_back({t, op.duration});
+            ++total_ops;
+        }
+    }
+
+    std::vector<std::size_t> head(nr, 0);
+    std::vector<double> finish(nt, 0.0);
+    std::vector<std::uint32_t> ops_left(nt, 0);
+    std::vector<char> resolved(nt, 0);
+    for (TaskId t = 0; t < nt; ++t)
+        ops_left[t] = static_cast<std::uint32_t>(tasks[t].ops.size());
+
+    // Ready time of a task: max finish over its dependencies, or -1
+    // when one is still unresolved.
+    auto ready_at = [&](TaskId t) -> double {
+        double ready = 0.0;
+        for (TaskId d : tasks[t].deps) {
+            if (!resolved[d])
+                return -1.0;
+            ready = ready > finish[d] ? ready : finish[d];
+        }
+        return ready;
+    };
+
+    std::size_t remaining = total_ops;
+    while (remaining > 0) {
+        bool progress = false;
+        for (std::size_t r = 0; r < nr; ++r) {
+            while (head[r] < queue[r].size()) {
+                const Queued &q = queue[r][head[r]];
+                double ready = ready_at(q.task);
+                if (ready < 0.0)
+                    break;
+                double fin = res[r]->schedule(ready, q.duration);
+                if (fin > finish[q.task])
+                    finish[q.task] = fin;
+                if (--ops_left[q.task] == 0)
+                    resolved[q.task] = 1;
+                ++head[r];
+                --remaining;
+                progress = true;
+            }
+        }
+        panicIf(!progress,
+                "simulation deadlock: task graph violates queue order");
+    }
+
+    SimResult out;
+    out.taskFinish = std::move(finish);
+    out.resources.reserve(nr);
+    for (const auto &r : res) {
+        out.makespan =
+            out.makespan > r->freeAt() ? out.makespan : r->freeAt();
+        out.resources.push_back(
+            {r->name(), r->busySeconds(), r->jobsServed()});
+    }
+    return out;
+}
+
+} // namespace ciflow::sim

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Resources of the discrete-event simulation core.
+ *
+ * A Resource is anything that serves work items one at a time, in
+ * order: a DRAM channel, an arithmetic pipe, a shuffle crossbar. The
+ * core's scheduling recurrence only needs two things from a resource —
+ * when it next becomes free and how long it has been busy — so a
+ * Resource is deliberately tiny; all cost modeling lives with the
+ * caller, which hands `schedule()` a ready time and a duration.
+ *
+ * Channel specializes Resource with a fixed service bandwidth so byte
+ * payloads can be converted to durations in one place. N channels of a
+ * W-byte/s memory system are modeled as N Channels of W/N bytes/s.
+ */
+
+#ifndef CIFLOW_SIM_RESOURCE_H
+#define CIFLOW_SIM_RESOURCE_H
+
+#include <cstdint>
+#include <string>
+
+namespace ciflow::sim
+{
+
+/** One in-order service resource of the simulated machine. */
+class Resource
+{
+  public:
+    explicit Resource(std::string name) : nm(std::move(name)) {}
+    virtual ~Resource() = default;
+
+    const std::string &name() const { return nm; }
+
+    /** Time the resource finishes its last scheduled job. */
+    double freeAt() const { return free; }
+
+    /** Total seconds of scheduled service time. */
+    double busySeconds() const { return busy; }
+
+    /** Number of jobs served. */
+    std::size_t jobsServed() const { return jobs; }
+
+    /**
+     * Occupy the resource for `duration` seconds starting no earlier
+     * than `ready` and no earlier than the previous job's finish.
+     * Returns the finish time.
+     */
+    double
+    schedule(double ready, double duration)
+    {
+        double start = free > ready ? free : ready;
+        free = start + duration;
+        busy += duration;
+        ++jobs;
+        return free;
+    }
+
+    /** Reset service state (a fresh simulation run). */
+    void
+    reset()
+    {
+        free = 0.0;
+        busy = 0.0;
+        jobs = 0;
+    }
+
+  private:
+    std::string nm;
+    double free = 0.0;
+    double busy = 0.0;
+    std::size_t jobs = 0;
+};
+
+/** A Resource that serves byte payloads at a fixed bandwidth. */
+class Channel : public Resource
+{
+  public:
+    Channel(std::string name, double bytes_per_sec)
+        : Resource(std::move(name)), bps(bytes_per_sec)
+    {
+    }
+
+    double bytesPerSec() const { return bps; }
+
+    /** Service time of a `bytes`-sized transfer on this channel. */
+    double
+    transferSeconds(std::uint64_t bytes) const
+    {
+        return static_cast<double>(bytes) / bps;
+    }
+
+  private:
+    double bps;
+};
+
+} // namespace ciflow::sim
+
+#endif // CIFLOW_SIM_RESOURCE_H

@@ -208,6 +208,133 @@ INSTANTIATE_TEST_SUITE_P(PaperBenchmarks, EngineOnBenchmarks,
                          ::testing::Values("BTS1", "BTS2", "BTS3", "ARK",
                                            "DPRIVE"));
 
+TEST(EngineMultiChannel, SecondChannelRelievesHeadOfLineBlocking)
+{
+    // A large load A blocks a small load B on a single in-order
+    // channel, delaying the compute chain behind B. Two channels let B
+    // complete immediately on the other channel, overlapping the long
+    // compute with A's transfer — even though each channel has half
+    // the aggregate bandwidth.
+    TaskGraph g;
+    g.push(load(500000));                // A: head-of-line blocker
+    auto b = g.push(load(1000));         // B: small, independent
+    g.push(comp(1000000, {b}));          // C: long compute behind B
+
+    RpuConfig one = unitConfig();
+    SimStats s1 = RpuEngine(one).run(g);
+    // A [0,0.5ms); B [0.5,0.501); C [0.501,1.501).
+    EXPECT_NEAR(s1.runtime, 1.501e-3, 1e-12);
+    EXPECT_EQ(s1.memChannels, 1u);
+
+    RpuConfig two = unitConfig();
+    two.memChannels = 2;
+    SimStats s2 = RpuEngine(two).run(g);
+    // Each channel serves 0.5 GB/s: A on ch0 [0,1ms); B on ch1
+    // [0,2us); C [2us,1.002ms). Runtime is max(1ms, 1.002ms).
+    EXPECT_NEAR(s2.runtime, 1.002e-3, 1e-12);
+    EXPECT_EQ(s2.memChannels, 2u);
+    EXPECT_LT(s2.runtime, s1.runtime);
+    // Aggregate channel-busy seconds double when bandwidth halves.
+    EXPECT_NEAR(s2.memBusy, 2 * s1.memBusy, 1e-15);
+    ASSERT_EQ(s2.resources.size(), 3u);
+    EXPECT_EQ(s2.resources[0].jobs, 1u);
+    EXPECT_EQ(s2.resources[1].jobs, 1u);
+}
+
+TEST(EngineMultiChannel, DedicatedEvkChannelUnblocksDataLoads)
+{
+    // An evk stream ahead of a data load stalls the single queue; the
+    // EvkDedicated policy gives streams their own channel.
+    TaskGraph g;
+    Task evk;
+    evk.kind = TaskKind::MemLoad;
+    evk.bytes = 1000000;
+    evk.isEvk = true;
+    g.push(evk);
+    auto a = g.push(load(500000));
+    g.push(comp(1000000, {a}));
+
+    RpuConfig one = unitConfig();
+    SimStats s1 = RpuEngine(one).run(g);
+    // evk [0,1ms); A [1,1.5); C [1.5,2.5).
+    EXPECT_NEAR(s1.runtime, 2.5e-3, 1e-12);
+
+    RpuConfig ded = unitConfig();
+    ded.memChannels = 2;
+    ded.channelPolicy = ChannelPolicy::EvkDedicated;
+    SimStats s2 = RpuEngine(ded).run(g);
+    // data ch0 at 0.5 GB/s: A [0,1ms); evk ch1: [0,2ms); C [1,2ms).
+    EXPECT_NEAR(s2.runtime, 2.0e-3, 1e-12);
+    EXPECT_LT(s2.runtime, s1.runtime);
+
+    // Policy falls back to interleaving below two channels.
+    RpuConfig fallback = unitConfig();
+    fallback.channelPolicy = ChannelPolicy::EvkDedicated;
+    SimStats s3 = RpuEngine(fallback).run(g);
+    EXPECT_EQ(s3.runtime, s1.runtime);
+}
+
+TEST(EngineSplitPipes, IndependentArithAndShuffleOverlap)
+{
+    // T1: shuffle-heavy, T2: arithmetic-heavy, independent. The fused
+    // pipe serializes max(arith,shuf) of each; split pipes overlap T2's
+    // arithmetic under T1's shuffle.
+    RpuConfig fused = unitConfig();
+    Task t1;
+    t1.kind = TaskKind::Compute;
+    t1.stage = StageId::ModUpNtt;
+    t1.modOps = 3;
+    t1.shuffleOps = 1024 * 1000; // 1000 VSHUF instrs -> 1.024 ms
+    TaskGraph g;
+    g.push(t1);
+    g.push(comp(900000)); // 0.9 ms of arithmetic
+
+    SimStats sf = RpuEngine(fused).run(g);
+    EXPECT_EQ(sf.computePipes, 1u);
+    EXPECT_NEAR(sf.runtime, 1.024e-3 + 0.9e-3, 1e-12);
+
+    RpuConfig split = unitConfig();
+    split.splitComputePipes = true;
+    SimStats ss = RpuEngine(split).run(g);
+    EXPECT_EQ(ss.computePipes, 2u);
+    // Shuffle pipe: [0,1.024ms); arith pipe: t1 arith then t2.
+    EXPECT_NEAR(ss.runtime, 1.024e-3, 1e-12);
+    EXPECT_LT(ss.runtime, sf.runtime);
+}
+
+TEST(EngineSplitPipes, DependentsWaitForBothHalves)
+{
+    // A dependent of a split task must wait for its slower half.
+    RpuConfig split = unitConfig();
+    split.splitComputePipes = true;
+    Task t1;
+    t1.kind = TaskKind::Compute;
+    t1.stage = StageId::ModUpNtt;
+    t1.modOps = 300; // 0.3 us on the arithmetic pipe
+    t1.shuffleOps = 1024 * 100; // 102.4 us shuffle
+    TaskGraph g;
+    auto id1 = g.push(t1);
+    g.push(comp(1000, {id1}));
+    SimStats s = RpuEngine(split).run(g);
+    EXPECT_NEAR(s.runtime, 102.4e-6 + 1e-6, 1e-12);
+}
+
+TEST(EngineMultiChannel, HksGraphChangesStatsAcrossChannelCounts)
+{
+    // On a real benchmark graph the channel layout must actually move
+    // the numbers (the acceptance criterion for the sim core rewrite).
+    const HksParams &b = benchmarkByName("ARK");
+    HksExperiment exp(b, Dataflow::OC, MemoryConfig{32ull << 20, false});
+    RpuConfig base;
+    base.bandwidthGBps = 64.0;
+    RpuConfig quad = base;
+    quad.memChannels = 4;
+    SimStats s1 = exp.simulate(base);
+    SimStats s4 = exp.simulate(quad);
+    EXPECT_NE(s1.runtime, s4.runtime);
+    EXPECT_EQ(s1.trafficBytes, s4.trafficBytes);
+}
+
 TEST(EngineIdle, IdleDropsWithBandwidth)
 {
     const HksParams &b = benchmarkByName("ARK");

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests for ExperimentRunner: parallel sweeps must be bit-identical to
+ * serial evaluation, the graph cache must share experiments, and the
+ * pool must survive mixed workloads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "rpu/runner.h"
+
+using namespace ciflow;
+
+namespace
+{
+
+void
+expectSameStats(const SimStats &a, const SimStats &b)
+{
+    EXPECT_EQ(a.runtime, b.runtime);
+    EXPECT_EQ(a.memBusy, b.memBusy);
+    EXPECT_EQ(a.compBusy, b.compBusy);
+    EXPECT_EQ(a.trafficBytes, b.trafficBytes);
+    EXPECT_EQ(a.modOps, b.modOps);
+}
+
+} // namespace
+
+TEST(Runner, ThreadCountDefaultsToHardware)
+{
+    ExperimentRunner r;
+    EXPECT_GE(r.threadCount(), 1u);
+    ExperimentRunner r4(4);
+    EXPECT_EQ(r4.threadCount(), 4u);
+}
+
+TEST(Runner, CacheSharesExperimentsPerKey)
+{
+    ExperimentRunner r(2);
+    const HksParams &b = benchmarkByName("ARK");
+    MemoryConfig mem{32ull << 20, true};
+    auto e1 = r.experiment(b, Dataflow::OC, mem);
+    auto e2 = r.experiment(b, Dataflow::OC, mem);
+    EXPECT_EQ(e1.get(), e2.get());
+    EXPECT_EQ(r.cachedExperiments(), 1u);
+
+    // Any key ingredient change is a different experiment.
+    auto e3 = r.experiment(b, Dataflow::MP, mem);
+    EXPECT_NE(e1.get(), e3.get());
+    MemoryConfig streamed{32ull << 20, false};
+    auto e4 = r.experiment(b, Dataflow::OC, streamed);
+    EXPECT_NE(e1.get(), e4.get());
+    EXPECT_EQ(r.cachedExperiments(), 3u);
+}
+
+TEST(Runner, ParallelSweepMatchesSerialExactly)
+{
+    const HksParams &b = benchmarkByName("BTS2");
+    MemoryConfig mem{32ull << 20, false};
+    ExperimentRunner runner(4);
+    auto exp = runner.experiment(b, Dataflow::OC, mem);
+
+    std::vector<SweepPoint> points;
+    for (double bw : paperBandwidthSweepExtended())
+        for (double m : {1.0, 2.0, 4.0})
+            points.push_back({bw, m});
+
+    std::vector<SimStats> parallel = runner.sweep(*exp, points);
+    ASSERT_EQ(parallel.size(), points.size());
+
+    ExperimentRunner serial(1);
+    std::vector<SimStats> one_thread = serial.sweep(*exp, points);
+
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        SimStats direct = exp->simulate(points[i].bandwidthGBps,
+                                        points[i].modopsMult);
+        expectSameStats(parallel[i], direct);
+        expectSameStats(one_thread[i], direct);
+    }
+}
+
+TEST(Runner, BandwidthSweepKeepsPointOrder)
+{
+    const HksParams &b = benchmarkByName("ARK");
+    ExperimentRunner runner(3);
+    auto exp =
+        runner.experiment(b, Dataflow::MP, MemoryConfig{32ull << 20, true});
+    const std::vector<double> &bws = paperBandwidthSweep();
+    std::vector<SimStats> stats = runner.sweep(*exp, bws);
+    ASSERT_EQ(stats.size(), bws.size());
+    // Runtime is monotone in bandwidth, so order preservation shows up
+    // as a sorted result column.
+    for (std::size_t i = 1; i < stats.size(); ++i)
+        EXPECT_LE(stats[i].runtime, stats[i - 1].runtime * (1 + 1e-12));
+}
+
+TEST(Runner, SweepConfigsCoversMultiChannel)
+{
+    const HksParams &b = benchmarkByName("ARK");
+    ExperimentRunner runner(2);
+    auto exp = runner.experiment(b, Dataflow::OC,
+                                 MemoryConfig{32ull << 20, false});
+    std::vector<RpuConfig> cfgs(3);
+    cfgs[0].bandwidthGBps = 64.0;
+    cfgs[1].bandwidthGBps = 64.0;
+    cfgs[1].memChannels = 4;
+    cfgs[2].bandwidthGBps = 64.0;
+    cfgs[2].memChannels = 4;
+    cfgs[2].channelPolicy = ChannelPolicy::EvkDedicated;
+    std::vector<SimStats> stats = runner.sweepConfigs(*exp, cfgs);
+    ASSERT_EQ(stats.size(), 3u);
+    EXPECT_EQ(stats[0].memChannels, 1u);
+    EXPECT_EQ(stats[1].memChannels, 4u);
+    // Multi-channel placement changes the schedule.
+    EXPECT_NE(stats[1].runtime, stats[0].runtime);
+}
+
+TEST(Runner, RunAllExecutesEveryJobOnce)
+{
+    ExperimentRunner runner(4);
+    std::atomic<int> counter{0};
+    std::vector<std::function<void()>> jobs;
+    for (int i = 0; i < 64; ++i)
+        jobs.push_back([&counter] { ++counter; });
+    runner.runAll(jobs);
+    EXPECT_EQ(counter.load(), 64);
+    runner.runAll({}); // empty set is a no-op
+    EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(Runner, CachedHelpersMatchDirectOnes)
+{
+    ExperimentRunner runner(2);
+    for (const char *name : {"ARK", "BTS1"}) {
+        const HksParams &b = benchmarkByName(name);
+        EXPECT_EQ(baselineRuntime(runner, b), baselineRuntime(b)) << name;
+        EXPECT_EQ(ocBaseBandwidth(runner, b), ocBaseBandwidth(b)) << name;
+    }
+    // Both helpers populate the cache (MP + OC on-chip experiments).
+    EXPECT_GE(runner.cachedExperiments(), 4u);
+}
+
+TEST(Runner, ConcurrentExperimentLookupsShareOneBuild)
+{
+    ExperimentRunner runner(4);
+    const HksParams &b = benchmarkByName("DPRIVE");
+    MemoryConfig mem{32ull << 20, true};
+    std::vector<std::shared_ptr<const HksExperiment>> got(8);
+    std::vector<std::function<void()>> jobs;
+    for (std::size_t i = 0; i < got.size(); ++i)
+        jobs.push_back(
+            [&, i] { got[i] = runner.experiment(b, Dataflow::DC, mem); });
+    runner.runAll(jobs);
+    for (const auto &e : got) {
+        ASSERT_NE(e, nullptr);
+        EXPECT_EQ(e.get(), got[0].get());
+    }
+    EXPECT_EQ(runner.cachedExperiments(), 1u);
+}

@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Tests for the generic discrete-event core (src/sim/) and its exact
+ * equivalence, in the single-channel fused-pipe configuration, with
+ * the legacy hard-coded two-queue engine it replaced.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "rpu/experiment.h"
+#include "sim/event_queue.h"
+
+using namespace ciflow;
+
+namespace
+{
+
+/**
+ * The original two-queue loop from src/rpu/engine.cpp, kept verbatim
+ * as a reference model: single DRAM channel, single fused compute
+ * pipe, in-order queues, head issues when dependencies resolved.
+ */
+SimStats
+legacyTwoQueueRun(const RpuConfig &cfg, const TaskGraph &g)
+{
+    RpuEngine model(cfg); // reused only for per-task costs
+    CodeGen cg(cfg.vectorLen);
+
+    std::vector<std::uint32_t> mem_q, comp_q;
+    for (const auto &t : g.tasks()) {
+        if (t.kind == TaskKind::Compute)
+            comp_q.push_back(t.id);
+        else
+            mem_q.push_back(t.id);
+    }
+
+    std::vector<double> finish(g.size(), -1.0);
+    std::size_t im = 0, ic = 0;
+    double mem_free = 0.0, comp_free = 0.0;
+    double mem_busy = 0.0, comp_busy = 0.0;
+
+    auto deps_ready = [&](const Task &t, double &ready) {
+        ready = 0.0;
+        for (std::uint32_t d : t.deps) {
+            if (finish[d] < 0)
+                return false;
+            ready = std::max(ready, finish[d]);
+        }
+        return true;
+    };
+
+    while (im < mem_q.size() || ic < comp_q.size()) {
+        if (im < mem_q.size()) {
+            const Task &t = g[mem_q[im]];
+            double ready;
+            if (deps_ready(t, ready)) {
+                double start = std::max(mem_free, ready);
+                double dur = model.memTaskSeconds(t);
+                finish[t.id] = start + dur;
+                mem_free = start + dur;
+                mem_busy += dur;
+                ++im;
+            }
+        }
+        if (ic < comp_q.size()) {
+            const Task &t = g[comp_q[ic]];
+            double ready;
+            if (deps_ready(t, ready)) {
+                double start = std::max(comp_free, ready);
+                double dur = model.computeTaskSeconds(t, cg);
+                finish[t.id] = start + dur;
+                comp_free = start + dur;
+                comp_busy += dur;
+                ++ic;
+            }
+        }
+    }
+
+    SimStats s;
+    s.runtime = std::max(mem_free, comp_free);
+    s.memBusy = mem_busy;
+    s.compBusy = comp_busy;
+    s.trafficBytes = g.trafficBytes();
+    s.modOps = g.totalModOps();
+    return s;
+}
+
+Task
+load(std::uint64_t bytes, std::vector<std::uint32_t> deps = {})
+{
+    Task t;
+    t.kind = TaskKind::MemLoad;
+    t.bytes = bytes;
+    t.deps = std::move(deps);
+    return t;
+}
+
+Task
+comp(std::uint64_t ops, std::vector<std::uint32_t> deps = {})
+{
+    Task t;
+    t.kind = TaskKind::Compute;
+    t.stage = StageId::ModUpKeyMul;
+    t.modOps = ops;
+    t.deps = std::move(deps);
+    return t;
+}
+
+} // namespace
+
+TEST(SimResource, ScheduleTracksFreeAndBusy)
+{
+    sim::Resource r("pipe");
+    EXPECT_EQ(r.freeAt(), 0.0);
+    EXPECT_EQ(r.schedule(0.0, 2.0), 2.0);
+    // Ready before free: queues behind the previous job.
+    EXPECT_EQ(r.schedule(1.0, 3.0), 5.0);
+    // Ready after free: idles until the dependency resolves.
+    EXPECT_EQ(r.schedule(10.0, 1.0), 11.0);
+    EXPECT_EQ(r.busySeconds(), 6.0);
+    EXPECT_EQ(r.jobsServed(), 3u);
+    r.reset();
+    EXPECT_EQ(r.freeAt(), 0.0);
+    EXPECT_EQ(r.busySeconds(), 0.0);
+}
+
+TEST(SimChannel, TransferSecondsFollowsBandwidth)
+{
+    sim::Channel c("dram", 1e9);
+    EXPECT_DOUBLE_EQ(c.transferSeconds(1000), 1e-6);
+    EXPECT_DOUBLE_EQ(c.bytesPerSec(), 1e9);
+}
+
+TEST(SimEventQueue, SerialChainAcrossResources)
+{
+    sim::EventQueue eq;
+    auto dram = eq.addChannel("dram", 1e9);
+    auto pipe = eq.addResource("pipe");
+    auto t0 = eq.addTask({}, {{dram, 1e-6}});
+    eq.addTask({t0}, {{pipe, 5e-7}});
+    sim::SimResult r = eq.run();
+    EXPECT_DOUBLE_EQ(r.makespan, 1.5e-6);
+    EXPECT_DOUBLE_EQ(r.taskFinish[0], 1e-6);
+    EXPECT_DOUBLE_EQ(r.taskFinish[1], 1.5e-6);
+    EXPECT_DOUBLE_EQ(r.resources[0].busySeconds, 1e-6);
+    EXPECT_DOUBLE_EQ(r.resources[1].busySeconds, 5e-7);
+}
+
+TEST(SimEventQueue, IndependentResourcesOverlap)
+{
+    sim::EventQueue eq;
+    auto a = eq.addResource("a");
+    auto b = eq.addResource("b");
+    eq.addTask({}, {{a, 1.0}});
+    eq.addTask({}, {{b, 1.0}});
+    sim::SimResult r = eq.run();
+    EXPECT_DOUBLE_EQ(r.makespan, 1.0);
+}
+
+TEST(SimEventQueue, InOrderQueueBlocksYoungerWork)
+{
+    // Head of the queue waits on a dependency; younger ready work on
+    // the same resource must wait behind it (in-order semantics).
+    sim::EventQueue eq;
+    auto a = eq.addResource("a");
+    auto b = eq.addResource("b");
+    auto blocker = eq.addTask({}, {{b, 1.0}});
+    eq.addTask({blocker}, {{a, 0.1}}); // head of a, waits for b
+    eq.addTask({}, {{a, 0.1}});        // ready, but behind the head
+    sim::SimResult r = eq.run();
+    EXPECT_DOUBLE_EQ(r.taskFinish[1], 1.1);
+    EXPECT_DOUBLE_EQ(r.taskFinish[2], 1.2);
+}
+
+TEST(SimEventQueue, MultiOpTaskFinishesWhenAllOpsFinish)
+{
+    // A split compute task: arithmetic and shuffle halves on separate
+    // pipes; the dependent starts only after the slower half.
+    sim::EventQueue eq;
+    auto arith = eq.addResource("arith");
+    auto shuf = eq.addResource("shuffle");
+    auto t0 = eq.addTask({}, {{arith, 1.0}, {shuf, 3.0}});
+    eq.addTask({t0}, {{arith, 0.5}});
+    sim::SimResult r = eq.run();
+    EXPECT_DOUBLE_EQ(r.taskFinish[0], 3.0);
+    EXPECT_DOUBLE_EQ(r.taskFinish[1], 3.5);
+    EXPECT_DOUBLE_EQ(r.makespan, 3.5);
+}
+
+TEST(SimEventQueue, SplitPipesOverlapAcrossTasks)
+{
+    // Task A: long shuffle, short arith. Task B (independent): long
+    // arith. On split pipes B's arithmetic hides under A's shuffle.
+    sim::EventQueue eq;
+    auto arith = eq.addResource("arith");
+    auto shuf = eq.addResource("shuffle");
+    eq.addTask({}, {{arith, 0.2}, {shuf, 2.0}});
+    eq.addTask({}, {{arith, 1.8}});
+    sim::SimResult r = eq.run();
+    EXPECT_DOUBLE_EQ(r.makespan, 2.0);
+}
+
+TEST(SimEventQueue, RejectsForwardDependency)
+{
+    sim::EventQueue eq;
+    auto a = eq.addResource("a");
+    eq.addTask({}, {{a, 1.0}});
+    EXPECT_DEATH(eq.addTask({5}, {{a, 1.0}}), "forward dependency");
+}
+
+TEST(SimEventQueue, RejectsEmptyTaskAndUnknownResource)
+{
+    sim::EventQueue eq;
+    auto a = eq.addResource("a");
+    EXPECT_DEATH(eq.addTask({}, {}), "no ops");
+    EXPECT_DEATH(eq.addTask({}, {{a + 7, 1.0}}), "unknown resource");
+}
+
+TEST(SimEventQueue, RunIsRepeatable)
+{
+    sim::EventQueue eq;
+    auto a = eq.addResource("a");
+    eq.addTask({}, {{a, 1.0}});
+    sim::SimResult r1 = eq.run();
+    sim::SimResult r2 = eq.run();
+    EXPECT_EQ(r1.makespan, r2.makespan);
+    EXPECT_EQ(r1.resources[0].busySeconds, r2.resources[0].busySeconds);
+}
+
+TEST(SimEventQueue, ChannelAccessorChecksKind)
+{
+    sim::EventQueue eq;
+    auto dram = eq.addChannel("dram", 1e9);
+    auto pipe = eq.addResource("pipe");
+    EXPECT_DOUBLE_EQ(eq.channel(dram).bytesPerSec(), 1e9);
+    EXPECT_DEATH(eq.channel(pipe), "not a channel");
+}
+
+// --- exact equivalence with the legacy two-queue engine -------------
+
+TEST(LegacyEquivalence, HandBuiltGraphBitIdentical)
+{
+    TaskGraph g;
+    auto l0 = g.push(load(1000));
+    auto c0 = g.push(comp(500, {l0}));
+    auto l1 = g.push(load(777, {c0}));
+    g.push(load(123));
+    g.push(comp(999, {l1, c0}));
+
+    RpuConfig cfg;
+    cfg.bandwidthGBps = 1.0;
+    cfg.hples = 1;
+    cfg.freqGHz = 1.0;
+    cfg.cyclesPerModOp = 1.0;
+
+    SimStats legacy = legacyTwoQueueRun(cfg, g);
+    SimStats now = RpuEngine(cfg).run(g);
+    EXPECT_EQ(now.runtime, legacy.runtime);
+    EXPECT_EQ(now.memBusy, legacy.memBusy);
+    EXPECT_EQ(now.compBusy, legacy.compBusy);
+}
+
+class LegacyEquivalenceOnBenchmarks
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(LegacyEquivalenceOnBenchmarks, SingleChannelBitIdentical)
+{
+    const HksParams &b = benchmarkByName(GetParam());
+    for (bool evk_on_chip : {true, false}) {
+        MemoryConfig mem{32ull << 20, evk_on_chip};
+        for (Dataflow d : allDataflows()) {
+            HksExperiment exp(b, d, mem);
+            for (double bw : {8.0, 64.0, 512.0}) {
+                RpuConfig cfg;
+                cfg.bandwidthGBps = bw;
+                cfg.dataMemBytes = mem.dataCapacityBytes;
+                cfg.evkOnChip = mem.evkOnChip;
+                SimStats legacy = legacyTwoQueueRun(cfg, exp.graph());
+                SimStats now = exp.simulate(bw);
+                // Bit-identical, not approximately equal: the sim core
+                // must evaluate the same scheduling recurrence.
+                EXPECT_EQ(now.runtime, legacy.runtime)
+                    << dataflowName(d) << " @" << bw;
+                EXPECT_EQ(now.memBusy, legacy.memBusy)
+                    << dataflowName(d) << " @" << bw;
+                EXPECT_EQ(now.compBusy, legacy.compBusy)
+                    << dataflowName(d) << " @" << bw;
+                EXPECT_EQ(now.trafficBytes, legacy.trafficBytes);
+                EXPECT_EQ(now.modOps, legacy.modOps);
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperBenchmarks, LegacyEquivalenceOnBenchmarks,
+                         ::testing::Values("BTS1", "BTS2", "BTS3", "ARK",
+                                           "DPRIVE"));
