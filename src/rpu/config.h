@@ -124,6 +124,46 @@ struct RpuConfig
     }
 };
 
+/**
+ * The fields of an RpuConfig that shape a compiled schedule: resource
+ * layout (channels, placement policy, fused vs split pipes) and the
+ * vector length the code generator lowered tasks against. Two configs
+ * with equal layouts can replay the same sim::CompiledSchedule; the
+ * remaining knobs (bandwidth, MODOPS multiplier, clocks) only scale
+ * replay rates.
+ */
+struct RpuLayout
+{
+    std::size_t memChannels = 1;
+    ChannelPolicy channelPolicy = ChannelPolicy::Interleave;
+    bool splitComputePipes = false;
+    std::size_t vectorLen = 1024;
+
+    bool operator==(const RpuLayout &) const = default;
+
+    static RpuLayout
+    of(const RpuConfig &cfg)
+    {
+        return {cfg.channelCount(), cfg.channelPolicy,
+                cfg.splitComputePipes, cfg.vectorLen};
+    }
+
+    /**
+     * Nonzero packed encoding stamped onto compiled schedules
+     * (sim::CompiledSchedule::layoutTag) so replaying against a
+     * different layout is caught, not silently wrong. Nonzero because
+     * memChannels >= 1 occupies the top bits.
+     */
+    std::uint64_t
+    tag() const
+    {
+        return (static_cast<std::uint64_t>(memChannels) << 40) |
+               (static_cast<std::uint64_t>(vectorLen) << 8) |
+               (static_cast<std::uint64_t>(channelPolicy) << 1) |
+               (splitComputePipes ? 1u : 0u);
+    }
+};
+
 } // namespace ciflow
 
 #endif // CIFLOW_RPU_CONFIG_H

@@ -8,6 +8,30 @@
 namespace ciflow
 {
 
+namespace
+{
+
+/**
+ * Per-thread replay buffers: rates and scratch are reused across every
+ * replay on this thread, so repeated simulates (sweeps, bisection)
+ * allocate nothing once warm — including on ExperimentRunner workers,
+ * which each get their own instance.
+ */
+struct ReplayTls
+{
+    sim::ReplayRates rates;
+    sim::ReplayScratch scratch;
+};
+
+ReplayTls &
+replayTls()
+{
+    thread_local ReplayTls tls;
+    return tls;
+}
+
+} // namespace
+
 double
 RpuEngine::arithTaskSeconds(const Task &t) const
 {
@@ -39,8 +63,145 @@ RpuEngine::memTaskSeconds(const Task &t) const
     return static_cast<double>(t.bytes) / cfg.channelBytesPerSec();
 }
 
+sim::CompiledSchedule
+RpuEngine::compile(const TaskGraph &g) const
+{
+    g.validate();
+
+    CodeGen cg(cfg.vectorLen);
+    sim::CompiledSchedule cs;
+
+    // Channels are registered first, so their ResourceIds are 0..N-1.
+    const std::size_t nchan = cfg.channelCount();
+    for (std::size_t c = 0; c < nchan; ++c)
+        cs.addResource("dram" + std::to_string(c));
+
+    sim::ResourceId comp = 0, arith = 0, shuf = 0;
+    if (cfg.splitComputePipes) {
+        arith = cs.addResource("arith");
+        shuf = cs.addResource("shuffle");
+    } else {
+        comp = cs.addResource("compute");
+    }
+
+    // Round-robin counter for memory-task placement. With the
+    // EvkDedicated policy (and >= 2 channels) evk streams own the last
+    // channel and everything else interleaves over the rest.
+    const bool dedicate_evk =
+        cfg.channelPolicy == ChannelPolicy::EvkDedicated && nchan >= 2;
+    const std::size_t data_chans = dedicate_evk ? nchan - 1 : nchan;
+    std::size_t mem_rr = 0;
+
+    std::vector<sim::CompiledOp> ops;
+    for (const Task &t : g.tasks()) {
+        ops.clear();
+        if (t.kind == TaskKind::Compute) {
+            const InstrCounts ic = cg.forComputeTask(t);
+            const double shuf_elems =
+                static_cast<double>(ic.shuffle) *
+                static_cast<double>(cg.vectorLen());
+            if (cfg.splitComputePipes) {
+                sim::CompiledOp a;
+                a.resource = arith;
+                a.work[kWorkArith] = static_cast<double>(t.modOps);
+                ops.push_back(a);
+                if (t.shuffleOps > 0) {
+                    sim::CompiledOp s;
+                    s.resource = shuf;
+                    s.work[kWorkShuffle] = shuf_elems;
+                    ops.push_back(s);
+                }
+            } else {
+                // The fused pipe costs the slower half; replay's
+                // component max reproduces computeTaskSeconds exactly.
+                sim::CompiledOp o;
+                o.resource = comp;
+                o.work[kWorkArith] = static_cast<double>(t.modOps);
+                o.work[kWorkShuffle] = shuf_elems;
+                ops.push_back(o);
+            }
+        } else {
+            sim::CompiledOp o;
+            if (dedicate_evk && t.isEvk) {
+                o.resource = static_cast<sim::ResourceId>(nchan - 1);
+            } else {
+                o.resource =
+                    static_cast<sim::ResourceId>(mem_rr % data_chans);
+                ++mem_rr;
+            }
+            o.bytes = static_cast<double>(t.bytes);
+            ops.push_back(o);
+        }
+        cs.addTask(t.deps, ops);
+    }
+    cs.setLayoutTag(RpuLayout::of(cfg).tag());
+    return cs;
+}
+
+void
+RpuEngine::rates(const sim::CompiledSchedule &cs,
+                 sim::ReplayRates &r) const
+{
+    const std::size_t nchan = cfg.channelCount();
+    panicIf(cs.layoutTag() != RpuLayout::of(cfg).tag(),
+            "compiled schedule layout does not match config");
+    panicIf(cs.resourceCount() != nchan + cfg.computePipeCount(),
+            "compiled schedule resource count does not match config");
+    // Pipes never carry bytes; 1.0 keeps their (zero) byte component
+    // well defined.
+    r.bytesPerSec.assign(cs.resourceCount(), 1.0);
+    const double chan_bps = cfg.channelBytesPerSec();
+    for (std::size_t c = 0; c < nchan; ++c)
+        r.bytesPerSec[c] = chan_bps;
+    r.workPerSec[kWorkArith] = cfg.modopsPerSec();
+    r.workPerSec[kWorkShuffle] = cfg.shuffleElemsPerSec();
+}
+
+double
+RpuEngine::replayRuntime(const sim::CompiledSchedule &cs) const
+{
+    ReplayTls &tls = replayTls();
+    rates(cs, tls.rates);
+    return cs.replay(tls.rates, tls.scratch);
+}
+
+SimStats
+RpuEngine::replay(const sim::CompiledSchedule &cs,
+                  const TaskGraph &g) const
+{
+    ReplayTls &tls = replayTls();
+    rates(cs, tls.rates);
+    const double makespan = cs.replay(tls.rates, tls.scratch);
+
+    const std::size_t nchan = cfg.channelCount();
+    const std::size_t nres = cs.resourceCount();
+    SimStats s;
+    s.runtime = makespan;
+    s.memChannels = nchan;
+    s.computePipes = cfg.computePipeCount();
+    for (std::size_t c = 0; c < nchan; ++c)
+        s.memBusy += tls.scratch.busy[c];
+    for (std::size_t p = nchan; p < nres; ++p)
+        s.compBusy += tls.scratch.busy[p];
+    s.trafficBytes = g.trafficBytes();
+    s.modOps = g.totalModOps();
+    s.resources.reserve(nres);
+    for (std::size_t r = 0; r < nres; ++r)
+        s.resources.push_back({cs.resourceName(
+                                   static_cast<sim::ResourceId>(r)),
+                               tls.scratch.busy[r],
+                               tls.scratch.jobs[r]});
+    return s;
+}
+
 SimStats
 RpuEngine::run(const TaskGraph &g) const
+{
+    return replay(compile(g), g);
+}
+
+SimStats
+RpuEngine::runRebuild(const TaskGraph &g) const
 {
     g.validate();
 
@@ -61,13 +222,14 @@ RpuEngine::run(const TaskGraph &g) const
         comp = eq.addResource("compute");
     }
 
-    // Round-robin counter for memory-task placement. With the
-    // EvkDedicated policy (and >= 2 channels) evk streams own the last
-    // channel and everything else interleaves over the rest.
     const bool dedicate_evk =
         cfg.channelPolicy == ChannelPolicy::EvkDedicated && nchan >= 2;
     const std::size_t data_chans = dedicate_evk ? nchan - 1 : nchan;
     std::size_t mem_rr = 0;
+
+    // All channels serve the same rate; hoisting it out of the loop
+    // avoids a per-memory-task channel lookup (a dynamic_cast).
+    const double chan_bps = cfg.channelBytesPerSec();
 
     std::vector<sim::SimOp> ops;
     for (const Task &t : g.tasks()) {
@@ -89,7 +251,7 @@ RpuEngine::run(const TaskGraph &g) const
                 ++mem_rr;
             }
             ops.push_back(
-                {chan, eq.channel(chan).transferSeconds(t.bytes)});
+                {chan, static_cast<double>(t.bytes) / chan_bps});
         }
         eq.addTask(t.deps, ops);
     }

@@ -12,18 +12,25 @@
  * deadlock — the invariant now lives in sim::EventQueue, and
  * TaskGraph::validate() re-checks it on entry instead of assuming it.
  *
- * Resource mapping, driven by RpuConfig:
- *  - N DRAM channels, each serving bandwidth/N; memory tasks are
- *    placed by ChannelPolicy (interleaved, or evk streams on a
- *    dedicated channel).
- *  - one fused compute pipe (paper configuration: a compute task costs
- *    max(arithmetic, shuffle) pipe time derived from the B1K
- *    instruction counts), or split arithmetic/shuffle pipes that
- *    overlap across tasks.
+ * The engine is a thin adapter binding a TaskGraph to an RpuConfig's
+ * resource layout:
+ *  - compile() lowers the graph once against the layout (N DRAM
+ *    channels with ChannelPolicy placement; one fused compute pipe or
+ *    split arithmetic/shuffle pipes) into a sim::CompiledSchedule.
+ *    Every CodeGen lowering and every channel lookup happens here,
+ *    once, at setup time.
+ *  - rates() converts the config's timing knobs (bandwidth, MODOPS
+ *    multiplier, clocks) into sim::ReplayRates; replay() evaluates a
+ *    compiled schedule at those rates with zero allocation beyond a
+ *    per-thread scratch, so sweeping a knob is pure scalar scaling
+ *    over contiguous memory.
  *
- * With one channel and the fused pipe, results are bit-identical to
- * the original hard-coded two-queue engine (asserted by
- * tests/test_sim_core.cpp).
+ * run() = compile() + replay(). runRebuild() keeps the previous
+ * build-an-EventQueue-per-call path as the reference implementation;
+ * both produce bit-identical SimStats (asserted by
+ * tests/test_compiled_schedule.cpp), and with one channel and the
+ * fused pipe both are bit-identical to the original hard-coded
+ * two-queue engine (asserted by tests/test_sim_core.cpp).
  */
 
 #ifndef CIFLOW_RPU_ENGINE_H
@@ -34,10 +41,15 @@
 #include "hksflow/task.h"
 #include "rpu/config.h"
 #include "rpu/isa.h"
+#include "sim/compiled_schedule.h"
 #include "sim/event_queue.h"
 
 namespace ciflow
 {
+
+/** Work-class bindings of RPU-compiled schedules. */
+constexpr std::size_t kWorkArith = 0;   ///< modOps / modopsPerSec
+constexpr std::size_t kWorkShuffle = 1; ///< elems / shuffleElemsPerSec
 
 /** Aggregate results of one simulated HKS execution. */
 struct SimStats
@@ -86,8 +98,42 @@ class RpuEngine
   public:
     explicit RpuEngine(const RpuConfig &cfg) : cfg(cfg) {}
 
-    /** Run the graph to completion and return timing statistics. */
+    /**
+     * Run the graph to completion and return timing statistics
+     * (compile + replay; identical to runRebuild).
+     */
     SimStats run(const TaskGraph &g) const;
+
+    /**
+     * Reference path: rebuild an EventQueue and re-lower every task on
+     * each call, as the engine did before compiled schedules. Kept for
+     * equivalence tests and as the bench_sim_throughput baseline.
+     */
+    SimStats runRebuild(const TaskGraph &g) const;
+
+    /**
+     * Lower `g` once against this config's RpuLayout. The result can
+     * be replayed at any rates whose config shares that layout.
+     */
+    sim::CompiledSchedule compile(const TaskGraph &g) const;
+
+    /**
+     * Replay rates of this config: per-channel bytes/s (pipes get a
+     * benign 1.0), MODOPS and shuffle rates. Reuses `rates`' buffers.
+     */
+    void rates(const sim::CompiledSchedule &cs,
+               sim::ReplayRates &rates) const;
+
+    /**
+     * Evaluate a compiled schedule at this config's rates using a
+     * per-thread scratch (no allocation on the hot path) and package
+     * the SimStats. `g` supplies the graph-level aggregates.
+     */
+    SimStats replay(const sim::CompiledSchedule &cs,
+                    const TaskGraph &g) const;
+
+    /** Makespan-only replay: allocation-free (bisection hot path). */
+    double replayRuntime(const sim::CompiledSchedule &cs) const;
 
     /** Arithmetic-pipe seconds of one compute task. */
     double arithTaskSeconds(const Task &t) const;

@@ -10,8 +10,35 @@ namespace ciflow
 
 HksExperiment::HksExperiment(const HksParams &par_, Dataflow d,
                              const MemoryConfig &mem_)
-    : par(par_), df(d), mem(mem_), g(buildHksGraph(par_, d, mem_))
+    : par(par_), df(d), mem(mem_), g(buildHksGraph(par_, d, mem_)),
+      defLayout(RpuLayout::of(RpuConfig{})),
+      def(RpuEngine(RpuConfig{}).compile(g))
 {
+}
+
+RpuConfig
+HksExperiment::normalized(const RpuConfig &cfg_in) const
+{
+    RpuConfig cfg = cfg_in;
+    cfg.dataMemBytes = mem.dataCapacityBytes;
+    cfg.evkOnChip = mem.evkOnChip;
+    return cfg;
+}
+
+const sim::CompiledSchedule &
+HksExperiment::scheduleFor(const RpuLayout &layout,
+                           const RpuConfig &cfg) const
+{
+    if (layout == defLayout)
+        return def;
+    std::lock_guard<std::mutex> lk(layouts_mu);
+    for (const auto &[l, cs] : layouts)
+        if (l == layout)
+            return *cs;
+    layouts.emplace_back(
+        layout, std::make_unique<const sim::CompiledSchedule>(
+                    RpuEngine(cfg).compile(g)));
+    return *layouts.back().second;
 }
 
 SimStats
@@ -23,13 +50,24 @@ HksExperiment::simulate(double bandwidth_gbps, double modops_mult) const
     return simulate(cfg);
 }
 
+double
+HksExperiment::simulateRuntime(double bandwidth_gbps,
+                               double modops_mult) const
+{
+    RpuConfig cfg;
+    cfg.bandwidthGBps = bandwidth_gbps;
+    cfg.modopsMult = modops_mult;
+    cfg = normalized(cfg);
+    return RpuEngine(cfg).replayRuntime(
+        scheduleFor(RpuLayout::of(cfg), cfg));
+}
+
 SimStats
 HksExperiment::simulate(const RpuConfig &cfg_in) const
 {
-    RpuConfig cfg = cfg_in;
-    cfg.dataMemBytes = mem.dataCapacityBytes;
-    cfg.evkOnChip = mem.evkOnChip;
-    return RpuEngine(cfg).run(g);
+    const RpuConfig cfg = normalized(cfg_in);
+    const RpuEngine engine(cfg);
+    return engine.replay(scheduleFor(RpuLayout::of(cfg), cfg), g);
 }
 
 const std::vector<double> &
@@ -58,7 +96,7 @@ baselineRuntime(const HksParams &par)
     mem.dataCapacityBytes = 32ull << 20;
     mem.evkOnChip = true;
     HksExperiment exp(par, Dataflow::MP, mem);
-    return exp.simulate(64.0).runtime;
+    return exp.simulateRuntime(64.0);
 }
 
 double
@@ -66,14 +104,14 @@ bandwidthToMatch(const HksExperiment &exp, double target_runtime,
                  double lo_gbps, double hi_gbps, double modops_mult,
                  double tol)
 {
-    if (exp.simulate(hi_gbps, modops_mult).runtime >
+    if (exp.simulateRuntime(hi_gbps, modops_mult) >
         target_runtime * (1 + tol)) {
         return std::numeric_limits<double>::infinity();
     }
     double lo = lo_gbps, hi = hi_gbps;
     for (int iter = 0; iter < 60 && (hi - lo) > 1e-6 * hi; ++iter) {
         double mid = 0.5 * (lo + hi);
-        if (exp.simulate(mid, modops_mult).runtime <=
+        if (exp.simulateRuntime(mid, modops_mult) <=
             target_runtime * (1 + tol)) {
             hi = mid;
         } else {
@@ -94,7 +132,7 @@ ocBaseBandwidth(const HksParams &par)
     // Report on the paper's grid: first sweep point that meets the
     // baseline runtime.
     for (double bw : paperBandwidthSweep())
-        if (oc.simulate(bw).runtime <= target * 1.001)
+        if (oc.simulateRuntime(bw) <= target * 1.001)
             return bw;
     return 64.0;
 }

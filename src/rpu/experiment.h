@@ -7,12 +7,22 @@
  * and sweeps the timing knobs cheaply. This mirrors the paper's
  * methodology: instruction streams are generated per configuration and
  * dataflow, then evaluated across bandwidths (§V-C, §VI).
+ *
+ * Compile-once / simulate-many: construction also compiles the graph
+ * into a sim::CompiledSchedule for the default RpuLayout (all CodeGen
+ * lowering hoisted out of simulate()), and simulate() replays it —
+ * a single O(V+E) pass over flat arrays into per-thread scratch, with
+ * no allocation on the hot path. Non-default layouts (multi-channel,
+ * split pipes, other vector lengths) compile on first use into a small
+ * per-experiment cache, so config sweeps pay one compile per layout.
  */
 
 #ifndef CIFLOW_RPU_EXPERIMENT_H
 #define CIFLOW_RPU_EXPERIMENT_H
 
 #include <memory>
+#include <mutex>
+#include <utility>
 #include <vector>
 
 #include "hksflow/dataflow.h"
@@ -34,6 +44,14 @@ class HksExperiment
                       double modops_mult = 1.0) const;
 
     /**
+     * Runtime-only variant of simulate(): replays the compiled
+     * schedule and returns the makespan without packaging SimStats.
+     * Allocation-free; the bisection helpers' hot path.
+     */
+    double simulateRuntime(double bandwidth_gbps,
+                           double modops_mult = 1.0) const;
+
+    /**
      * Simulate under a full RPU configuration (channel count and
      * policy, split pipes, ...). The configuration's memory-system
      * fields are overridden by this experiment's MemoryConfig, which
@@ -41,16 +59,36 @@ class HksExperiment
      */
     SimStats simulate(const RpuConfig &cfg) const;
 
+    /** The schedule compiled for the default RpuLayout. */
+    const sim::CompiledSchedule &compiled() const { return def; }
+
     const TaskGraph &graph() const { return g; }
     const HksParams &params() const { return par; }
     Dataflow dataflow() const { return df; }
     const MemoryConfig &memory() const { return mem; }
 
   private:
+    /** Fill in this experiment's memory-system fields. */
+    RpuConfig normalized(const RpuConfig &cfg_in) const;
+
+    /** The compiled schedule for `layout` (compiling on first use). */
+    const sim::CompiledSchedule &scheduleFor(const RpuLayout &layout,
+                                             const RpuConfig &cfg) const;
+
     HksParams par;
     Dataflow df;
     MemoryConfig mem;
     TaskGraph g;
+
+    /** Schedule for the default layout, compiled at construction. */
+    RpuLayout defLayout;
+    sim::CompiledSchedule def;
+
+    /** Lazily compiled schedules for other layouts (config sweeps). */
+    mutable std::mutex layouts_mu;
+    mutable std::vector<
+        std::pair<RpuLayout, std::unique_ptr<const sim::CompiledSchedule>>>
+        layouts;
 };
 
 /** The paper's DDR4..HBM3 sweep points (GB/s). */

@@ -1,8 +1,5 @@
 #include "rpu/runner.h"
 
-#include <atomic>
-#include <sstream>
-
 #include "common/logging.h"
 
 namespace ciflow
@@ -11,22 +8,48 @@ namespace ciflow
 namespace
 {
 
-/** Cache key: every field that shapes the task graph. */
-std::string
-cacheKey(const HksParams &par, Dataflow d, const MemoryConfig &mem)
-{
-    std::ostringstream key;
-    key << par.name << '/' << par.logN << '/' << par.kl << '/' << par.kp
-        << '/' << par.dnum << '/' << par.alpha << '/' << dataflowName(d)
-        << '/' << mem.dataCapacityBytes << '/' << mem.evkOnChip << '/'
-        << mem.evkCompressed;
-    return key.str();
-}
-
 /** The runner whose pool the current thread belongs to, if any. */
 thread_local const ExperimentRunner *tls_pool_owner = nullptr;
 
 } // namespace
+
+ExperimentKey
+ExperimentKey::of(const HksParams &par, Dataflow d,
+                  const MemoryConfig &mem)
+{
+    return {par.name,
+            par.logN,
+            par.kl,
+            par.kp,
+            par.dnum,
+            par.alpha,
+            d,
+            mem.dataCapacityBytes,
+            mem.evkOnChip,
+            mem.evkCompressed};
+}
+
+std::size_t
+ExperimentKeyHash::operator()(const ExperimentKey &k) const
+{
+    // splitmix64-style mixing of each field into a running seed.
+    auto mix = [](std::size_t seed, std::uint64_t v) {
+        v += 0x9e3779b97f4a7c15ull + seed;
+        v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ull;
+        v = (v ^ (v >> 27)) * 0x94d049bb133111ebull;
+        return static_cast<std::size_t>(v ^ (v >> 31));
+    };
+    std::size_t h = std::hash<std::string>{}(k.name);
+    h = mix(h, k.logN);
+    h = mix(h, k.kl);
+    h = mix(h, k.kp);
+    h = mix(h, k.dnum);
+    h = mix(h, k.alpha);
+    h = mix(h, static_cast<std::uint64_t>(k.dataflow));
+    h = mix(h, k.dataCapacityBytes);
+    h = mix(h, (k.evkOnChip ? 2u : 0u) | (k.evkCompressed ? 1u : 0u));
+    return h;
+}
 
 ExperimentRunner::ExperimentRunner(std::size_t threads)
 {
@@ -74,7 +97,7 @@ std::shared_ptr<const HksExperiment>
 ExperimentRunner::experiment(const HksParams &par, Dataflow d,
                              const MemoryConfig &mem)
 {
-    const std::string key = cacheKey(par, d, mem);
+    const ExperimentKey key = ExperimentKey::of(par, d, mem);
     {
         std::lock_guard<std::mutex> lk(cache_mu);
         auto it = cache.find(key);
@@ -103,10 +126,6 @@ ExperimentRunner::runAll(const std::vector<std::function<void()>> &jobs)
 {
     if (jobs.empty())
         return;
-    // A pool worker waiting on its own pool would deadlock once every
-    // worker is blocked the same way: the nested jobs could never run.
-    panicIf(tls_pool_owner == this,
-            "runAll called from one of this runner's own pool workers");
     // Completion latch shared with the wrappers so no job ever touches
     // this frame's stack after the final decrement releases the waiter.
     struct Latch
@@ -130,6 +149,38 @@ ExperimentRunner::runAll(const std::vector<std::function<void()>> &jobs)
         }
     }
     pool_cv.notify_all();
+    if (tls_pool_owner == this) {
+        // Called from one of this runner's own workers (a job that
+        // itself fans out, e.g. a parallel helper inside a batched
+        // harness). Blocking here would strand a worker slot — and
+        // deadlock once every worker waits the same way — so this
+        // thread helps drain the queue until its own batch completes.
+        // Progress is guaranteed: a helper only sleeps when the queue
+        // is empty, which means every outstanding job of its batch is
+        // running on some other thread.
+        for (;;) {
+            {
+                std::lock_guard<std::mutex> lk(latch->mu);
+                if (latch->remaining == 0)
+                    return;
+            }
+            std::function<void()> job;
+            {
+                std::lock_guard<std::mutex> lk(pool_mu);
+                if (!pending.empty()) {
+                    job = std::move(pending.front());
+                    pending.pop_front();
+                }
+            }
+            if (job) {
+                job();
+                continue;
+            }
+            std::unique_lock<std::mutex> lk(latch->mu);
+            latch->cv.wait(lk, [&] { return latch->remaining == 0; });
+            return;
+        }
+    }
     std::unique_lock<std::mutex> lk(latch->mu);
     latch->cv.wait(lk, [&] { return latch->remaining == 0; });
 }
@@ -170,8 +221,7 @@ baselineRuntime(ExperimentRunner &runner, const HksParams &par)
     mem.dataCapacityBytes = 32ull << 20;
     mem.evkOnChip = true;
     return runner.experiment(par, Dataflow::MP, mem)
-        ->simulate(64.0)
-        .runtime;
+        ->simulateRuntime(64.0);
 }
 
 double
@@ -182,11 +232,13 @@ ocBaseBandwidth(ExperimentRunner &runner, const HksParams &par)
     mem.dataCapacityBytes = 32ull << 20;
     mem.evkOnChip = true;
     auto oc = runner.experiment(par, Dataflow::OC, mem);
-    // Report on the paper's grid: first sweep point that meets the
-    // baseline runtime.
-    for (double bw : paperBandwidthSweep())
-        if (oc->simulate(bw).runtime <= target * 1.001)
-            return bw;
+    // Evaluate the whole paper grid with one parallel sweep, then
+    // report its first point that meets the baseline runtime.
+    const std::vector<double> &grid = paperBandwidthSweep();
+    std::vector<SimStats> stats = runner.sweep(*oc, grid);
+    for (std::size_t i = 0; i < grid.size(); ++i)
+        if (stats[i].runtime <= target * 1.001)
+            return grid[i];
     return 64.0;
 }
 

@@ -9,8 +9,10 @@
  * bandwidth or MODOPS. The runner therefore caches one immutable
  * HksExperiment per key and shares it across harnesses via
  * shared_ptr; the cheap timing evaluations fan out across a
- * std::thread pool. Simulation is a pure function of (graph, config),
- * so parallel sweeps return bit-identical results to serial loops
+ * std::thread pool, each worker replaying the experiment's compiled
+ * schedule into its own thread-local scratch (no allocation per
+ * point). Simulation is a pure function of (graph, config), so
+ * parallel sweeps return bit-identical results to serial loops
  * (asserted by tests/test_runner.cpp).
  */
 
@@ -18,12 +20,14 @@
 #define CIFLOW_RPU_RUNNER_H
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
-#include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "hksflow/dataflow.h"
@@ -38,6 +42,36 @@ struct SweepPoint
 {
     double bandwidthGBps = 64.0;
     double modopsMult = 1.0;
+};
+
+/**
+ * Graph-cache key: every field that shapes the task graph, kept as
+ * typed fields (no string encoding, so no per-lookup stream formatting
+ * and no delimiter collisions with benchmark names).
+ */
+struct ExperimentKey
+{
+    std::string name;
+    std::size_t logN = 0;
+    std::size_t kl = 0;
+    std::size_t kp = 0;
+    std::size_t dnum = 0;
+    std::size_t alpha = 0;
+    Dataflow dataflow = Dataflow::MP;
+    std::uint64_t dataCapacityBytes = 0;
+    bool evkOnChip = false;
+    bool evkCompressed = false;
+
+    bool operator==(const ExperimentKey &) const = default;
+
+    static ExperimentKey of(const HksParams &par, Dataflow d,
+                            const MemoryConfig &mem);
+};
+
+/** Field-wise mixing hash for ExperimentKey. */
+struct ExperimentKeyHash
+{
+    std::size_t operator()(const ExperimentKey &k) const;
 };
 
 /** Graph cache + thread pool for experiment sweeps. */
@@ -75,7 +109,10 @@ class ExperimentRunner
     /**
      * Run arbitrary jobs on the pool and wait for all of them (used by
      * harnesses that parallelize beyond per-point sweeps, e.g. one
-     * bisection per benchmark).
+     * bisection per benchmark). Safe to call from one of this runner's
+     * own pool workers: the calling worker helps execute queued jobs
+     * until its batch completes instead of stranding a worker slot, so
+     * jobs may themselves sweep() or runAll() on the same runner.
      */
     void runAll(const std::vector<std::function<void()>> &jobs);
 
@@ -87,7 +124,9 @@ class ExperimentRunner
 
     // Graph cache.
     mutable std::mutex cache_mu;
-    std::map<std::string, std::shared_ptr<const HksExperiment>> cache;
+    std::unordered_map<ExperimentKey, std::shared_ptr<const HksExperiment>,
+                       ExperimentKeyHash>
+        cache;
 
     // Thread pool.
     std::mutex pool_mu;

@@ -1,0 +1,117 @@
+#include "sim/compiled_schedule.h"
+
+#include "common/logging.h"
+
+namespace ciflow::sim
+{
+
+ResourceId
+CompiledSchedule::addResource(std::string name)
+{
+    names.push_back(std::move(name));
+    return static_cast<ResourceId>(names.size() - 1);
+}
+
+const std::string &
+CompiledSchedule::resourceName(ResourceId id) const
+{
+    panicIf(id >= names.size(), "unknown resource id");
+    return names[id];
+}
+
+TaskId
+CompiledSchedule::addTask(const std::vector<TaskId> &deps,
+                          const std::vector<CompiledOp> &ops_in)
+{
+    const TaskId id = static_cast<TaskId>(taskCount());
+    panicIf(ops_in.empty(), "task with no ops");
+    for (const CompiledOp &op : ops_in)
+        panicIf(op.resource >= names.size(), "op on unknown resource");
+    for (TaskId d : deps)
+        panicIf(d >= id, "forward dependency in sim task");
+    depIds.insert(depIds.end(), deps.begin(), deps.end());
+    depOff.push_back(static_cast<std::uint32_t>(depIds.size()));
+    ops.insert(ops.end(), ops_in.begin(), ops_in.end());
+    opOff.push_back(static_cast<std::uint32_t>(ops.size()));
+    return id;
+}
+
+double
+CompiledSchedule::replay(const ReplayRates &rates,
+                         ReplayScratch &s) const
+{
+    const std::size_t nt = taskCount();
+    const std::size_t nr = names.size();
+    panicIf(rates.bytesPerSec.size() != nr,
+            "replay rates cover a different resource count");
+
+    // finish[t] is written before any read (deps point backward), so a
+    // plain resize suffices; the per-resource accumulators need zeroing.
+    if (s.finish.size() < nt)
+        s.finish.resize(nt);
+    s.freeAt.assign(nr, 0.0);
+    s.busy.assign(nr, 0.0);
+    s.jobs.assign(nr, 0);
+
+    const double *bps = rates.bytesPerSec.data();
+    const double w0 = rates.workPerSec[0];
+    const double w1 = rates.workPerSec[1];
+
+    for (std::size_t t = 0; t < nt; ++t) {
+        double ready = 0.0;
+        for (std::uint32_t i = depOff[t]; i < depOff[t + 1]; ++i) {
+            const double f = s.finish[depIds[i]];
+            if (f > ready)
+                ready = f;
+        }
+        double task_fin = 0.0;
+        for (std::uint32_t i = opOff[t]; i < opOff[t + 1]; ++i) {
+            const CompiledOp &o = ops[i];
+            // max over components; all are >= 0 and max is exact, so
+            // the result is bit-identical to evaluating only the
+            // component(s) the op actually carries.
+            double dur = o.seconds;
+            const double da = o.work[0] / w0;
+            if (da > dur)
+                dur = da;
+            const double ds = o.work[1] / w1;
+            if (ds > dur)
+                dur = ds;
+            const double db = o.bytes / bps[o.resource];
+            if (db > dur)
+                dur = db;
+            const double start =
+                s.freeAt[o.resource] > ready ? s.freeAt[o.resource]
+                                             : ready;
+            const double fin = start + dur;
+            s.freeAt[o.resource] = fin;
+            s.busy[o.resource] += dur;
+            ++s.jobs[o.resource];
+            if (fin > task_fin)
+                task_fin = fin;
+        }
+        s.finish[t] = task_fin;
+    }
+
+    double makespan = 0.0;
+    for (std::size_t r = 0; r < nr; ++r)
+        if (s.freeAt[r] > makespan)
+            makespan = s.freeAt[r];
+    return makespan;
+}
+
+SimResult
+CompiledSchedule::run(const ReplayRates &rates) const
+{
+    ReplayScratch s;
+    SimResult out;
+    out.makespan = replay(rates, s);
+    s.finish.resize(taskCount());
+    out.taskFinish = std::move(s.finish);
+    out.resources.reserve(names.size());
+    for (std::size_t r = 0; r < names.size(); ++r)
+        out.resources.push_back({names[r], s.busy[r], s.jobs[r]});
+    return out;
+}
+
+} // namespace ciflow::sim

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * CompiledSchedule: a task graph flattened for repeated simulation.
+ *
+ * The sweep harnesses evaluate one graph at dozens of (bandwidth,
+ * MODOPS) points, and bisection helpers run up to 61 simulates per
+ * answer. Compiling the graph once moves every per-task cost to setup
+ * time: tasks, dependencies and ops become CSR-style flat arrays
+ * (offset-indexed), and each op's cost is stored as *numerators* —
+ * a bandwidth-scaled byte payload, rate-scaled work components, and a
+ * fixed-seconds component — so one sweep point is a single O(V+E) scan
+ * over contiguous memory that divides numerators by that point's rates.
+ *
+ * Storing numerators instead of precomputed durations keeps replay
+ * bit-identical to building the costs from scratch: the replay performs
+ * the exact same IEEE division (numerator / rate) the eager path would,
+ * with no double rounding through an intermediate "unit seconds" value.
+ *
+ * replay() writes into caller-owned ReplayScratch buffers, so repeated
+ * simulates — including parallel sweeps with per-thread scratch —
+ * allocate nothing after the first call.
+ */
+
+#ifndef CIFLOW_SIM_COMPILED_SCHEDULE_H
+#define CIFLOW_SIM_COMPILED_SCHEDULE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace ciflow::sim
+{
+
+/** Rate-scaled work classes an op may carry (arithmetic, shuffle). */
+constexpr std::size_t kWorkClasses = 2;
+
+/**
+ * One compiled op: cost numerators bound to a resource. The duration at
+ * a replay point is the max over its non-zero components:
+ *
+ *   max(bytes / bytesPerSec[resource],
+ *       work[k] / workPerSec[k] for each class k,
+ *       seconds)
+ *
+ * A fused compute op carries both work classes (the fused pipe costs
+ * the slower of its arithmetic and shuffle halves); a split-pipe op
+ * carries one; a memory op carries only bytes; a generic fixed-duration
+ * op carries only seconds.
+ */
+struct CompiledOp
+{
+    ResourceId resource = 0;
+    /** Bandwidth-scaled payload, served at the resource's rate. */
+    double bytes = 0.0;
+    /** Rate-scaled work, served at ReplayRates::workPerSec[k]. */
+    double work[kWorkClasses] = {0.0, 0.0};
+    /** Fixed duration independent of any rate. */
+    double seconds = 0.0;
+};
+
+/** The scaling knobs of one replay point. */
+struct ReplayRates
+{
+    /**
+     * Service rate per resource (bytes/s), indexed by ResourceId; must
+     * have one entry per compiled resource. Entries for resources that
+     * never carry bytes are ignored (keep them positive).
+     */
+    std::vector<double> bytesPerSec;
+    /** Service rate of each work class (units/s). */
+    double workPerSec[kWorkClasses] = {1.0, 1.0};
+};
+
+/**
+ * Reusable replay state. All buffers are resized (never shrunk) by
+ * replay(); after the first call on a given schedule no allocation
+ * happens. One instance per thread makes parallel sweeps allocation
+ * free.
+ */
+struct ReplayScratch
+{
+    /** Finish time per task (valid after replay). */
+    std::vector<double> finish;
+    /** Next-free time per resource (valid after replay). */
+    std::vector<double> freeAt;
+    /** Busy seconds per resource (valid after replay). */
+    std::vector<double> busy;
+    /** Jobs served per resource (valid after replay). */
+    std::vector<std::size_t> jobs;
+};
+
+/** A task graph compiled to CSR arrays for scaled replay. */
+class CompiledSchedule
+{
+  public:
+    /** Register a resource; returns its id (dense from zero). */
+    ResourceId addResource(std::string name);
+
+    std::size_t resourceCount() const { return names.size(); }
+    const std::string &resourceName(ResourceId id) const;
+
+    /**
+     * Append a task of `ops` (at least one) depending on the earlier
+     * tasks `deps`. Panics on forward/self dependencies, empty ops, or
+     * an unknown resource id — the same contract as EventQueue.
+     */
+    TaskId addTask(const std::vector<TaskId> &deps,
+                   const std::vector<CompiledOp> &ops);
+
+    std::size_t taskCount() const { return opOff.size() - 1; }
+    std::size_t opCount() const { return ops.size(); }
+    std::size_t depCount() const { return depIds.size(); }
+
+    /**
+     * Opaque tag a compiler can stamp to identify the layout it
+     * lowered against; consumers verify it before replaying with
+     * layout-derived rates. 0 = untagged (hand-built schedules).
+     */
+    void setLayoutTag(std::uint64_t t) { tag = t; }
+    std::uint64_t layoutTag() const { return tag; }
+
+    /**
+     * Simulate the whole schedule at one replay point: a single pass
+     * over tasks in id order evaluates the same scheduling recurrence
+     * as EventQueue::run (deps point backward and per-resource queues
+     * fill in task order, so task order is a valid issue order).
+     * Returns the makespan; per-task finish times and per-resource
+     * utilization are left in `scratch`. Thread-safe for concurrent
+     * calls with distinct scratch.
+     */
+    double replay(const ReplayRates &rates, ReplayScratch &scratch) const;
+
+    /** replay() plus SimResult packaging (allocates; for tests/tools). */
+    SimResult run(const ReplayRates &rates) const;
+
+  private:
+    std::vector<std::string> names;
+    std::uint64_t tag = 0;
+    // CSR arrays: task t's deps are depIds[depOff[t]..depOff[t+1]) and
+    // its ops are ops[opOff[t]..opOff[t+1]).
+    std::vector<std::uint32_t> depOff{0};
+    std::vector<TaskId> depIds;
+    std::vector<std::uint32_t> opOff{0};
+    std::vector<CompiledOp> ops;
+};
+
+} // namespace ciflow::sim
+
+#endif // CIFLOW_SIM_COMPILED_SCHEDULE_H

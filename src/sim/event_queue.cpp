@@ -65,61 +65,24 @@ EventQueue::run()
     for (auto &r : res)
         r->reset();
 
-    // Per-resource in-order queues, filled in task order.
-    struct Queued
-    {
-        TaskId task;
-        double duration;
-    };
-    std::vector<std::vector<Queued>> queue(nr);
-    std::size_t total_ops = 0;
-    for (TaskId t = 0; t < nt; ++t) {
-        for (const SimOp &op : tasks[t].ops) {
-            queue[op.resource].push_back({t, op.duration});
-            ++total_ops;
-        }
-    }
-
-    std::vector<std::size_t> head(nr, 0);
+    // Single pass in task id order. Per-resource queues fill in task
+    // order and dependencies point backward (addTask enforces it), so
+    // task order is a valid issue order for every in-order queue: when
+    // task t is reached, every earlier op on each of its resources has
+    // already been scheduled and every dependency's finish time is
+    // known. Evaluating the recurrence in this order is O(V+E) and
+    // needs no deadlock re-scan; issue order never affects the result,
+    // so finish times are bit-identical to the multi-pass queue walk.
     std::vector<double> finish(nt, 0.0);
-    std::vector<std::uint32_t> ops_left(nt, 0);
-    std::vector<char> resolved(nt, 0);
-    for (TaskId t = 0; t < nt; ++t)
-        ops_left[t] = static_cast<std::uint32_t>(tasks[t].ops.size());
-
-    // Ready time of a task: max finish over its dependencies, or -1
-    // when one is still unresolved.
-    auto ready_at = [&](TaskId t) -> double {
+    for (TaskId t = 0; t < nt; ++t) {
         double ready = 0.0;
-        for (TaskId d : tasks[t].deps) {
-            if (!resolved[d])
-                return -1.0;
+        for (TaskId d : tasks[t].deps)
             ready = ready > finish[d] ? ready : finish[d];
+        for (const SimOp &op : tasks[t].ops) {
+            double fin = res[op.resource]->schedule(ready, op.duration);
+            if (fin > finish[t])
+                finish[t] = fin;
         }
-        return ready;
-    };
-
-    std::size_t remaining = total_ops;
-    while (remaining > 0) {
-        bool progress = false;
-        for (std::size_t r = 0; r < nr; ++r) {
-            while (head[r] < queue[r].size()) {
-                const Queued &q = queue[r][head[r]];
-                double ready = ready_at(q.task);
-                if (ready < 0.0)
-                    break;
-                double fin = res[r]->schedule(ready, q.duration);
-                if (fin > finish[q.task])
-                    finish[q.task] = fin;
-                if (--ops_left[q.task] == 0)
-                    resolved[q.task] = 1;
-                ++head[r];
-                --remaining;
-                progress = true;
-            }
-        }
-        panicIf(!progress,
-                "simulation deadlock: task graph violates queue order");
     }
 
     SimResult out;

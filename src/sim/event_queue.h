@@ -16,16 +16,22 @@
  * halves on different resources while dependents wait for both.
  *
  * Deadlock freedom (the invariant engine.h documented for the two-queue
- * special case) is preserved in general: tasks enqueue their ops in
- * task order and dependencies point to earlier tasks, so the earliest
- * unresolved task always has all ops at the head of their queues with
- * resolved dependencies, and the scheduling loop always progresses.
- * `addTask` rejects forward dependencies up front.
+ * special case) is structural: tasks enqueue their ops in task order
+ * and dependencies point to earlier tasks (`addTask` rejects forward
+ * dependencies up front), so task order itself is a valid issue order
+ * for every in-order queue. run() exploits this with a single O(V+E)
+ * pass over tasks — no readiness re-scanning, no deadlock detection.
  *
  * The core computes a scheduling recurrence rather than stepping a
  * clock: issue order never affects task finish times, so the result is
  * deterministic and — for a single channel plus a single fused compute
- * pipe — bit-identical to the legacy two-queue loop it replaced.
+ * pipe — bit-identical to the legacy two-queue loop it replaced
+ * (asserted by tests/test_sim_core.cpp, and against the multi-pass
+ * queue walk by tests/test_compiled_schedule.cpp).
+ *
+ * For simulate-many workloads (bandwidth sweeps, bisection), compile
+ * the graph once into a sim::CompiledSchedule and replay it per point
+ * instead of rebuilding an EventQueue (see compiled_schedule.h).
  */
 
 #ifndef CIFLOW_SIM_EVENT_QUEUE_H

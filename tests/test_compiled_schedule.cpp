@@ -1,0 +1,428 @@
+/**
+ * @file
+ * Tests for the compile-once/simulate-many layer: CompiledSchedule CSR
+ * structure and replay semantics, bit-identity of the single-pass
+ * scheduler against the legacy multi-pass queue walk on randomized
+ * DAGs, and compiled-vs-rebuild SimStats equivalence across the paper
+ * bandwidth sweep for all dataflows and pipe configurations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "rpu/experiment.h"
+#include "sim/compiled_schedule.h"
+#include "sim/event_queue.h"
+
+using namespace ciflow;
+
+namespace
+{
+
+/** A task for the generic-core reference model. */
+struct RefTask
+{
+    std::vector<sim::TaskId> deps;
+    std::vector<sim::SimOp> ops;
+};
+
+/**
+ * The multi-pass scheduling loop EventQueue::run used before the
+ * single-pass rewrite, kept verbatim as the reference model: per
+ * resource in-order queues filled in task order, heads re-scanned
+ * until all ops have issued.
+ */
+struct RefResult
+{
+    std::vector<double> finish;
+    std::vector<double> freeAt, busy;
+    std::vector<std::size_t> jobs;
+    double makespan = 0.0;
+};
+
+RefResult
+multiPassRun(std::size_t nr, const std::vector<RefTask> &tasks)
+{
+    const std::size_t nt = tasks.size();
+    RefResult out;
+    out.freeAt.assign(nr, 0.0);
+    out.busy.assign(nr, 0.0);
+    out.jobs.assign(nr, 0);
+
+    struct Queued
+    {
+        sim::TaskId task;
+        double duration;
+    };
+    std::vector<std::vector<Queued>> queue(nr);
+    std::size_t total_ops = 0;
+    for (sim::TaskId t = 0; t < nt; ++t) {
+        for (const sim::SimOp &op : tasks[t].ops) {
+            queue[op.resource].push_back({t, op.duration});
+            ++total_ops;
+        }
+    }
+
+    std::vector<std::size_t> head(nr, 0);
+    std::vector<double> finish(nt, 0.0);
+    std::vector<std::uint32_t> ops_left(nt, 0);
+    std::vector<char> resolved(nt, 0);
+    for (sim::TaskId t = 0; t < nt; ++t)
+        ops_left[t] = static_cast<std::uint32_t>(tasks[t].ops.size());
+
+    auto ready_at = [&](sim::TaskId t) -> double {
+        double ready = 0.0;
+        for (sim::TaskId d : tasks[t].deps) {
+            if (!resolved[d])
+                return -1.0;
+            ready = ready > finish[d] ? ready : finish[d];
+        }
+        return ready;
+    };
+
+    std::size_t remaining = total_ops;
+    while (remaining > 0) {
+        bool progress = false;
+        for (std::size_t r = 0; r < nr; ++r) {
+            while (head[r] < queue[r].size()) {
+                const Queued &q = queue[r][head[r]];
+                double ready = ready_at(q.task);
+                if (ready < 0.0)
+                    break;
+                double start =
+                    out.freeAt[r] > ready ? out.freeAt[r] : ready;
+                double fin = start + q.duration;
+                out.freeAt[r] = fin;
+                out.busy[r] += q.duration;
+                ++out.jobs[r];
+                if (fin > finish[q.task])
+                    finish[q.task] = fin;
+                if (--ops_left[q.task] == 0)
+                    resolved[q.task] = 1;
+                ++head[r];
+                --remaining;
+                progress = true;
+            }
+        }
+        if (!progress) {
+            ADD_FAILURE() << "reference model deadlocked";
+            break;
+        }
+    }
+    out.finish = std::move(finish);
+    for (double f : out.freeAt)
+        out.makespan = out.makespan > f ? out.makespan : f;
+    return out;
+}
+
+/** Random DAG over `nr` resources: tasks with 1-3 ops, backward deps. */
+std::vector<RefTask>
+randomDag(std::mt19937 &rng, std::size_t nt, std::size_t nr)
+{
+    std::uniform_int_distribution<std::size_t> op_count(1, 3);
+    std::uniform_int_distribution<std::size_t> res(0, nr - 1);
+    std::uniform_real_distribution<double> dur(0.0, 2.0);
+    std::vector<RefTask> tasks(nt);
+    for (std::size_t t = 0; t < nt; ++t) {
+        const std::size_t nops = op_count(rng);
+        for (std::size_t i = 0; i < nops; ++i)
+            tasks[t].ops.push_back(
+                {static_cast<sim::ResourceId>(res(rng)), dur(rng)});
+        if (t > 0) {
+            std::uniform_int_distribution<std::size_t> dep_count(0, 3);
+            std::uniform_int_distribution<sim::TaskId> dep(
+                0, static_cast<sim::TaskId>(t - 1));
+            const std::size_t ndeps = dep_count(rng);
+            for (std::size_t i = 0; i < ndeps; ++i)
+                tasks[t].deps.push_back(dep(rng));
+        }
+    }
+    return tasks;
+}
+
+void
+expectSameStats(const SimStats &a, const SimStats &b)
+{
+    EXPECT_EQ(a.runtime, b.runtime);
+    EXPECT_EQ(a.memBusy, b.memBusy);
+    EXPECT_EQ(a.compBusy, b.compBusy);
+    EXPECT_EQ(a.memChannels, b.memChannels);
+    EXPECT_EQ(a.computePipes, b.computePipes);
+    EXPECT_EQ(a.trafficBytes, b.trafficBytes);
+    EXPECT_EQ(a.modOps, b.modOps);
+    ASSERT_EQ(a.resources.size(), b.resources.size());
+    for (std::size_t r = 0; r < a.resources.size(); ++r) {
+        EXPECT_EQ(a.resources[r].name, b.resources[r].name);
+        EXPECT_EQ(a.resources[r].busySeconds,
+                  b.resources[r].busySeconds);
+        EXPECT_EQ(a.resources[r].jobs, b.resources[r].jobs);
+    }
+}
+
+} // namespace
+
+// --- CompiledSchedule structure and replay ---------------------------
+
+TEST(CompiledSchedule, CsrArraysTrackTasks)
+{
+    sim::CompiledSchedule cs;
+    auto dram = cs.addResource("dram");
+    auto pipe = cs.addResource("pipe");
+    EXPECT_EQ(cs.resourceCount(), 2u);
+    EXPECT_EQ(cs.resourceName(dram), "dram");
+
+    sim::CompiledOp mem;
+    mem.resource = dram;
+    mem.bytes = 1000.0;
+    sim::CompiledOp cmp;
+    cmp.resource = pipe;
+    cmp.work[0] = 500.0;
+    auto t0 = cs.addTask({}, {mem});
+    cs.addTask({t0}, {cmp});
+    EXPECT_EQ(cs.taskCount(), 2u);
+    EXPECT_EQ(cs.opCount(), 2u);
+    EXPECT_EQ(cs.depCount(), 1u);
+}
+
+TEST(CompiledSchedule, RejectsMalformedTasks)
+{
+    sim::CompiledSchedule cs;
+    auto a = cs.addResource("a");
+    sim::CompiledOp op;
+    op.resource = a;
+    op.seconds = 1.0;
+    cs.addTask({}, {op});
+    EXPECT_DEATH(cs.addTask({}, {}), "no ops");
+    EXPECT_DEATH(cs.addTask({5}, {op}), "forward dependency");
+    sim::CompiledOp bad = op;
+    bad.resource = a + 7;
+    EXPECT_DEATH(cs.addTask({}, {bad}), "unknown resource");
+}
+
+TEST(CompiledSchedule, ReplayScalesEachComponentByItsRate)
+{
+    sim::CompiledSchedule cs;
+    auto dram = cs.addResource("dram");
+    auto pipe = cs.addResource("pipe");
+    sim::CompiledOp mem;
+    mem.resource = dram;
+    mem.bytes = 1000.0;
+    sim::CompiledOp cmp;
+    cmp.resource = pipe;
+    cmp.work[0] = 600.0; // arith
+    cmp.work[1] = 200.0; // shuffle
+    auto t0 = cs.addTask({}, {mem});
+    cs.addTask({t0}, {cmp});
+
+    sim::ReplayRates rates;
+    rates.bytesPerSec = {1e3, 1.0};
+    rates.workPerSec[0] = 100.0;
+    rates.workPerSec[1] = 100.0;
+    sim::ReplayScratch scratch;
+    // mem: 1000/1e3 = 1s; compute: max(6, 2) = 6s after the load.
+    EXPECT_DOUBLE_EQ(cs.replay(rates, scratch), 7.0);
+    EXPECT_DOUBLE_EQ(scratch.finish[0], 1.0);
+    EXPECT_DOUBLE_EQ(scratch.finish[1], 7.0);
+    EXPECT_DOUBLE_EQ(scratch.busy[pipe], 6.0);
+    EXPECT_EQ(scratch.jobs[dram], 1u);
+
+    // Doubling the bandwidth halves only the memory component; the
+    // shuffle class dominating the work op is untouched.
+    rates.bytesPerSec[0] = 2e3;
+    rates.workPerSec[0] = 1000.0; // arith now 0.6s < shuffle 2s
+    EXPECT_DOUBLE_EQ(cs.replay(rates, scratch), 2.5);
+}
+
+TEST(CompiledSchedule, ReplayRejectsRateCountMismatch)
+{
+    sim::CompiledSchedule cs;
+    auto a = cs.addResource("a");
+    sim::CompiledOp op;
+    op.resource = a;
+    op.seconds = 1.0;
+    cs.addTask({}, {op});
+    sim::ReplayRates rates; // empty bytesPerSec
+    sim::ReplayScratch scratch;
+    EXPECT_DEATH(cs.replay(rates, scratch),
+                 "different resource count");
+}
+
+TEST(CompiledSchedule, ScratchIsReusedAcrossReplays)
+{
+    sim::CompiledSchedule cs;
+    auto a = cs.addResource("a");
+    sim::CompiledOp op;
+    op.resource = a;
+    op.seconds = 1.0;
+    auto t0 = cs.addTask({}, {op});
+    cs.addTask({t0}, {op});
+
+    sim::ReplayRates rates;
+    rates.bytesPerSec = {1.0};
+    sim::ReplayScratch scratch;
+    const double first = cs.replay(rates, scratch);
+    const double *finish_buf = scratch.finish.data();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(cs.replay(rates, scratch), first);
+    // Same buffer across replays: no reallocation on the hot path.
+    EXPECT_EQ(scratch.finish.data(), finish_buf);
+}
+
+// --- single-pass scheduler vs legacy multi-pass queue walk -----------
+
+TEST(SinglePassScheduler, RandomDagsBitIdenticalToMultiPass)
+{
+    std::mt19937 rng(20260725);
+    for (int trial = 0; trial < 25; ++trial) {
+        const std::size_t nr = 2 + trial % 4;
+        const std::size_t nt = 50 + 37 * (trial % 5);
+        std::vector<RefTask> tasks = randomDag(rng, nt, nr);
+
+        RefResult ref = multiPassRun(nr, tasks);
+
+        // Same DAG through the single-pass EventQueue...
+        sim::EventQueue eq;
+        for (std::size_t r = 0; r < nr; ++r)
+            eq.addResource("r" + std::to_string(r));
+        for (const RefTask &t : tasks)
+            eq.addTask(t.deps, t.ops);
+        sim::SimResult got = eq.run();
+
+        // ...and through a CompiledSchedule with fixed-seconds ops.
+        sim::CompiledSchedule cs;
+        for (std::size_t r = 0; r < nr; ++r)
+            cs.addResource("r" + std::to_string(r));
+        std::vector<sim::CompiledOp> cops;
+        for (const RefTask &t : tasks) {
+            cops.clear();
+            for (const sim::SimOp &op : t.ops) {
+                sim::CompiledOp o;
+                o.resource = op.resource;
+                o.seconds = op.duration;
+                cops.push_back(o);
+            }
+            cs.addTask(t.deps, cops);
+        }
+        sim::ReplayRates rates;
+        rates.bytesPerSec.assign(nr, 1.0);
+        sim::ReplayScratch scratch;
+        const double cs_makespan = cs.replay(rates, scratch);
+
+        EXPECT_EQ(got.makespan, ref.makespan) << "trial " << trial;
+        EXPECT_EQ(cs_makespan, ref.makespan) << "trial " << trial;
+        ASSERT_EQ(got.taskFinish.size(), nt);
+        for (std::size_t t = 0; t < nt; ++t) {
+            ASSERT_EQ(got.taskFinish[t], ref.finish[t])
+                << "trial " << trial << " task " << t;
+            ASSERT_EQ(scratch.finish[t], ref.finish[t])
+                << "trial " << trial << " task " << t;
+        }
+        for (std::size_t r = 0; r < nr; ++r) {
+            EXPECT_EQ(got.resources[r].busySeconds, ref.busy[r]);
+            EXPECT_EQ(got.resources[r].jobs, ref.jobs[r]);
+            EXPECT_EQ(scratch.busy[r], ref.busy[r]);
+            EXPECT_EQ(scratch.jobs[r], ref.jobs[r]);
+        }
+    }
+}
+
+// --- compiled vs rebuild on the paper experiments --------------------
+
+class CompiledVsRebuild : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(CompiledVsRebuild, PaperSweepAllDataflowsAndPipeConfigs)
+{
+    const HksParams &b = benchmarkByName(GetParam());
+    MemoryConfig mem{32ull << 20, false};
+    for (Dataflow d : allDataflows()) {
+        HksExperiment exp(b, d, mem);
+        for (bool split : {false, true}) {
+            for (double bw : paperBandwidthSweep()) {
+                RpuConfig cfg;
+                cfg.bandwidthGBps = bw;
+                cfg.splitComputePipes = split;
+                cfg.dataMemBytes = mem.dataCapacityBytes;
+                cfg.evkOnChip = mem.evkOnChip;
+                SimStats compiled = exp.simulate(cfg);
+                SimStats rebuilt =
+                    RpuEngine(cfg).runRebuild(exp.graph());
+                expectSameStats(compiled, rebuilt);
+                EXPECT_EQ(exp.simulateRuntime(bw), compiled.runtime);
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperBenchmarks, CompiledVsRebuild,
+                         ::testing::Values("ARK", "BTS1"));
+
+TEST(CompiledVsRebuildConfigs, MultiChannelAndEvkDedicated)
+{
+    const HksParams &b = benchmarkByName("ARK");
+    MemoryConfig mem{32ull << 20, false};
+    HksExperiment exp(b, Dataflow::OC, mem);
+    for (std::size_t chans : {2u, 4u}) {
+        for (ChannelPolicy pol :
+             {ChannelPolicy::Interleave, ChannelPolicy::EvkDedicated}) {
+            RpuConfig cfg;
+            cfg.bandwidthGBps = 64.0;
+            cfg.memChannels = chans;
+            cfg.channelPolicy = pol;
+            cfg.splitComputePipes = true;
+            cfg.dataMemBytes = mem.dataCapacityBytes;
+            cfg.evkOnChip = mem.evkOnChip;
+            expectSameStats(exp.simulate(cfg),
+                            RpuEngine(cfg).runRebuild(exp.graph()));
+        }
+    }
+}
+
+TEST(CompiledVsRebuildConfigs, ModopsMultiplierSweep)
+{
+    const HksParams &b = benchmarkByName("BTS1");
+    MemoryConfig mem{32ull << 20, true};
+    HksExperiment exp(b, Dataflow::MP, mem);
+    for (double mult : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+        RpuConfig cfg;
+        cfg.bandwidthGBps = 128.0;
+        cfg.modopsMult = mult;
+        cfg.dataMemBytes = mem.dataCapacityBytes;
+        cfg.evkOnChip = mem.evkOnChip;
+        expectSameStats(exp.simulate(cfg),
+                        RpuEngine(cfg).runRebuild(exp.graph()));
+        EXPECT_EQ(exp.simulateRuntime(128.0, mult),
+                  exp.simulate(128.0, mult).runtime);
+    }
+}
+
+TEST(CompiledSchedule, ReplayRejectsLayoutMismatch)
+{
+    // Same resource count, different placement policy: the layout tag
+    // must catch what the resource-count check cannot.
+    const HksParams &b = benchmarkByName("ARK");
+    MemoryConfig mem{32ull << 20, false};
+    HksExperiment exp(b, Dataflow::OC, mem);
+    RpuConfig interleave;
+    interleave.memChannels = 2;
+    sim::CompiledSchedule cs = RpuEngine(interleave).compile(exp.graph());
+    RpuConfig dedicated = interleave;
+    dedicated.channelPolicy = ChannelPolicy::EvkDedicated;
+    EXPECT_EQ(RpuEngine(interleave).replayRuntime(cs),
+              RpuEngine(interleave).replayRuntime(cs));
+    EXPECT_DEATH(RpuEngine(dedicated).replayRuntime(cs),
+                 "layout does not match");
+}
+
+TEST(CompiledSchedule, ExperimentExposesCompiledDefaultLayout)
+{
+    const HksParams &b = benchmarkByName("ARK");
+    HksExperiment exp(b, Dataflow::OC, MemoryConfig{32ull << 20, true});
+    const sim::CompiledSchedule &cs = exp.compiled();
+    // Default layout: one channel plus one fused pipe.
+    EXPECT_EQ(cs.resourceCount(), 2u);
+    EXPECT_EQ(cs.taskCount(), exp.graph().size());
+}

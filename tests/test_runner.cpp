@@ -130,6 +130,43 @@ TEST(Runner, RunAllExecutesEveryJobOnce)
     EXPECT_EQ(counter.load(), 64);
 }
 
+TEST(Runner, RunAllNestsFromPoolWorkers)
+{
+    // Jobs that themselves runAll on the same runner: the calling
+    // worker must help drain the queue instead of stranding its slot
+    // (with 2 workers and 4 fanning-out jobs, blocking would deadlock).
+    ExperimentRunner runner(2);
+    std::atomic<int> counter{0};
+    std::vector<std::function<void()>> outer;
+    for (int i = 0; i < 4; ++i)
+        outer.push_back([&] {
+            std::vector<std::function<void()>> inner;
+            for (int j = 0; j < 8; ++j)
+                inner.push_back([&counter] { ++counter; });
+            runner.runAll(inner);
+        });
+    runner.runAll(outer);
+    EXPECT_EQ(counter.load(), 32);
+}
+
+TEST(Runner, SweepInsidePoolJobsMatchesDirect)
+{
+    // The table4_ocbase pattern: per-benchmark jobs on the pool, each
+    // evaluating the paper grid with a nested parallel sweep.
+    ExperimentRunner runner(2);
+    const std::vector<std::string> names = {"ARK", "BTS1"};
+    std::vector<double> got(names.size(), 0.0);
+    std::vector<std::function<void()>> jobs;
+    for (std::size_t i = 0; i < names.size(); ++i)
+        jobs.push_back([&, i] {
+            got[i] = ocBaseBandwidth(runner, benchmarkByName(names[i]));
+        });
+    runner.runAll(jobs);
+    for (std::size_t i = 0; i < names.size(); ++i)
+        EXPECT_EQ(got[i], ocBaseBandwidth(benchmarkByName(names[i])))
+            << names[i];
+}
+
 TEST(Runner, CachedHelpersMatchDirectOnes)
 {
     ExperimentRunner runner(2);
