@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Multi-RPU sharding scaling study.
+ *
+ * For bandwidth-bound chip configurations (DDR-class chips, evks
+ * streamed) this sweeps shard count x topology x partition strategy
+ * per (benchmark, dataflow) through the placement search and reports
+ * speedup-vs-single-RPU curves, the interconnect cut each partition
+ * pays, and the best placement per shard count.
+ *
+ * Emits BENCH_shard.json for the CI artifact trail. The simulated
+ * speedups are deterministic (pure function of graph + config), so
+ * the acceptance gate — some K>1 placement must beat the single RPU —
+ * exits nonzero on regression rather than warning.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/units.h"
+#include "shard/placement_search.h"
+
+using namespace ciflow;
+using namespace ciflow::shard;
+
+namespace
+{
+
+struct StudyRow
+{
+    std::string benchmark;
+    Dataflow dataflow = Dataflow::OC;
+    PlacementResult r;
+};
+
+/** Topology label; K=1 has no interconnect. */
+const char *
+topoLabel(const PlacementResult &r)
+{
+    return r.shards == 1 ? "-" : topologyName(r.topology);
+}
+
+/** Strategy label; K=1 has no cut. */
+const char *
+strategyLabel(const PlacementResult &r)
+{
+    return r.shards == 1 ? "-" : strategyName(r.strategy);
+}
+
+} // namespace
+
+int
+main()
+{
+    benchutil::header("Multi-RPU sharding: placement search over "
+                      "(K, topology, strategy)");
+
+    // DDR5-class chips with streamed keys: badly bandwidth-bound, the
+    // regime where extra chips' aggregate DRAM bandwidth pays.
+    const MemoryConfig mem{32ull << 20, false};
+    PlacementSpec spec;
+    spec.shardCounts = {1, 2, 4, 8};
+    spec.dataflows = {Dataflow::MP, Dataflow::OC};
+    spec.chip.bandwidthGBps = 16.0;
+    spec.interconnect.linkGBps = 256.0; // NVLink-class links
+    spec.interconnect.latencySec = 2e-6;
+
+    std::printf("chip: %.0f GB/s DRAM, evk streamed; interconnect: "
+                "%.0f GB/s links, %.1f us latency\n\n",
+                spec.chip.bandwidthGBps, spec.interconnect.linkGBps,
+                spec.interconnect.latencySec * 1e6);
+
+    ExperimentRunner runner;
+    std::vector<StudyRow> rows;
+    bool any_speedup = false;
+
+    for (const char *bench : {"BTS3", "ARK"}) {
+        const HksParams &par = benchmarkByName(bench);
+        std::vector<PlacementResult> res =
+            searchPlacements(runner, par, mem, spec);
+
+        std::printf("%s (%zu-point grid, fastest first):\n", bench,
+                    res.size());
+        std::printf("  %-4s %-9s | %4s %-4s %-11s | %9s %8s | %9s "
+                    "%6s\n",
+                    "flow", "", "K", "topo", "strategy", "runtime",
+                    "speedup", "cut", "xfers");
+        benchutil::rule();
+        for (const PlacementResult &r : res) {
+            std::printf("  %-4s %-9s | %4zu %-4s %-11s | %7.3fms "
+                        "%7.2fx | %9s %6zu\n",
+                        dataflowName(r.dataflow), "", r.shards,
+                        topoLabel(r), strategyLabel(r),
+                        r.runtime * 1e3, r.speedup(),
+                        formatBytes(r.cutBytes).c_str(),
+                        r.transferTasks);
+            StudyRow row;
+            row.benchmark = bench;
+            row.dataflow = r.dataflow;
+            row.r = r;
+            rows.push_back(std::move(row));
+            if (r.shards > 1 && r.speedup() > 1.0)
+                any_speedup = true;
+        }
+        benchutil::rule();
+        std::printf("\n");
+    }
+
+    // Best K>1 speedup overall (the acceptance number).
+    double best = 0.0;
+    const StudyRow *best_row = nullptr;
+    for (const StudyRow &row : rows) {
+        if (row.r.shards > 1 && row.r.speedup() > best) {
+            best = row.r.speedup();
+            best_row = &row;
+        }
+    }
+    if (best_row != nullptr)
+        std::printf("best K>1 placement: %s/%s K=%zu %s %s -> %.2fx "
+                    "over the single RPU\n",
+                    best_row->benchmark.c_str(),
+                    dataflowName(best_row->dataflow),
+                    best_row->r.shards,
+                    topologyName(best_row->r.topology),
+                    strategyName(best_row->r.strategy), best);
+
+    std::FILE *json = std::fopen("BENCH_shard.json", "w");
+    if (json != nullptr) {
+        std::fprintf(json,
+                     "{\n  \"bench\": \"sharding\",\n"
+                     "  \"chip_gbps\": %.1f,\n"
+                     "  \"link_gbps\": %.1f,\n"
+                     "  \"link_latency_us\": %.2f,\n"
+                     "  \"best_speedup\": %.3f,\n  \"rows\": [\n",
+                     spec.chip.bandwidthGBps,
+                     spec.interconnect.linkGBps,
+                     spec.interconnect.latencySec * 1e6, best);
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            const StudyRow &row = rows[i];
+            std::fprintf(
+                json,
+                "    {\"benchmark\": \"%s\", \"dataflow\": \"%s\", "
+                "\"shards\": %zu, \"topology\": \"%s\", "
+                "\"strategy\": \"%s\", \"runtime_ms\": %.4f, "
+                "\"speedup\": %.3f, \"cut_bytes\": %llu, "
+                "\"transfer_tasks\": %zu, \"imbalance\": %.4f}%s\n",
+                row.benchmark.c_str(), dataflowName(row.dataflow),
+                row.r.shards, topoLabel(row.r), strategyLabel(row.r),
+                row.r.runtime * 1e3,
+                row.r.speedup(),
+                static_cast<unsigned long long>(row.r.cutBytes),
+                row.r.transferTasks, row.r.imbalance,
+                i + 1 < rows.size() ? "," : "");
+        }
+        std::fprintf(json, "  ]\n}\n");
+        std::fclose(json);
+        std::printf("wrote BENCH_shard.json\n");
+    }
+
+    if (!any_speedup) {
+        std::fprintf(stderr,
+                     "FAIL: no K>1 placement beat the single RPU on a "
+                     "bandwidth-bound workload\n");
+        return 1;
+    }
+    return 0;
+}

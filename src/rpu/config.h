@@ -13,7 +13,9 @@
 #define CIFLOW_RPU_CONFIG_H
 
 #include <cstdint>
+#include <vector>
 
+#include "common/logging.h"
 #include "common/units.h"
 #include "hksflow/builder.h"
 
@@ -30,6 +32,15 @@ enum class ChannelPolicy : std::uint8_t {
      * Interleave with fewer than two channels.
      */
     EvkDedicated,
+    /**
+     * Assign each memory task to the channel with the least bytes
+     * accumulated so far (ties to the lowest channel index). Unlike
+     * Interleave this balances *bytes*, not task counts, so a few
+     * huge streams do not pile onto one queue. Note it balances bytes
+     * even when channel rates differ (channelGBps): a slow channel
+     * still receives an equal byte share.
+     */
+    LeastLoaded,
 };
 
 /** Configuration of one simulated RPU instance. */
@@ -66,6 +77,15 @@ struct RpuConfig
     /** Memory-task placement across channels. */
     ChannelPolicy channelPolicy = ChannelPolicy::Interleave;
     /**
+     * Optional per-channel bandwidths in GB/s for asymmetric memory
+     * systems (e.g. an HBM channel next to a CXL channel). Empty
+     * (default): every channel serves bandwidthGBps / memChannels.
+     * Non-empty: must hold exactly memChannels entries; bandwidthGBps
+     * is ignored and the aggregate is the sum of the entries. Purely a
+     * replay-rate knob — the compiled-schedule layout is unchanged.
+     */
+    std::vector<double> channelGBps;
+    /**
      * False (paper): one fused compute pipe per task, costing the
      * slower of its arithmetic and shuffle halves. True: arithmetic
      * and shuffle are separate in-order resources that overlap across
@@ -92,6 +112,15 @@ struct RpuConfig
     double
     bytesPerSec() const
     {
+        if (!channelGBps.empty()) {
+            panicIf(channelGBps.size() != channelCount(),
+                    "channelGBps must have one entry per memory "
+                    "channel");
+            double sum = 0.0;
+            for (double g : channelGBps)
+                sum += gbps(g);
+            return sum;
+        }
         return gbps(bandwidthGBps);
     }
 
@@ -102,11 +131,26 @@ struct RpuConfig
         return memChannels > 0 ? memChannels : 1;
     }
 
-    /** Bytes per second of one DRAM channel. */
+    /**
+     * Bytes per second of one DRAM channel under the symmetric split
+     * (the mean channel rate when channels are asymmetric).
+     */
     double
     channelBytesPerSec() const
     {
         return bytesPerSec() / static_cast<double>(channelCount());
+    }
+
+    /** Bytes per second of channel `c` (asymmetric-aware). */
+    double
+    channelBytesPerSec(std::size_t c) const
+    {
+        if (channelGBps.empty())
+            return channelBytesPerSec();
+        panicIf(channelGBps.size() != channelCount(),
+                "channelGBps must have one entry per memory channel");
+        panicIf(c >= channelGBps.size(), "channel index out of range");
+        return gbps(channelGBps[c]);
     }
 
     /** Number of compute resources (1 fused, or 2 split pipes). */

@@ -32,6 +32,33 @@ replayTls()
 
 } // namespace
 
+ChannelPlacer::ChannelPlacer(ChannelPolicy policy, std::size_t channels)
+    : pol(policy), nchan(channels > 0 ? channels : 1),
+      dedicateEvk(policy == ChannelPolicy::EvkDedicated && nchan >= 2),
+      dataChans(dedicateEvk ? nchan - 1 : nchan)
+{
+    if (pol == ChannelPolicy::LeastLoaded)
+        bytesAssigned.assign(nchan, 0);
+}
+
+std::size_t
+ChannelPlacer::place(const Task &t)
+{
+    if (pol == ChannelPolicy::LeastLoaded) {
+        std::size_t best = 0;
+        for (std::size_t c = 1; c < nchan; ++c)
+            if (bytesAssigned[c] < bytesAssigned[best])
+                best = c;
+        bytesAssigned[best] += t.bytes;
+        return best;
+    }
+    if (dedicateEvk && t.isEvk)
+        return nchan - 1;
+    const std::size_t c = rr % dataChans;
+    ++rr;
+    return c;
+}
+
 double
 RpuEngine::arithTaskSeconds(const Task &t) const
 {
@@ -63,6 +90,47 @@ RpuEngine::memTaskSeconds(const Task &t) const
     return static_cast<double>(t.bytes) / cfg.channelBytesPerSec();
 }
 
+void
+RpuEngine::lowerTask(const Task &t, const CodeGen &cg,
+                     ChannelPlacer &placer, sim::ResourceId base,
+                     std::vector<sim::CompiledOp> &ops) const
+{
+    const std::size_t nchan = cfg.channelCount();
+    if (t.kind == TaskKind::Compute) {
+        const InstrCounts ic = cg.forComputeTask(t);
+        const double shuf_elems = static_cast<double>(ic.shuffle) *
+                                  static_cast<double>(cg.vectorLen());
+        const sim::ResourceId pipe0 =
+            base + static_cast<sim::ResourceId>(nchan);
+        if (cfg.splitComputePipes) {
+            sim::CompiledOp a;
+            a.resource = pipe0;
+            a.work[kWorkArith] = static_cast<double>(t.modOps);
+            ops.push_back(a);
+            if (t.shuffleOps > 0) {
+                sim::CompiledOp s;
+                s.resource = pipe0 + 1;
+                s.work[kWorkShuffle] = shuf_elems;
+                ops.push_back(s);
+            }
+        } else {
+            // The fused pipe costs the slower half; replay's
+            // component max reproduces computeTaskSeconds exactly.
+            sim::CompiledOp o;
+            o.resource = pipe0;
+            o.work[kWorkArith] = static_cast<double>(t.modOps);
+            o.work[kWorkShuffle] = shuf_elems;
+            ops.push_back(o);
+        }
+    } else {
+        sim::CompiledOp o;
+        o.resource =
+            base + static_cast<sim::ResourceId>(placer.place(t));
+        o.bytes = static_cast<double>(t.bytes);
+        ops.push_back(o);
+    }
+}
+
 sim::CompiledSchedule
 RpuEngine::compile(const TaskGraph &g) const
 {
@@ -75,63 +143,18 @@ RpuEngine::compile(const TaskGraph &g) const
     const std::size_t nchan = cfg.channelCount();
     for (std::size_t c = 0; c < nchan; ++c)
         cs.addResource("dram" + std::to_string(c));
-
-    sim::ResourceId comp = 0, arith = 0, shuf = 0;
     if (cfg.splitComputePipes) {
-        arith = cs.addResource("arith");
-        shuf = cs.addResource("shuffle");
+        cs.addResource("arith");
+        cs.addResource("shuffle");
     } else {
-        comp = cs.addResource("compute");
+        cs.addResource("compute");
     }
 
-    // Round-robin counter for memory-task placement. With the
-    // EvkDedicated policy (and >= 2 channels) evk streams own the last
-    // channel and everything else interleaves over the rest.
-    const bool dedicate_evk =
-        cfg.channelPolicy == ChannelPolicy::EvkDedicated && nchan >= 2;
-    const std::size_t data_chans = dedicate_evk ? nchan - 1 : nchan;
-    std::size_t mem_rr = 0;
-
+    ChannelPlacer placer(cfg.channelPolicy, nchan);
     std::vector<sim::CompiledOp> ops;
     for (const Task &t : g.tasks()) {
         ops.clear();
-        if (t.kind == TaskKind::Compute) {
-            const InstrCounts ic = cg.forComputeTask(t);
-            const double shuf_elems =
-                static_cast<double>(ic.shuffle) *
-                static_cast<double>(cg.vectorLen());
-            if (cfg.splitComputePipes) {
-                sim::CompiledOp a;
-                a.resource = arith;
-                a.work[kWorkArith] = static_cast<double>(t.modOps);
-                ops.push_back(a);
-                if (t.shuffleOps > 0) {
-                    sim::CompiledOp s;
-                    s.resource = shuf;
-                    s.work[kWorkShuffle] = shuf_elems;
-                    ops.push_back(s);
-                }
-            } else {
-                // The fused pipe costs the slower half; replay's
-                // component max reproduces computeTaskSeconds exactly.
-                sim::CompiledOp o;
-                o.resource = comp;
-                o.work[kWorkArith] = static_cast<double>(t.modOps);
-                o.work[kWorkShuffle] = shuf_elems;
-                ops.push_back(o);
-            }
-        } else {
-            sim::CompiledOp o;
-            if (dedicate_evk && t.isEvk) {
-                o.resource = static_cast<sim::ResourceId>(nchan - 1);
-            } else {
-                o.resource =
-                    static_cast<sim::ResourceId>(mem_rr % data_chans);
-                ++mem_rr;
-            }
-            o.bytes = static_cast<double>(t.bytes);
-            ops.push_back(o);
-        }
+        lowerTask(t, cg, placer, 0, ops);
         cs.addTask(t.deps, ops);
     }
     cs.setLayoutTag(RpuLayout::of(cfg).tag());
@@ -150,9 +173,8 @@ RpuEngine::rates(const sim::CompiledSchedule &cs,
     // Pipes never carry bytes; 1.0 keeps their (zero) byte component
     // well defined.
     r.bytesPerSec.assign(cs.resourceCount(), 1.0);
-    const double chan_bps = cfg.channelBytesPerSec();
     for (std::size_t c = 0; c < nchan; ++c)
-        r.bytesPerSec[c] = chan_bps;
+        r.bytesPerSec[c] = cfg.channelBytesPerSec(c);
     r.workPerSec[kWorkArith] = cfg.modopsPerSec();
     r.workPerSec[kWorkShuffle] = cfg.shuffleElemsPerSec();
 }
@@ -210,9 +232,13 @@ RpuEngine::runRebuild(const TaskGraph &g) const
 
     // Channels are registered first, so their ResourceIds are 0..N-1.
     const std::size_t nchan = cfg.channelCount();
-    for (std::size_t c = 0; c < nchan; ++c)
-        eq.addChannel("dram" + std::to_string(c),
-                      cfg.channelBytesPerSec());
+    // Per-channel rates are hoisted out of the loop: equal for the
+    // symmetric split, distinct under a channelGBps override.
+    std::vector<double> chan_bps(nchan);
+    for (std::size_t c = 0; c < nchan; ++c) {
+        chan_bps[c] = cfg.channelBytesPerSec(c);
+        eq.addChannel("dram" + std::to_string(c), chan_bps[c]);
+    }
 
     sim::ResourceId comp = 0, arith = 0, shuf = 0;
     if (cfg.splitComputePipes) {
@@ -222,15 +248,7 @@ RpuEngine::runRebuild(const TaskGraph &g) const
         comp = eq.addResource("compute");
     }
 
-    const bool dedicate_evk =
-        cfg.channelPolicy == ChannelPolicy::EvkDedicated && nchan >= 2;
-    const std::size_t data_chans = dedicate_evk ? nchan - 1 : nchan;
-    std::size_t mem_rr = 0;
-
-    // All channels serve the same rate; hoisting it out of the loop
-    // avoids a per-memory-task channel lookup (a dynamic_cast).
-    const double chan_bps = cfg.channelBytesPerSec();
-
+    ChannelPlacer placer(cfg.channelPolicy, nchan);
     std::vector<sim::SimOp> ops;
     for (const Task &t : g.tasks()) {
         ops.clear();
@@ -243,15 +261,10 @@ RpuEngine::runRebuild(const TaskGraph &g) const
                 ops.push_back({comp, computeTaskSeconds(t, cg)});
             }
         } else {
-            sim::ResourceId chan;
-            if (dedicate_evk && t.isEvk) {
-                chan = static_cast<sim::ResourceId>(nchan - 1);
-            } else {
-                chan = static_cast<sim::ResourceId>(mem_rr % data_chans);
-                ++mem_rr;
-            }
-            ops.push_back(
-                {chan, static_cast<double>(t.bytes) / chan_bps});
+            const std::size_t chan = placer.place(t);
+            ops.push_back({static_cast<sim::ResourceId>(chan),
+                           static_cast<double>(t.bytes) /
+                               chan_bps[chan]});
         }
         eq.addTask(t.deps, ops);
     }

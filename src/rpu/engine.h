@@ -51,6 +51,35 @@ namespace ciflow
 constexpr std::size_t kWorkArith = 0;   ///< modOps / modopsPerSec
 constexpr std::size_t kWorkShuffle = 1; ///< elems / shuffleElemsPerSec
 
+/**
+ * Stateful memory-task placement across one RPU's DRAM channels.
+ *
+ * Implements every ChannelPolicy in one place so the compile path, the
+ * rebuild reference path, and the multi-RPU shard compiler (which runs
+ * one placer per chip) agree on placement by construction:
+ *  - Interleave: round-robin over all channels.
+ *  - EvkDedicated: evk streams own the last channel; everything else
+ *    round-robins over the rest (Interleave below two channels).
+ *  - LeastLoaded: the channel with the fewest bytes assigned so far
+ *    (ties to the lowest index).
+ */
+class ChannelPlacer
+{
+  public:
+    ChannelPlacer(ChannelPolicy policy, std::size_t channels);
+
+    /** Channel index (0-based) for a memory task; updates state. */
+    std::size_t place(const Task &t);
+
+  private:
+    ChannelPolicy pol;
+    std::size_t nchan;
+    bool dedicateEvk;
+    std::size_t dataChans;
+    std::size_t rr = 0;
+    std::vector<std::uint64_t> bytesAssigned;
+};
+
 /** Aggregate results of one simulated HKS execution. */
 struct SimStats
 {
@@ -116,6 +145,18 @@ class RpuEngine
      * be replayed at any rates whose config shares that layout.
      */
     sim::CompiledSchedule compile(const TaskGraph &g) const;
+
+    /**
+     * Append the compiled ops of one task, targeting the resource
+     * block that starts at `base`: channels occupy ids
+     * [base, base + channelCount()) and the compute pipe(s) follow, in
+     * the same order compile() registers them. compile() lowers with
+     * base 0; the shard compiler lowers each chip's tasks with that
+     * chip's block offset, reproducing single-RPU lowering exactly.
+     */
+    void lowerTask(const Task &t, const CodeGen &cg,
+                   ChannelPlacer &placer, sim::ResourceId base,
+                   std::vector<sim::CompiledOp> &ops) const;
 
     /**
      * Replay rates of this config: per-channel bytes/s (pipes get a

@@ -1,0 +1,202 @@
+#include "shard/partition.h"
+
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "rpu/engine.h"
+
+namespace ciflow::shard
+{
+
+const char *
+strategyName(PartitionStrategy s)
+{
+    switch (s) {
+    case PartitionStrategy::ContiguousByLevel:
+        return "contiguous";
+    case PartitionStrategy::MinCutGreedy:
+        return "mincut";
+    }
+    return "?";
+}
+
+const std::vector<PartitionStrategy> &
+allStrategies()
+{
+    static const std::vector<PartitionStrategy> kAll = {
+        PartitionStrategy::ContiguousByLevel,
+        PartitionStrategy::MinCutGreedy};
+    return kAll;
+}
+
+double
+Partition::imbalance() const
+{
+    if (shardWork.empty())
+        return 0.0;
+    double total = 0.0, peak = 0.0;
+    for (double w : shardWork) {
+        total += w;
+        if (w > peak)
+            peak = w;
+    }
+    if (total <= 0.0)
+        return 0.0;
+    return peak / (total / static_cast<double>(shardWork.size())) - 1.0;
+}
+
+std::vector<double>
+taskWeights(const TaskGraph &g, const RpuConfig &chip)
+{
+    const RpuEngine eng(chip);
+    const CodeGen cg(chip.vectorLen);
+    std::vector<double> w;
+    w.reserve(g.size());
+    for (const Task &t : g.tasks())
+        w.push_back(t.kind == TaskKind::Compute
+                        ? eng.computeTaskSeconds(t, cg)
+                        : eng.memTaskSeconds(t));
+    return w;
+}
+
+std::uint64_t
+edgePayloadBytes(const Task &producer, const ShardSpec &spec)
+{
+    return producer.kind == TaskKind::Compute ? spec.computeOutputBytes
+                                              : producer.bytes;
+}
+
+namespace
+{
+
+/** Contiguous equal-work chunks of the schedule order. */
+void
+assignContiguous(const TaskGraph &g, std::size_t k,
+                 const std::vector<double> &w,
+                 std::vector<std::uint32_t> &shard_of)
+{
+    double total = 0.0;
+    for (double x : w)
+        total += x;
+    std::size_t s = 0;
+    double cum = 0.0;
+    for (std::size_t t = 0; t < g.size(); ++t) {
+        shard_of[t] = static_cast<std::uint32_t>(s);
+        cum += w[t];
+        // Advance once the running total passes this shard's quota;
+        // the last shard absorbs the remainder.
+        while (s + 1 < k &&
+               cum >= total * static_cast<double>(s + 1) /
+                          static_cast<double>(k))
+            ++s;
+    }
+}
+
+/**
+ * Linear deterministic greedy: place each task on the shard holding
+ * the most operand bytes, scaled down by that shard's fill, under a
+ * hard load cap. Ties break to the lighter shard, then the lower id.
+ */
+void
+assignMinCutGreedy(const TaskGraph &g, const ShardSpec &spec,
+                   const std::vector<double> &w,
+                   std::vector<std::uint32_t> &shard_of)
+{
+    const std::size_t k = spec.shards;
+    double total = 0.0;
+    for (double x : w)
+        total += x;
+    const double cap = (1.0 + spec.imbalanceTol) * total /
+                       static_cast<double>(k);
+
+    std::vector<double> load(k, 0.0);
+    std::vector<double> coloc(k, 0.0);
+    for (std::size_t t = 0; t < g.size(); ++t) {
+        const Task &task = g[static_cast<std::uint32_t>(t)];
+        for (std::size_t s = 0; s < k; ++s)
+            coloc[s] = 0.0;
+        for (std::uint32_t d : task.deps)
+            coloc[shard_of[d]] += static_cast<double>(
+                edgePayloadBytes(g[d], spec));
+
+        std::size_t best = k; // none yet
+        double best_score = -1.0;
+        for (std::size_t s = 0; s < k; ++s) {
+            if (load[s] + w[t] > cap)
+                continue;
+            const double score = coloc[s] * (1.0 - load[s] / cap);
+            if (best == k || score > best_score ||
+                (score == best_score && load[s] < load[best])) {
+                best = s;
+                best_score = score;
+            }
+        }
+        if (best == k) {
+            // Every shard is at the cap (weights heavier than the
+            // model assumed); fall back to the lightest one.
+            best = 0;
+            for (std::size_t s = 1; s < k; ++s)
+                if (load[s] < load[best])
+                    best = s;
+        }
+        shard_of[t] = static_cast<std::uint32_t>(best);
+        load[best] += w[t];
+    }
+}
+
+} // namespace
+
+Partition
+partitionGraph(const TaskGraph &g, const ShardSpec &spec,
+               const std::vector<double> &weights)
+{
+    panicIf(spec.shards == 0, "partition into zero shards");
+    panicIf(weights.size() != g.size(),
+            "partition weights do not cover the graph");
+
+    Partition p;
+    p.shards = spec.shards;
+    p.strategy = spec.strategy;
+    p.shardOf.assign(g.size(), 0);
+
+    if (spec.shards > 1) {
+        switch (spec.strategy) {
+        case PartitionStrategy::ContiguousByLevel:
+            assignContiguous(g, spec.shards, weights, p.shardOf);
+            break;
+        case PartitionStrategy::MinCutGreedy:
+            assignMinCutGreedy(g, spec, weights, p.shardOf);
+            break;
+        }
+    }
+
+    p.shardWork.assign(spec.shards, 0.0);
+    for (std::size_t t = 0; t < g.size(); ++t)
+        p.shardWork[p.shardOf[t]] += weights[t];
+
+    // Collect the cut, deduplicated by (producer, destination shard)
+    // in order of first consumer.
+    std::unordered_map<std::uint64_t, std::size_t> seen;
+    for (std::size_t t = 0; t < g.size(); ++t) {
+        const Task &task = g[static_cast<std::uint32_t>(t)];
+        for (std::uint32_t d : task.deps) {
+            if (p.shardOf[d] == p.shardOf[t])
+                continue;
+            const std::uint64_t key =
+                static_cast<std::uint64_t>(d) * spec.shards +
+                p.shardOf[t];
+            if (seen.emplace(key, p.cutEdges.size()).second) {
+                CutEdge e;
+                e.src = d;
+                e.fromShard = p.shardOf[d];
+                e.toShard = p.shardOf[t];
+                e.bytes = edgePayloadBytes(g[d], spec);
+                p.cutBytes += e.bytes;
+                p.cutEdges.push_back(e);
+            }
+        }
+    }
+    return p;
+}
+
+} // namespace ciflow::shard

@@ -1,0 +1,125 @@
+#include "shard/placement_search.h"
+
+#include <algorithm>
+
+namespace ciflow::shard
+{
+
+std::vector<PlacementResult>
+searchPlacements(ExperimentRunner &runner, const HksParams &par,
+                 const MemoryConfig &mem, const PlacementSpec &spec)
+{
+    // The chips simulate the graph the experiment was built against,
+    // so their memory-system fields must match it.
+    RpuConfig chip = spec.chip;
+    chip.dataMemBytes = mem.dataCapacityBytes;
+    chip.evkOnChip = mem.evkOnChip;
+
+    // Phase 1: one partition per (dataflow, shard count, strategy) —
+    // the cut does not depend on the topology, so it is computed once
+    // and shared across the topology grid points.
+    struct Cut
+    {
+        std::shared_ptr<const HksExperiment> exp;
+        std::shared_ptr<const std::vector<double>> weights;
+        Dataflow dataflow = Dataflow::OC;
+        std::size_t shards = 1;
+        PartitionStrategy strategy =
+            PartitionStrategy::ContiguousByLevel;
+        double baseline = 0.0;
+        Partition partition;
+    };
+    std::vector<Cut> cuts;
+    for (Dataflow d : spec.dataflows) {
+        auto exp = runner.experiment(par, d, mem);
+        auto weights = std::make_shared<const std::vector<double>>(
+            taskWeights(exp->graph(), chip));
+        const double baseline = exp->simulate(chip).runtime;
+        bool k1_done = false;
+        for (std::size_t k : spec.shardCounts) {
+            for (PartitionStrategy strat : spec.strategies) {
+                if (k == 1) {
+                    // Strategy is vacuous with no cut; keep a single
+                    // K=1 partition per dataflow.
+                    if (k1_done)
+                        continue;
+                    k1_done = true;
+                }
+                Cut c;
+                c.exp = exp;
+                c.weights = weights;
+                c.dataflow = d;
+                c.shards = k;
+                c.strategy = strat;
+                c.baseline = baseline;
+                cuts.push_back(std::move(c));
+            }
+        }
+    }
+    std::vector<std::function<void()>> jobs;
+    jobs.reserve(cuts.size());
+    for (Cut &c : cuts) {
+        jobs.push_back([&c, &spec, &par] {
+            ShardSpec ss;
+            ss.shards = c.shards;
+            ss.strategy = c.strategy;
+            ss.imbalanceTol = spec.imbalanceTol;
+            ss.computeOutputBytes = par.towerBytes();
+            c.partition =
+                partitionGraph(c.exp->graph(), ss, *c.weights);
+        });
+    }
+    runner.runAll(jobs);
+
+    // Phase 2: compile + replay each (cut, topology) grid point. K=1
+    // needs no topology sweep either — there are no links.
+    struct Job
+    {
+        const Cut *cut = nullptr;
+        PlacementResult r;
+    };
+    std::vector<Job> grid;
+    for (const Cut &c : cuts) {
+        for (Topology topo : spec.topologies) {
+            Job j;
+            j.cut = &c;
+            j.r.dataflow = c.dataflow;
+            j.r.shards = c.shards;
+            j.r.topology = topo;
+            j.r.strategy = c.strategy;
+            j.r.baseline = c.baseline;
+            grid.push_back(std::move(j));
+            if (c.shards == 1)
+                break;
+        }
+    }
+    jobs.clear();
+    jobs.reserve(grid.size());
+    for (Job &j : grid) {
+        jobs.push_back([&j, &chip, &spec] {
+            InterconnectConfig net = spec.interconnect;
+            net.topology = j.r.topology;
+            const ShardedEngine eng(chip, net);
+            const ShardedCompiled sc =
+                eng.compile(j.cut->exp->graph(), j.cut->partition);
+            j.r.runtime = eng.replayRuntime(sc);
+            j.r.cutBytes = j.cut->partition.cutBytes;
+            j.r.transferTasks = sc.transferTasks;
+            j.r.imbalance = j.cut->partition.imbalance();
+        });
+    }
+    runner.runAll(jobs);
+
+    std::vector<PlacementResult> out;
+    out.reserve(grid.size());
+    for (const Job &j : grid)
+        out.push_back(j.r);
+    std::stable_sort(out.begin(), out.end(),
+                     [](const PlacementResult &a,
+                        const PlacementResult &b) {
+                         return a.runtime < b.runtime;
+                     });
+    return out;
+}
+
+} // namespace ciflow::shard

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Placement search: sweep (shard count, topology, partition strategy,
+ * dataflow) for one benchmark and rank the candidates against the
+ * single-RPU baseline.
+ *
+ * Each grid point partitions the cached task graph, compiles the shard
+ * schedule once, and replays it — cheap enough (compile-once replay,
+ * ExperimentRunner::runAll fan-out across the thread pool) that a
+ * search over thousands of candidate cuts is a second-scale affair.
+ * Results are deterministic: simulation is a pure function of
+ * (graph, partition, config), so parallel searches equal serial ones.
+ */
+
+#ifndef CIFLOW_SHARD_PLACEMENT_SEARCH_H
+#define CIFLOW_SHARD_PLACEMENT_SEARCH_H
+
+#include <vector>
+
+#include "rpu/runner.h"
+#include "shard/interconnect.h"
+#include "shard/partition.h"
+#include "shard/sharded_engine.h"
+
+namespace ciflow::shard
+{
+
+/** The grid a placement search explores. */
+struct PlacementSpec
+{
+    std::vector<std::size_t> shardCounts = {1, 2, 4, 8};
+    std::vector<Topology> topologies = {Topology::SharedBus,
+                                        Topology::PointToPoint};
+    std::vector<PartitionStrategy> strategies = {
+        PartitionStrategy::ContiguousByLevel,
+        PartitionStrategy::MinCutGreedy};
+    std::vector<Dataflow> dataflows = {Dataflow::OC};
+    /** Per-chip configuration (every chip identical). */
+    RpuConfig chip;
+    InterconnectConfig interconnect;
+    /** MinCutGreedy load cap (see ShardSpec::imbalanceTol). */
+    double imbalanceTol = 0.10;
+};
+
+/** One evaluated placement. */
+struct PlacementResult
+{
+    Dataflow dataflow = Dataflow::OC;
+    std::size_t shards = 1;
+    Topology topology = Topology::PointToPoint;
+    PartitionStrategy strategy =
+        PartitionStrategy::ContiguousByLevel;
+    /** Sharded end-to-end runtime (seconds). */
+    double runtime = 0.0;
+    /** Single-RPU runtime of the same (benchmark, dataflow). */
+    double baseline = 0.0;
+    std::uint64_t cutBytes = 0;
+    std::size_t transferTasks = 0;
+    /** Partition work imbalance (0 = perfect). */
+    double imbalance = 0.0;
+
+    double
+    speedup() const
+    {
+        return runtime > 0.0 ? baseline / runtime : 0.0;
+    }
+};
+
+/**
+ * Evaluate the whole grid for one benchmark on the runner's pool.
+ * K=1 points are evaluated once per dataflow (topology and strategy
+ * are vacuous without a cut). Results are sorted fastest-first;
+ * ties keep grid order.
+ */
+std::vector<PlacementResult>
+searchPlacements(ExperimentRunner &runner, const HksParams &par,
+                 const MemoryConfig &mem, const PlacementSpec &spec);
+
+} // namespace ciflow::shard
+
+#endif // CIFLOW_SHARD_PLACEMENT_SEARCH_H

@@ -1,0 +1,227 @@
+#include "shard/sharded_engine.h"
+
+#include <string>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/units.h"
+
+namespace ciflow::shard
+{
+
+namespace
+{
+
+/**
+ * Per-thread replay buffers, mirroring RpuEngine's: sweeps over many
+ * candidate partitions replay allocation-free once warm.
+ */
+struct ReplayTls
+{
+    sim::ReplayRates rates;
+    sim::ReplayScratch scratch;
+};
+
+ReplayTls &
+replayTls()
+{
+    thread_local ReplayTls tls;
+    return tls;
+}
+
+/** Layout tag for a sharded schedule (chip layout + K + topology). */
+std::uint64_t
+shardedTag(const RpuLayout &chip, std::size_t shards, Topology topo)
+{
+    // The constant low bit keeps the tag nonzero (tagged vs hand-built)
+    // without masking the topology bit next to it.
+    return chip.tag() * 1000003ull +
+           ((static_cast<std::uint64_t>(shards) << 2) |
+            (topo == Topology::PointToPoint ? 2u : 0u) | 1u);
+}
+
+} // namespace
+
+ShardedCompiled
+ShardedEngine::compile(const TaskGraph &g, const Partition &p) const
+{
+    g.validate();
+    panicIf(p.shardOf.size() != g.size(),
+            "partition does not cover the graph");
+    const std::size_t k = p.shards;
+    const std::size_t nchan = cfg.channelCount();
+    const std::size_t per_chip = nchan + cfg.computePipeCount();
+
+    ShardedCompiled sc;
+    sc.shards = k;
+    sc.perChip = per_chip;
+    sc.links = net.linkCount(k);
+
+    // Chip resource blocks first — channels then pipe(s) within each
+    // block, exactly the single-RPU layout — then the links.
+    for (std::size_t s = 0; s < k; ++s) {
+        const std::string prefix = "rpu" + std::to_string(s) + ".";
+        for (std::size_t c = 0; c < nchan; ++c)
+            sc.schedule.addResource(prefix + "dram" +
+                                    std::to_string(c));
+        if (cfg.splitComputePipes) {
+            sc.schedule.addResource(prefix + "arith");
+            sc.schedule.addResource(prefix + "shuffle");
+        } else {
+            sc.schedule.addResource(prefix + "compute");
+        }
+    }
+    const sim::ResourceId link_base =
+        static_cast<sim::ResourceId>(k * per_chip);
+    if (net.topology == Topology::SharedBus) {
+        if (sc.links > 0)
+            sc.schedule.addResource("bus");
+    } else {
+        for (std::size_t a = 0; a < k; ++a)
+            for (std::size_t b = 0; b < k; ++b)
+                if (a != b)
+                    sc.schedule.addResource(
+                        "link" + std::to_string(a) + ">" +
+                        std::to_string(b));
+    }
+
+    const RpuEngine eng(cfg);
+    const CodeGen cg(cfg.vectorLen);
+    std::vector<ChannelPlacer> placers;
+    placers.reserve(k);
+    for (std::size_t s = 0; s < k; ++s)
+        placers.emplace_back(cfg.channelPolicy, nchan);
+
+    // Cut-edge lookup: (producer, destination shard) -> edge index;
+    // the transfer task itself is created lazily at first consumer.
+    std::unordered_map<std::uint64_t, std::size_t> cut_index;
+    cut_index.reserve(p.cutEdges.size());
+    for (std::size_t i = 0; i < p.cutEdges.size(); ++i)
+        cut_index.emplace(static_cast<std::uint64_t>(
+                              p.cutEdges[i].src) *
+                                  k +
+                              p.cutEdges[i].toShard,
+                          i);
+    constexpr sim::TaskId kUnset = ~sim::TaskId{0};
+    std::vector<sim::TaskId> transfer_id(p.cutEdges.size(), kUnset);
+
+    std::vector<sim::TaskId> new_id(g.size());
+    std::vector<sim::TaskId> deps;
+    std::vector<sim::CompiledOp> ops;
+    for (const Task &t : g.tasks()) {
+        const std::uint32_t shard = p.shardOf[t.id];
+        deps.clear();
+        for (std::uint32_t d : t.deps) {
+            if (p.shardOf[d] == shard) {
+                deps.push_back(new_id[d]);
+                continue;
+            }
+            const std::uint64_t key =
+                static_cast<std::uint64_t>(d) * k + shard;
+            const auto it = cut_index.find(key);
+            panicIf(it == cut_index.end(),
+                    "partition cut does not cover a cross-shard "
+                    "dependency");
+            const std::size_t idx = it->second;
+            if (transfer_id[idx] == kUnset) {
+                const CutEdge &e = p.cutEdges[idx];
+                sim::CompiledOp xfer;
+                xfer.resource =
+                    link_base +
+                    static_cast<sim::ResourceId>(net.linkIndex(
+                        e.fromShard, e.toShard, k));
+                xfer.bytes = static_cast<double>(e.bytes);
+                xfer.postSeconds = net.latencySec;
+                transfer_id[idx] = sc.schedule.addTask(
+                    {new_id[d]}, {xfer});
+                ++sc.transferTasks;
+                sc.transferBytes += e.bytes;
+            }
+            deps.push_back(transfer_id[idx]);
+        }
+        ops.clear();
+        eng.lowerTask(t, cg, placers[shard],
+                      static_cast<sim::ResourceId>(shard * per_chip),
+                      ops);
+        new_id[t.id] = sc.schedule.addTask(deps, ops);
+    }
+
+    sc.schedule.setLayoutTag(
+        shardedTag(RpuLayout::of(cfg), k, net.topology));
+    return sc;
+}
+
+void
+ShardedEngine::rates(const ShardedCompiled &sc,
+                     sim::ReplayRates &r) const
+{
+    panicIf(sc.schedule.layoutTag() !=
+                shardedTag(RpuLayout::of(cfg), sc.shards,
+                           net.topology),
+            "sharded schedule layout does not match config");
+    const std::size_t nchan = cfg.channelCount();
+    const std::size_t nres = sc.schedule.resourceCount();
+    panicIf(nres != sc.shards * sc.perChip + sc.links,
+            "sharded schedule resource count does not match config");
+    // Pipes never carry bytes; 1.0 keeps their byte component defined.
+    r.bytesPerSec.assign(nres, 1.0);
+    for (std::size_t s = 0; s < sc.shards; ++s)
+        for (std::size_t c = 0; c < nchan; ++c)
+            r.bytesPerSec[s * sc.perChip + c] =
+                cfg.channelBytesPerSec(c);
+    const double link_bps = gbps(net.linkGBps);
+    for (std::size_t l = 0; l < sc.links; ++l)
+        r.bytesPerSec[sc.shards * sc.perChip + l] = link_bps;
+    r.workPerSec[kWorkArith] = cfg.modopsPerSec();
+    r.workPerSec[kWorkShuffle] = cfg.shuffleElemsPerSec();
+}
+
+double
+ShardedEngine::replayRuntime(const ShardedCompiled &sc) const
+{
+    ReplayTls &tls = replayTls();
+    rates(sc, tls.rates);
+    return sc.schedule.replay(tls.rates, tls.scratch);
+}
+
+ShardedStats
+ShardedEngine::replay(const ShardedCompiled &sc) const
+{
+    ReplayTls &tls = replayTls();
+    rates(sc, tls.rates);
+    const double makespan = sc.schedule.replay(tls.rates, tls.scratch);
+
+    const std::size_t nchan = cfg.channelCount();
+    const std::size_t nres = sc.schedule.resourceCount();
+    ShardedStats s;
+    s.runtime = makespan;
+    s.shards = sc.shards;
+    s.transferTasks = sc.transferTasks;
+    s.transferBytes = sc.transferBytes;
+    for (std::size_t chip = 0; chip < sc.shards; ++chip) {
+        for (std::size_t r = 0; r < sc.perChip; ++r) {
+            const double busy = tls.scratch.busy[chip * sc.perChip + r];
+            if (r < nchan)
+                s.memBusy += busy;
+            else
+                s.compBusy += busy;
+        }
+    }
+    for (std::size_t l = 0; l < sc.links; ++l)
+        s.linkBusy += tls.scratch.busy[sc.shards * sc.perChip + l];
+    s.resources.reserve(nres);
+    for (std::size_t r = 0; r < nres; ++r)
+        s.resources.push_back({sc.schedule.resourceName(
+                                   static_cast<sim::ResourceId>(r)),
+                               tls.scratch.busy[r],
+                               tls.scratch.jobs[r]});
+    return s;
+}
+
+ShardedStats
+ShardedEngine::run(const TaskGraph &g, const Partition &p) const
+{
+    return replay(compile(g, p));
+}
+
+} // namespace ciflow::shard

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * ShardedEngine: K identical RPUs plus an interconnect, compiled into
+ * one sim::CompiledSchedule.
+ *
+ * compile() lays out K copies of the single-chip resource block
+ * (DRAM channels first, then compute pipe(s) — the exact layout
+ * RpuEngine::compile uses, produced by the same RpuEngine::lowerTask
+ * lowering with a per-chip base offset and a per-chip ChannelPlacer),
+ * followed by the interconnect's link channels. Every cut edge of the
+ * Partition becomes one *transfer task* between its producer and the
+ * first consumer on the destination chip: a bytes payload queued on
+ * the link (transfers contend like DRAM traffic) plus a pipelined
+ * propagation delay (CompiledOp::postSeconds).
+ *
+ * Because the per-chip lowering is shared with the single-RPU path, a
+ * K=1 partition compiles to the identical op stream with no transfer
+ * tasks, and its replay is bit-identical to the single-RPU compiled
+ * replay (tests/test_shard.cpp pins this).
+ *
+ * replay()/replayRuntime() evaluate a compiled shard schedule at the
+ * chip + link rates through per-thread scratch, so a K-shard simulate
+ * allocates nothing after warm-up — placement searches sweep thousands
+ * of candidate cuts at full compiled-replay speed.
+ */
+
+#ifndef CIFLOW_SHARD_SHARDED_ENGINE_H
+#define CIFLOW_SHARD_SHARDED_ENGINE_H
+
+#include "rpu/engine.h"
+#include "shard/interconnect.h"
+#include "shard/partition.h"
+#include "sim/compiled_schedule.h"
+
+namespace ciflow::shard
+{
+
+/** A partitioned graph compiled against K chips + interconnect. */
+struct ShardedCompiled
+{
+    sim::CompiledSchedule schedule;
+    std::size_t shards = 1;
+    /** Resources per chip (channels + pipes). */
+    std::size_t perChip = 0;
+    /** Link resources after the chip blocks. */
+    std::size_t links = 0;
+    /** Transfer tasks materialized from the cut. */
+    std::size_t transferTasks = 0;
+    /** Total payload shipped over the interconnect. */
+    std::uint64_t transferBytes = 0;
+};
+
+/** Aggregate results of one sharded simulation. */
+struct ShardedStats
+{
+    /** End-to-end runtime in seconds. */
+    double runtime = 0.0;
+    std::size_t shards = 1;
+    /** DRAM-channel busy seconds, summed over all chips. */
+    double memBusy = 0.0;
+    /** Compute busy seconds, summed over all chips. */
+    double compBusy = 0.0;
+    /** Link busy (occupancy) seconds, summed over links. */
+    double linkBusy = 0.0;
+    std::size_t transferTasks = 0;
+    std::uint64_t transferBytes = 0;
+    /** Per-resource utilization (chip blocks, then links). */
+    std::vector<sim::ResourceUse> resources;
+    double runtimeMs() const { return runtime * 1e3; }
+};
+
+/** Simulates a partitioned TaskGraph on K chips + interconnect. */
+class ShardedEngine
+{
+  public:
+    ShardedEngine(const RpuConfig &chip, const InterconnectConfig &ic)
+        : cfg(chip), net(ic)
+    {
+    }
+
+    /**
+     * Lower `g` under partition `p` once. The result can be replayed
+     * at any rates of a config sharing the chip layout and topology.
+     */
+    ShardedCompiled compile(const TaskGraph &g,
+                            const Partition &p) const;
+
+    /** Replay rates: per-chip channel rates, link rates, work rates. */
+    void rates(const ShardedCompiled &sc, sim::ReplayRates &r) const;
+
+    /** Makespan-only replay (allocation-free; the search hot path). */
+    double replayRuntime(const ShardedCompiled &sc) const;
+
+    /** Replay plus ShardedStats packaging. */
+    ShardedStats replay(const ShardedCompiled &sc) const;
+
+    /** compile() + replay(). */
+    ShardedStats run(const TaskGraph &g, const Partition &p) const;
+
+    const RpuConfig &chip() const { return cfg; }
+    const InterconnectConfig &interconnect() const { return net; }
+
+  private:
+    RpuConfig cfg;
+    InterconnectConfig net;
+};
+
+} // namespace ciflow::shard
+
+#endif // CIFLOW_SHARD_SHARDED_ENGINE_H

@@ -57,6 +57,7 @@ CompiledSchedule::replay(const ReplayRates &rates,
     const double w0 = rates.workPerSec[0];
     const double w1 = rates.workPerSec[1];
 
+    double makespan = 0.0;
     for (std::size_t t = 0; t < nt; ++t) {
         double ready = 0.0;
         for (std::uint32_t i = depOff[t]; i < depOff[t + 1]; ++i) {
@@ -83,20 +84,24 @@ CompiledSchedule::replay(const ReplayRates &rates,
             const double start =
                 s.freeAt[o.resource] > ready ? s.freeAt[o.resource]
                                              : ready;
+            // The resource frees after the service duration; dependents
+            // additionally wait out the op's propagation delay. With
+            // postSeconds == 0 both times are the same double, so the
+            // pre-latency replay results are reproduced bit-exactly.
             const double fin = start + dur;
             s.freeAt[o.resource] = fin;
             s.busy[o.resource] += dur;
             ++s.jobs[o.resource];
-            if (fin > task_fin)
-                task_fin = fin;
+            const double vis = fin + o.postSeconds;
+            if (vis > task_fin)
+                task_fin = vis;
         }
         s.finish[t] = task_fin;
+        // Every op finish is bounded by its task finish, so the latest
+        // task finish dominates every resource's freeAt.
+        if (task_fin > makespan)
+            makespan = task_fin;
     }
-
-    double makespan = 0.0;
-    for (std::size_t r = 0; r < nr; ++r)
-        if (s.freeAt[r] > makespan)
-            makespan = s.freeAt[r];
     return makespan;
 }
 

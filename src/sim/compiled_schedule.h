@@ -48,6 +48,13 @@ constexpr std::size_t kWorkClasses = 2;
  * the slower of its arithmetic and shuffle halves); a split-pipe op
  * carries one; a memory op carries only bytes; a generic fixed-duration
  * op carries only seconds.
+ *
+ * postSeconds models propagation delay of pipelined links (LogP-style):
+ * the resource is occupied for the duration above (the occupancy of a
+ * transfer, bytes/bandwidth), but the op's result only becomes visible
+ * to dependents postSeconds later. The next message on the same link
+ * does not wait out the latency — cross-chip transfers queue on link
+ * bandwidth and pipeline their propagation.
  */
 struct CompiledOp
 {
@@ -58,6 +65,8 @@ struct CompiledOp
     double work[kWorkClasses] = {0.0, 0.0};
     /** Fixed duration independent of any rate. */
     double seconds = 0.0;
+    /** Delay after service before dependents may observe the result. */
+    double postSeconds = 0.0;
 };
 
 /** The scaling knobs of one replay point. */
@@ -126,9 +135,10 @@ class CompiledSchedule
      * over tasks in id order evaluates the same scheduling recurrence
      * as EventQueue::run (deps point backward and per-resource queues
      * fill in task order, so task order is a valid issue order).
-     * Returns the makespan; per-task finish times and per-resource
-     * utilization are left in `scratch`. Thread-safe for concurrent
-     * calls with distinct scratch.
+     * Returns the makespan — the latest task finish, which includes
+     * any post-service propagation delay; per-task finish times and
+     * per-resource utilization are left in `scratch`. Thread-safe for
+     * concurrent calls with distinct scratch.
      */
     double replay(const ReplayRates &rates, ReplayScratch &scratch) const;
 

@@ -1,0 +1,456 @@
+/**
+ * @file
+ * Tests for the multi-RPU sharding subsystem: partition invariants and
+ * hand-computed assignments, cut-edge deduplication, degenerate-case
+ * equivalences (K=1 bit-identity, free interconnect), interconnect
+ * queueing (bus vs point-to-point, pipelined latency), and the
+ * placement search.
+ */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "rpu/experiment.h"
+#include "shard/placement_search.h"
+#include "shard/sharded_engine.h"
+
+using namespace ciflow;
+using namespace ciflow::shard;
+
+namespace
+{
+
+Task
+load(std::uint64_t bytes, std::vector<std::uint32_t> deps = {})
+{
+    Task t;
+    t.kind = TaskKind::MemLoad;
+    t.bytes = bytes;
+    t.deps = std::move(deps);
+    return t;
+}
+
+Task
+comp(std::uint64_t ops, std::vector<std::uint32_t> deps = {})
+{
+    Task t;
+    t.kind = TaskKind::Compute;
+    t.stage = StageId::ModUpKeyMul; // pointwise cost model
+    t.modOps = ops;
+    t.deps = std::move(deps);
+    return t;
+}
+
+RpuConfig
+unitConfig()
+{
+    // 1 GB/s, 1e9 modops/s: 1 byte = 1 op = 1 ns.
+    RpuConfig cfg;
+    cfg.bandwidthGBps = 1.0;
+    cfg.hples = 1;
+    cfg.freqGHz = 1.0;
+    cfg.cyclesPerModOp = 1.0;
+    return cfg;
+}
+
+/** load -> comp -> load -> comp -> load -> comp serial chain. */
+TaskGraph
+serialChain()
+{
+    TaskGraph g;
+    std::uint32_t prev = g.push(load(1000));
+    prev = g.push(comp(500, {prev}));
+    prev = g.push(load(1000, {prev}));
+    prev = g.push(comp(500, {prev}));
+    prev = g.push(load(1000, {prev}));
+    g.push(comp(500, {prev}));
+    return g;
+}
+
+InterconnectConfig
+freeInterconnect(Topology topo = Topology::PointToPoint)
+{
+    InterconnectConfig net;
+    net.topology = topo;
+    net.linkGBps = std::numeric_limits<double>::infinity();
+    net.latencySec = 0.0;
+    return net;
+}
+
+} // namespace
+
+TEST(Partitioner, TaskWeightsAreEngineSeconds)
+{
+    TaskGraph g = serialChain();
+    std::vector<double> w = taskWeights(g, unitConfig());
+    ASSERT_EQ(w.size(), 6u);
+    for (std::size_t t = 0; t < w.size(); ++t)
+        EXPECT_NEAR(w[t], t % 2 == 0 ? 1e-6 : 0.5e-6, 1e-15) << t;
+}
+
+TEST(Partitioner, ContiguousSplitsScheduleOrderByWork)
+{
+    TaskGraph g = serialChain();
+    ShardSpec spec;
+    spec.shards = 3;
+    spec.strategy = PartitionStrategy::ContiguousByLevel;
+    // Exactly representable weights so the chunk quotas are exact.
+    Partition p = partitionGraph(g, spec, {1, 0.5, 1, 0.5, 1, 0.5});
+
+    ASSERT_EQ(p.shardOf.size(), 6u);
+    EXPECT_EQ(p.shardOf,
+              (std::vector<std::uint32_t>{0, 0, 1, 1, 2, 2}));
+    // Shard indices never decrease along the schedule order.
+    for (std::size_t t = 1; t < p.shardOf.size(); ++t)
+        EXPECT_GE(p.shardOf[t], p.shardOf[t - 1]);
+    // Each chunk holds one load + one compute.
+    for (double w : p.shardWork)
+        EXPECT_NEAR(w, 1.5, 1e-12);
+    // A serial chain cut twice: compute -> load boundaries.
+    ASSERT_EQ(p.cutEdges.size(), 2u);
+    EXPECT_EQ(p.cutEdges[0].src, 1u);
+    EXPECT_EQ(p.cutEdges[0].toShard, 1u);
+    EXPECT_EQ(p.cutEdges[0].bytes, spec.computeOutputBytes);
+    EXPECT_EQ(p.cutEdges[1].src, 3u);
+    EXPECT_EQ(p.cutEdges[1].toShard, 2u);
+}
+
+TEST(Partitioner, MinCutKeepsIndependentChainsApart)
+{
+    // Two equal-work independent chains: greedy placement should give
+    // each chain its own shard and cut nothing.
+    TaskGraph g;
+    std::uint32_t a = g.push(load(1000));
+    a = g.push(comp(1000, {a}));
+    a = g.push(comp(1000, {a}));
+    std::uint32_t b = g.push(load(1000));
+    b = g.push(comp(1000, {b}));
+    g.push(comp(1000, {b}));
+
+    ShardSpec spec;
+    spec.shards = 2;
+    spec.strategy = PartitionStrategy::MinCutGreedy;
+    Partition p =
+        partitionGraph(g, spec, taskWeights(g, unitConfig()));
+
+    EXPECT_EQ(p.shardOf[0], p.shardOf[1]);
+    EXPECT_EQ(p.shardOf[1], p.shardOf[2]);
+    EXPECT_EQ(p.shardOf[3], p.shardOf[4]);
+    EXPECT_EQ(p.shardOf[4], p.shardOf[5]);
+    EXPECT_NE(p.shardOf[0], p.shardOf[3]);
+    EXPECT_TRUE(p.cutEdges.empty());
+    EXPECT_EQ(p.cutBytes, 0u);
+    EXPECT_NEAR(p.imbalance(), 0.0, 1e-9);
+}
+
+TEST(Partitioner, MinCutRespectsLoadCap)
+{
+    // Ten equal independent tasks, K=2: byte locality never justifies
+    // exceeding the (1 + tol) cap, so both shards end up with five.
+    TaskGraph g;
+    for (int i = 0; i < 10; ++i)
+        g.push(load(1000));
+    ShardSpec spec;
+    spec.shards = 2;
+    spec.strategy = PartitionStrategy::MinCutGreedy;
+    spec.imbalanceTol = 0.05;
+    Partition p =
+        partitionGraph(g, spec, taskWeights(g, unitConfig()));
+    EXPECT_NEAR(p.shardWork[0], p.shardWork[1], 1e-12);
+    EXPECT_LE(p.imbalance(), 0.05 + 1e-9);
+}
+
+TEST(Partitioner, CutEdgesDedupePerDestinationShard)
+{
+    // One producer feeding three consumers on one remote shard ships
+    // once to that shard; a fourth consumer on another shard ships a
+    // second copy.
+    TaskGraph g;
+    std::uint32_t src = g.push(load(4000));
+    g.push(comp(100, {src}));
+    g.push(comp(100, {src}));
+    g.push(comp(100, {src}));
+    g.push(comp(100, {src}));
+
+    // Weights chosen so the contiguous split lands {0 | 1,2,3 | 4}.
+    ShardSpec spec;
+    spec.shards = 3;
+    spec.strategy = PartitionStrategy::ContiguousByLevel;
+    Partition p = partitionGraph(g, spec, {3, 1, 1, 1, 3});
+    ASSERT_EQ(p.shardOf,
+              (std::vector<std::uint32_t>{0, 1, 1, 1, 2}));
+
+    ASSERT_EQ(p.cutEdges.size(), 2u);
+    EXPECT_EQ(p.cutEdges[0].src, 0u);
+    EXPECT_EQ(p.cutEdges[0].toShard, 1u);
+    EXPECT_EQ(p.cutEdges[1].src, 0u);
+    EXPECT_EQ(p.cutEdges[1].toShard, 2u);
+    // Memory-task producers ship the bytes they loaded.
+    EXPECT_EQ(p.cutEdges[0].bytes, 4000u);
+    EXPECT_EQ(p.cutBytes, 8000u);
+
+    // The compiler materializes exactly one transfer per cut edge.
+    ShardedEngine eng(unitConfig(), freeInterconnect());
+    ShardedCompiled sc = eng.compile(g, p);
+    EXPECT_EQ(sc.transferTasks, 2u);
+    EXPECT_EQ(sc.transferBytes, 8000u);
+    EXPECT_EQ(sc.schedule.taskCount(), 7u);
+}
+
+TEST(ShardDegenerate, K1IsBitIdenticalToSingleRpuReplay)
+{
+    for (const char *bench : {"BTS1", "ARK"}) {
+        for (Dataflow d : {Dataflow::MP, Dataflow::OC}) {
+            const HksParams &par = benchmarkByName(bench);
+            MemoryConfig mem{32ull << 20, false};
+            TaskGraph g = buildHksGraph(par, d, mem);
+
+            RpuConfig chip;
+            chip.bandwidthGBps = 32.0;
+            chip.memChannels = 2;
+            chip.dataMemBytes = mem.dataCapacityBytes;
+            chip.evkOnChip = mem.evkOnChip;
+
+            RpuEngine single(chip);
+            SimStats ref = single.replay(single.compile(g), g);
+
+            ShardSpec spec;
+            spec.shards = 1;
+            spec.computeOutputBytes = par.towerBytes();
+            Partition p =
+                partitionGraph(g, spec, taskWeights(g, chip));
+            InterconnectConfig net; // finite links; K=1 has none
+            ShardedEngine eng(chip, net);
+            ShardedStats s = eng.run(g, p);
+
+            EXPECT_EQ(s.runtime, ref.runtime) << bench;
+            EXPECT_EQ(s.memBusy, ref.memBusy) << bench;
+            EXPECT_EQ(s.compBusy, ref.compBusy) << bench;
+            EXPECT_EQ(s.transferTasks, 0u);
+            EXPECT_EQ(s.linkBusy, 0.0);
+        }
+    }
+}
+
+TEST(ShardDegenerate, FreeInterconnectOnSerialChainMatchesK1)
+{
+    TaskGraph g = serialChain();
+    const RpuConfig chip = unitConfig();
+    const std::vector<double> w = taskWeights(g, chip);
+
+    RpuEngine single(chip);
+    const double rt1 = single.replay(single.compile(g), g).runtime;
+    // 3 loads of 1 us + 3 computes of 0.5 us, fully serial.
+    EXPECT_NEAR(rt1, 4.5e-6, 1e-12);
+
+    ShardSpec spec;
+    spec.shards = 3;
+    Partition p = partitionGraph(g, spec, w);
+    for (Topology topo : {Topology::SharedBus, Topology::PointToPoint}) {
+        ShardedEngine eng(chip, freeInterconnect(topo));
+        ShardedStats s = eng.run(g, p);
+        // Zero-duration transfers: the chain's finish times are the
+        // exact sums the single chip produces.
+        EXPECT_EQ(s.runtime, rt1) << topologyName(topo);
+        EXPECT_EQ(s.transferTasks, 2u);
+    }
+}
+
+TEST(ShardDegenerate, FreeInterconnectNeverSlowerThanK1OnHksGraph)
+{
+    const HksParams &par = benchmarkByName("ARK");
+    MemoryConfig mem{32ull << 20, false};
+    TaskGraph g = buildHksGraph(par, Dataflow::OC, mem);
+    RpuConfig chip;
+    chip.bandwidthGBps = 16.0;
+    chip.dataMemBytes = mem.dataCapacityBytes;
+    chip.evkOnChip = mem.evkOnChip;
+
+    RpuEngine single(chip);
+    const double rt1 = single.replay(single.compile(g), g).runtime;
+
+    for (PartitionStrategy strat : allStrategies()) {
+        ShardSpec spec;
+        spec.shards = 4;
+        spec.strategy = strat;
+        spec.computeOutputBytes = par.towerBytes();
+        Partition p = partitionGraph(g, spec, taskWeights(g, chip));
+        ShardedEngine eng(chip, freeInterconnect());
+        // Dropping tasks from an in-order queue never delays the
+        // rest, so free transfers can only help.
+        EXPECT_LE(eng.run(g, p).runtime, rt1 * (1 + 1e-12))
+            << strategyName(strat);
+    }
+}
+
+TEST(Interconnect, LatencyIsPipelinedNotOccupancy)
+{
+    TaskGraph g = serialChain();
+    const RpuConfig chip = unitConfig();
+    ShardSpec spec;
+    spec.shards = 3;
+    Partition p = partitionGraph(g, spec, taskWeights(g, chip));
+
+    InterconnectConfig net = freeInterconnect();
+    net.latencySec = 1e-6;
+    ShardedEngine eng(chip, net);
+    ShardedStats s = eng.run(g, p);
+    // Two cross-chip hops on the critical path, 1 us propagation
+    // each, zero occupancy: 4.5 us + 2 us.
+    EXPECT_NEAR(s.runtime, 6.5e-6, 1e-12);
+    EXPECT_NEAR(s.linkBusy, 0.0, 1e-15);
+}
+
+TEST(Interconnect, SharedBusSerializesWhatPointToPointOverlaps)
+{
+    // Two 1000-byte transfers become ready at the same instant from
+    // different source chips toward a third.
+    TaskGraph g;
+    std::uint32_t a = g.push(load(1000));
+    std::uint32_t b = g.push(load(1000));
+    g.push(comp(1, {a, b}));
+
+    Partition p;
+    p.shards = 3;
+    p.strategy = PartitionStrategy::MinCutGreedy;
+    p.shardOf = {0, 1, 2};
+    p.shardWork = {1.0, 1.0, 0.0};
+    for (std::uint32_t src : {0u, 1u}) {
+        CutEdge e;
+        e.src = src;
+        e.fromShard = src;
+        e.toShard = 2;
+        e.bytes = 1000;
+        p.cutEdges.push_back(e);
+        p.cutBytes += e.bytes;
+    }
+
+    InterconnectConfig bus;
+    bus.topology = Topology::SharedBus;
+    bus.linkGBps = 1.0;
+    bus.latencySec = 0.0;
+    ShardedStats sb = ShardedEngine(unitConfig(), bus).run(g, p);
+    // Loads [0,1us); bus serializes: [1,2) then [2,3); comp 1 ns.
+    EXPECT_NEAR(sb.runtime, 3.001e-6, 1e-12);
+    EXPECT_NEAR(sb.linkBusy, 2e-6, 1e-15);
+
+    InterconnectConfig p2p = bus;
+    p2p.topology = Topology::PointToPoint;
+    ShardedStats sp = ShardedEngine(unitConfig(), p2p).run(g, p);
+    // Distinct links overlap: both transfers in [1,2us).
+    EXPECT_NEAR(sp.runtime, 2.001e-6, 1e-12);
+    EXPECT_NEAR(sp.linkBusy, 2e-6, 1e-15);
+    EXPECT_LT(sp.runtime, sb.runtime);
+}
+
+TEST(ShardedEngine, ReplayMatchesRunAndIsReusable)
+{
+    const HksParams &par = benchmarkByName("BTS1");
+    MemoryConfig mem{32ull << 20, false};
+    TaskGraph g = buildHksGraph(par, Dataflow::OC, mem);
+    RpuConfig chip;
+    chip.bandwidthGBps = 16.0;
+    chip.dataMemBytes = mem.dataCapacityBytes;
+    chip.evkOnChip = mem.evkOnChip;
+
+    ShardSpec spec;
+    spec.shards = 4;
+    spec.strategy = PartitionStrategy::MinCutGreedy;
+    spec.computeOutputBytes = par.towerBytes();
+    Partition p = partitionGraph(g, spec, taskWeights(g, chip));
+
+    InterconnectConfig net;
+    net.linkGBps = 64.0;
+    ShardedEngine eng(chip, net);
+    ShardedCompiled sc = eng.compile(g, p);
+    const double r1 = eng.replayRuntime(sc);
+    const double r2 = eng.replayRuntime(sc);
+    EXPECT_EQ(r1, r2);
+    EXPECT_EQ(eng.replay(sc).runtime, r1);
+    EXPECT_EQ(eng.run(g, p).runtime, r1);
+    EXPECT_EQ(sc.transferTasks, p.cutEdges.size());
+}
+
+TEST(ShardedEngine, ReplayingUnderDifferentTopologyPanics)
+{
+    // The layout tag must distinguish topologies even for the default
+    // fused-pipe chip: replaying a bus-compiled schedule through a
+    // p2p engine is a silent-wrong-answer bug the tag exists to stop.
+    TaskGraph g = serialChain();
+    const RpuConfig chip = unitConfig();
+    ShardSpec spec;
+    spec.shards = 2;
+    Partition p = partitionGraph(g, spec, taskWeights(g, chip));
+
+    InterconnectConfig bus;
+    bus.topology = Topology::SharedBus;
+    ShardedCompiled sc = ShardedEngine(chip, bus).compile(g, p);
+
+    InterconnectConfig p2p = bus;
+    p2p.topology = Topology::PointToPoint;
+    ShardedEngine wrong(chip, p2p);
+    EXPECT_DEATH(wrong.replayRuntime(sc), "layout does not match");
+}
+
+TEST(PlacementSearch, GridIsEvaluatedAndSorted)
+{
+    ExperimentRunner runner(4);
+    const HksParams &par = benchmarkByName("BTS1");
+    MemoryConfig mem{32ull << 20, false};
+
+    PlacementSpec spec;
+    spec.shardCounts = {1, 2, 4};
+    spec.dataflows = {Dataflow::OC};
+    spec.chip.bandwidthGBps = 16.0;
+    spec.interconnect.linkGBps = 128.0;
+    spec.interconnect.latencySec = 1e-6;
+
+    std::vector<PlacementResult> res =
+        searchPlacements(runner, par, mem, spec);
+    // 1 K=1 row + 2 K>1 counts x 2 topologies x 2 strategies.
+    ASSERT_EQ(res.size(), 1u + 2u * 2u * 2u);
+    for (std::size_t i = 1; i < res.size(); ++i)
+        EXPECT_LE(res[i - 1].runtime, res[i].runtime);
+    for (const PlacementResult &r : res) {
+        EXPECT_GT(r.runtime, 0.0);
+        EXPECT_GT(r.baseline, 0.0);
+        if (r.shards == 1) {
+            EXPECT_EQ(r.cutBytes, 0u);
+            // K=1 sharded replay is the single-RPU replay.
+            EXPECT_EQ(r.runtime, r.baseline);
+        }
+    }
+
+    // Determinism: a serial re-run returns the same table.
+    ExperimentRunner serial(1);
+    std::vector<PlacementResult> res2 =
+        searchPlacements(serial, par, mem, spec);
+    ASSERT_EQ(res2.size(), res.size());
+    for (std::size_t i = 0; i < res.size(); ++i)
+        EXPECT_EQ(res[i].runtime, res2[i].runtime);
+}
+
+TEST(PlacementSearch, ShardingBeatsSingleRpuWhenBandwidthBound)
+{
+    // A bandwidth-starved chip (8 GB/s, evk streamed) with a fast
+    // interconnect: some K>1 placement must win.
+    ExperimentRunner runner(4);
+    const HksParams &par = benchmarkByName("ARK");
+    MemoryConfig mem{32ull << 20, false};
+
+    PlacementSpec spec;
+    spec.shardCounts = {2, 4, 8};
+    spec.dataflows = {Dataflow::MP, Dataflow::OC};
+    spec.chip.bandwidthGBps = 8.0;
+    spec.interconnect.linkGBps = 256.0;
+    spec.interconnect.latencySec = 2e-6;
+
+    std::vector<PlacementResult> res =
+        searchPlacements(runner, par, mem, spec);
+    ASSERT_FALSE(res.empty());
+    EXPECT_GT(res.front().speedup(), 1.0)
+        << "best: K=" << res.front().shards << " "
+        << topologyName(res.front().topology) << " "
+        << strategyName(res.front().strategy);
+}
