@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Auto-tuner strategy study over the paper's co-design knobs.
+ *
+ * For every paper benchmark this builds the joint
+ * (dataflow x capacity x bandwidth x channels x MODOPS) grid — the
+ * axes Tables IV/V and Figures 8/9 sweep one at a time — and runs the
+ * three tune strategies against it:
+ *
+ *  - exhaustive grid: the ground-truth optimum and Pareto frontier;
+ *  - coordinate descent on a fresh cache: must rediscover the grid
+ *    optimum bit-identically while evaluating < 50% of the grid;
+ *  - random-restart hill climb sharing the descent's cache: shows
+ *    cross-strategy cache reuse.
+ *
+ * It also re-derives Table IV's OCbase through the tune engine
+ * (tune::ocBaseBandwidth over ocBaseSpace()) and requires it to equal
+ * the rpu-layer grid scan bit-identically.
+ *
+ * Emits BENCH_tune.json for the CI artifact trail and exits nonzero
+ * when any benchmark misses a gate — the tuner failing to rediscover
+ * the paper's operating points is a regression, not a warning.
+ */
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "tune/tuner.h"
+
+using namespace ciflow;
+using namespace ciflow::tune;
+
+namespace
+{
+
+struct Row
+{
+    std::string benchmark;
+    std::size_t spacePoints = 0;
+    double exhaustiveBestMs = 0.0;
+    double cdBestMs = 0.0;
+    std::size_t cdEvals = 0;
+    double cdFrac = 0.0;
+    double hcBestMs = 0.0;
+    std::size_t hcEvals = 0;
+    std::size_t hcHits = 0;
+    std::size_t paretoPoints = 0;
+    double ocbaseGbps = 0.0;
+    double ocbaseRefGbps = 0.0;
+    std::string bestConfig;
+    bool pass = false;
+};
+
+} // namespace
+
+int
+main()
+{
+    benchutil::header("Auto-tuner: strategies over (dataflow, "
+                      "capacity, bandwidth, channels, MODOPS)");
+
+    ExperimentRunner runner;
+    const std::vector<HksParams> &benches = paperBenchmarks();
+    std::vector<Row> rows(benches.size());
+
+    // One tuner pipeline per benchmark, fanned out on the pool; each
+    // strategy inside fans out its own sweeps (nested runAll).
+    std::vector<std::function<void()>> jobs;
+    for (std::size_t i = 0; i < benches.size(); ++i)
+        jobs.push_back([&runner, &benches, &rows, i] {
+            const HksParams &par = benches[i];
+            Row &r = rows[i];
+            r.benchmark = par.name;
+
+            Tuner exhaustive(runner, par, paperJointSpace(par));
+            const TuneResult ex = exhaustive.tune(
+                {.strategy = Strategy::ExhaustiveGrid});
+            r.spacePoints = ex.spaceSize;
+            r.exhaustiveBestMs = ex.best.m.runtime * 1e3;
+            r.paretoPoints = ex.frontier.size();
+            r.bestConfig = ex.best.point.describe();
+
+            // Fresh cache: the descent pays its own evaluations.
+            Tuner search(runner, par, paperJointSpace(par));
+            const TuneResult cd = search.tune(
+                {.strategy = Strategy::CoordinateDescent});
+            r.cdBestMs = cd.best.m.runtime * 1e3;
+            r.cdEvals = cd.evaluations;
+            r.cdFrac = cd.evalFraction();
+
+            // Hill climb on the same tuner reuses the descent's cache.
+            const TuneResult hc = search.tune(
+                {.strategy = Strategy::RandomRestartHillClimb});
+            r.hcBestMs = hc.best.m.runtime * 1e3;
+            r.hcEvals = hc.evaluations;
+            r.hcHits = hc.cacheHits;
+
+            // Table IV's OCbase through the tune engine.
+            Tuner ocb(runner, par, ocBaseSpace());
+            r.ocbaseGbps = tune::ocBaseBandwidth(
+                ocb, baselineRuntime(runner, par));
+            r.ocbaseRefGbps = ciflow::ocBaseBandwidth(runner, par);
+
+            r.pass = r.cdBestMs == r.exhaustiveBestMs &&
+                     2 * r.cdEvals < r.spacePoints &&
+                     r.hcBestMs == r.exhaustiveBestMs &&
+                     r.ocbaseGbps == r.ocbaseRefGbps;
+        });
+    runner.runAll(jobs);
+
+    std::printf("%-9s | %5s | %9s %9s %6s %5s | %9s | %6s %6s | %6s\n",
+                "Benchmark", "grid", "best(ms)", "cd(ms)", "evals",
+                "frac", "hc(ms)", "pareto", "OCbase", "status");
+    benchutil::rule();
+    bool all_pass = true;
+    for (const Row &r : rows) {
+        std::printf("%-9s | %5zu | %9.3f %9.3f %6zu %4.0f%% | %9.3f | "
+                    "%6zu %5.1fG | %6s\n",
+                    r.benchmark.c_str(), r.spacePoints,
+                    r.exhaustiveBestMs, r.cdBestMs, r.cdEvals,
+                    r.cdFrac * 100.0, r.hcBestMs, r.paretoPoints,
+                    r.ocbaseGbps, r.pass ? "ok" : "FAIL");
+        all_pass = all_pass && r.pass;
+    }
+    benchutil::rule();
+    for (const Row &r : rows)
+        std::printf("%-9s best: %s\n", r.benchmark.c_str(),
+                    r.bestConfig.c_str());
+    std::printf("\ncd/hc must match the exhaustive optimum "
+                "bit-identically; cd must evaluate < 50%% of the "
+                "grid; OCbase must equal the rpu-layer grid scan.\n");
+
+    std::FILE *json = std::fopen("BENCH_tune.json", "w");
+    if (json != nullptr) {
+        std::fprintf(json, "{\n  \"bench\": \"tuner\",\n"
+                           "  \"rows\": [\n");
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            const Row &r = rows[i];
+            std::fprintf(
+                json,
+                "    {\"benchmark\": \"%s\", \"space_points\": %zu, "
+                "\"exhaustive_best_ms\": %.6f, \"cd_best_ms\": %.6f, "
+                "\"cd_evals\": %zu, \"cd_eval_frac\": %.4f, "
+                "\"hc_best_ms\": %.6f, \"hc_evals\": %zu, "
+                "\"hc_cache_hits\": %zu, \"pareto_points\": %zu, "
+                "\"ocbase_gbps\": %.1f, \"ocbase_ref_gbps\": %.1f, "
+                "\"best_config\": \"%s\", \"pass\": %s}%s\n",
+                r.benchmark.c_str(), r.spacePoints,
+                r.exhaustiveBestMs, r.cdBestMs, r.cdEvals, r.cdFrac,
+                r.hcBestMs, r.hcEvals, r.hcHits, r.paretoPoints,
+                r.ocbaseGbps, r.ocbaseRefGbps, r.bestConfig.c_str(),
+                r.pass ? "true" : "false",
+                i + 1 < rows.size() ? "," : "");
+        }
+        std::fprintf(json, "  ]\n}\n");
+        std::fclose(json);
+        std::printf("wrote BENCH_tune.json\n");
+    }
+
+    if (!all_pass) {
+        std::fprintf(stderr, "FAIL: a tuner gate was missed (see "
+                             "status column)\n");
+        return 1;
+    }
+    return 0;
+}

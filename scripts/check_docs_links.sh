@@ -1,0 +1,26 @@
+#!/bin/sh
+# Fail when a relative markdown link in README.md or docs/*.md points
+# at a path that does not exist. External (http/https) and pure
+# fragment (#...) links are skipped. Run from the repo root.
+set -u
+
+status=0
+for f in README.md docs/*.md; do
+    [ -f "$f" ] || continue
+    dir=$(dirname "$f")
+    # Extract every ](target) occurrence, one per line.
+    targets=$(grep -o ']([^)]*)' "$f" | sed 's/^](//; s/)$//')
+    for t in $targets; do
+        case "$t" in
+        http://* | https://* | mailto:* | \#*) continue ;;
+        esac
+        path=${t%%#*}
+        [ -n "$path" ] || continue
+        if [ ! -e "$dir/$path" ]; then
+            echo "$f: broken link: $t" >&2
+            status=1
+        fi
+    done
+done
+[ "$status" -eq 0 ] && echo "docs links ok"
+exit "$status"

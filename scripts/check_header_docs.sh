@@ -1,0 +1,25 @@
+#!/bin/sh
+# Fail when a public header of src/sim, src/shard or src/tune declares
+# a top-level struct or class without a doc comment (/** ... */ or
+# ///) directly above it. template<> lines between the comment and
+# the declaration are transparent. Run from the repo root.
+set -u
+
+status=0
+for f in src/sim/*.h src/shard/*.h src/tune/*.h; do
+    [ -f "$f" ] || continue
+    bad=$(awk '
+        /^[[:space:]]*$/ { next }
+        /^(struct|class)[[:space:]]+[A-Za-z_]/ {
+            if (prev !~ /(\*\/$|\/\/\/)/)
+                print FILENAME ":" FNR ": undocumented " $1 " " $2
+        }
+        !/^template/ { prev = $0 }
+    ' "$f")
+    if [ -n "$bad" ]; then
+        echo "$bad" >&2
+        status=1
+    fi
+done
+[ "$status" -eq 0 ] && echo "header docs ok"
+exit "$status"

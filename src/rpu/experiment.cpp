@@ -129,11 +129,24 @@ ocBaseBandwidth(const HksParams &par)
     mem.dataCapacityBytes = 32ull << 20;
     mem.evkOnChip = true;
     HksExperiment oc(par, Dataflow::OC, mem);
-    // Report on the paper's grid: first sweep point that meets the
-    // baseline runtime.
-    for (double bw : paperBandwidthSweep())
-        if (oc.simulateRuntime(bw) <= target * 1.001)
-            return bw;
+    const std::vector<double> &grid = paperBandwidthSweep();
+    std::vector<double> runtimes;
+    runtimes.reserve(grid.size());
+    for (double bw : grid)
+        runtimes.push_back(oc.simulateRuntime(bw));
+    return ocBaseFromGrid(grid, runtimes, target);
+}
+
+double
+ocBaseFromGrid(const std::vector<double> &grid,
+               const std::vector<double> &runtimes,
+               double target_runtime)
+{
+    panicIf(runtimes.size() != grid.size(),
+            "one runtime per grid point required");
+    for (std::size_t i = 0; i < grid.size(); ++i)
+        if (runtimes[i] <= target_runtime * 1.001)
+            return grid[i];
     return 64.0;
 }
 

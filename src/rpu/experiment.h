@@ -118,6 +118,18 @@ double bandwidthToMatch(const HksExperiment &exp, double target_runtime,
  */
 double ocBaseBandwidth(const HksParams &par);
 
+/**
+ * The Table IV grid rule shared by every OCbase implementation (the
+ * serial and runner-aware rpu helpers and the tune-engine scan):
+ * the first `grid` bandwidth whose runtime meets `target_runtime`
+ * within the paper's 0.1% tolerance, or 64.0 — the baseline
+ * bandwidth — when none does. `runtimes` holds one entry per grid
+ * point.
+ */
+double ocBaseFromGrid(const std::vector<double> &grid,
+                      const std::vector<double> &runtimes,
+                      double target_runtime);
+
 } // namespace ciflow
 
 #endif // CIFLOW_RPU_EXPERIMENT_H

@@ -101,8 +101,11 @@ ExperimentRunner::experiment(const HksParams &par, Dataflow d,
     {
         std::lock_guard<std::mutex> lk(cache_mu);
         auto it = cache.find(key);
-        if (it != cache.end())
+        if (it != cache.end()) {
+            ++hits;
             return it->second;
+        }
+        ++misses;
     }
     // Build outside the lock: graph construction is the slow part and
     // independent builds may proceed concurrently. A racing builder of
@@ -119,6 +122,20 @@ ExperimentRunner::cachedExperiments() const
 {
     std::lock_guard<std::mutex> lk(cache_mu);
     return cache.size();
+}
+
+std::size_t
+ExperimentRunner::cacheHits() const
+{
+    std::lock_guard<std::mutex> lk(cache_mu);
+    return hits;
+}
+
+std::size_t
+ExperimentRunner::cacheMisses() const
+{
+    std::lock_guard<std::mutex> lk(cache_mu);
+    return misses;
 }
 
 void
@@ -233,13 +250,14 @@ ocBaseBandwidth(ExperimentRunner &runner, const HksParams &par)
     mem.evkOnChip = true;
     auto oc = runner.experiment(par, Dataflow::OC, mem);
     // Evaluate the whole paper grid with one parallel sweep, then
-    // report its first point that meets the baseline runtime.
+    // apply the shared grid rule.
     const std::vector<double> &grid = paperBandwidthSweep();
-    std::vector<SimStats> stats = runner.sweep(*oc, grid);
-    for (std::size_t i = 0; i < grid.size(); ++i)
-        if (stats[i].runtime <= target * 1.001)
-            return grid[i];
-    return 64.0;
+    const std::vector<SimStats> stats = runner.sweep(*oc, grid);
+    std::vector<double> runtimes;
+    runtimes.reserve(stats.size());
+    for (const SimStats &s : stats)
+        runtimes.push_back(s.runtime);
+    return ocBaseFromGrid(grid, runtimes, target);
 }
 
 std::vector<SimStats>

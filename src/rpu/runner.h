@@ -119,6 +119,19 @@ class ExperimentRunner
     std::size_t threadCount() const { return workers.size(); }
     std::size_t cachedExperiments() const;
 
+    /**
+     * Graph-cache lookups served without building (monotone counter).
+     * The tuner's eval-cache tests assert on these to prove that
+     * repeated strategies share graphs instead of rebuilding them.
+     */
+    std::size_t cacheHits() const;
+    /**
+     * Graph builds triggered by cache misses. Two threads racing on
+     * one key may both count a miss (the loser's build is discarded),
+     * so misses >= cachedExperiments().
+     */
+    std::size_t cacheMisses() const;
+
   private:
     void workerLoop();
 
@@ -127,6 +140,8 @@ class ExperimentRunner
     std::unordered_map<ExperimentKey, std::shared_ptr<const HksExperiment>,
                        ExperimentKeyHash>
         cache;
+    std::size_t hits = 0;
+    std::size_t misses = 0;
 
     // Thread pool.
     std::mutex pool_mu;

@@ -1,5 +1,6 @@
 #include "shard/partition.h"
 
+#include <algorithm>
 #include <unordered_map>
 
 #include "common/logging.h"
@@ -144,6 +145,137 @@ assignMinCutGreedy(const TaskGraph &g, const ShardSpec &spec,
     }
 }
 
+/**
+ * Collect the deduplicated cut of an assignment: one edge per
+ * (producer, destination shard), ordered by first consumer. The
+ * single encoding of the cut objective — the final Partition fields,
+ * the pre-refinement measurement, and the never-worse guard all go
+ * through it.
+ */
+void
+collectCut(const TaskGraph &g, const ShardSpec &spec,
+           const std::vector<std::uint32_t> &shard_of,
+           std::vector<CutEdge> &edges, std::uint64_t &bytes)
+{
+    edges.clear();
+    bytes = 0;
+    std::unordered_map<std::uint64_t, std::size_t> seen;
+    for (std::size_t t = 0; t < g.size(); ++t) {
+        for (std::uint32_t d : g[static_cast<std::uint32_t>(t)].deps) {
+            if (shard_of[d] == shard_of[t])
+                continue;
+            const std::uint64_t key =
+                static_cast<std::uint64_t>(d) * spec.shards +
+                shard_of[t];
+            if (seen.emplace(key, edges.size()).second) {
+                CutEdge e;
+                e.src = d;
+                e.fromShard = shard_of[d];
+                e.toShard = shard_of[t];
+                e.bytes = edgePayloadBytes(g[d], spec);
+                bytes += e.bytes;
+                edges.push_back(e);
+            }
+        }
+    }
+}
+
+/**
+ * Kernighan–Lin-style boundary-swap refinement seeded by the greedy
+ * cut. Walks tasks in id order; a task moves to the shard that most
+ * reduces the deduplicated cut bytes (strict improvement only, load
+ * cap respected), with the move's exact effect on per-(producer,
+ * shard) dedup computed from consumer-shard counts. Deterministic:
+ * ties break to the lowest destination shard.
+ */
+void
+refineBoundary(const TaskGraph &g, const ShardSpec &spec,
+               const std::vector<double> &w,
+               std::vector<std::uint32_t> &shard_of)
+{
+    const std::size_t k = spec.shards;
+    const std::size_t n = g.size();
+    double total = 0.0;
+    for (double x : w)
+        total += x;
+    const double cap = (1.0 + spec.imbalanceTol) * total /
+                       static_cast<double>(k);
+    std::vector<double> load(k, 0.0);
+    for (std::size_t t = 0; t < n; ++t)
+        load[shard_of[t]] += w[t];
+
+    // consumers[d*k + s]: distinct consumer tasks of d on shard s —
+    // the dedup state a move must update exactly.
+    std::vector<std::uint32_t> consumers(n * k, 0);
+    std::vector<std::uint32_t> uniq; // dedup of one task's dep list
+    auto uniqueDeps = [&](std::uint32_t t) -> const
+        std::vector<std::uint32_t> & {
+        uniq.clear();
+        for (std::uint32_t d : g[t].deps)
+            if (std::find(uniq.begin(), uniq.end(), d) == uniq.end())
+                uniq.push_back(d);
+        return uniq;
+    };
+    for (std::size_t t = 0; t < n; ++t)
+        for (std::uint32_t d : uniqueDeps(static_cast<std::uint32_t>(t)))
+            ++consumers[static_cast<std::size_t>(d) * k + shard_of[t]];
+
+    const auto payload = [&](std::uint32_t task) {
+        return static_cast<double>(edgePayloadBytes(g[task], spec));
+    };
+
+    for (std::size_t pass = 0; pass < spec.refinePasses; ++pass) {
+        bool moved = false;
+        for (std::size_t ti = 0; ti < n; ++ti) {
+            const std::uint32_t t = static_cast<std::uint32_t>(ti);
+            const std::uint32_t a = shard_of[t];
+            const auto &deps = uniqueDeps(t);
+
+            std::uint32_t best = a;
+            double best_delta = 0.0;
+            for (std::uint32_t b = 0; b < k; ++b) {
+                if (b == a || load[b] + w[t] > cap)
+                    continue;
+                // Consumer side: edges whose producer is a dep of t.
+                double delta = 0.0;
+                for (std::uint32_t d : deps) {
+                    const std::size_t row =
+                        static_cast<std::size_t>(d) * k;
+                    if (shard_of[d] != a && consumers[row + a] == 1)
+                        delta -= payload(d); // edge (d, a) disappears
+                    if (shard_of[d] != b && consumers[row + b] == 0)
+                        delta += payload(d); // edge (d, b) appears
+                }
+                // Producer side: edges t ships to its consumer shards.
+                const std::size_t row = static_cast<std::size_t>(t) * k;
+                if (consumers[row + a] > 0)
+                    delta += payload(t); // t now remote from shard a
+                if (consumers[row + b] > 0)
+                    delta -= payload(t); // t now local to shard b
+                // Strictly-better only; b ascends, so ties keep the
+                // lowest destination shard.
+                if (delta < best_delta) {
+                    best = b;
+                    best_delta = delta;
+                }
+            }
+            if (best == a || best_delta >= 0.0)
+                continue;
+            for (std::uint32_t d : deps) {
+                const std::size_t row = static_cast<std::size_t>(d) * k;
+                --consumers[row + a];
+                ++consumers[row + best];
+            }
+            load[a] -= w[t];
+            load[best] += w[t];
+            shard_of[t] = best;
+            moved = true;
+        }
+        if (!moved)
+            break;
+    }
+}
+
 } // namespace
 
 Partition
@@ -159,6 +291,8 @@ partitionGraph(const TaskGraph &g, const ShardSpec &spec,
     p.strategy = spec.strategy;
     p.shardOf.assign(g.size(), 0);
 
+    bool refined = false;
+    std::uint64_t greedy_cut = 0;
     if (spec.shards > 1) {
         switch (spec.strategy) {
         case PartitionStrategy::ContiguousByLevel:
@@ -166,6 +300,12 @@ partitionGraph(const TaskGraph &g, const ShardSpec &spec,
             break;
         case PartitionStrategy::MinCutGreedy:
             assignMinCutGreedy(g, spec, weights, p.shardOf);
+            if (spec.refinePasses > 0) {
+                std::vector<CutEdge> scratch;
+                collectCut(g, spec, p.shardOf, scratch, greedy_cut);
+                refineBoundary(g, spec, weights, p.shardOf);
+                refined = true;
+            }
             break;
         }
     }
@@ -174,28 +314,9 @@ partitionGraph(const TaskGraph &g, const ShardSpec &spec,
     for (std::size_t t = 0; t < g.size(); ++t)
         p.shardWork[p.shardOf[t]] += weights[t];
 
-    // Collect the cut, deduplicated by (producer, destination shard)
-    // in order of first consumer.
-    std::unordered_map<std::uint64_t, std::size_t> seen;
-    for (std::size_t t = 0; t < g.size(); ++t) {
-        const Task &task = g[static_cast<std::uint32_t>(t)];
-        for (std::uint32_t d : task.deps) {
-            if (p.shardOf[d] == p.shardOf[t])
-                continue;
-            const std::uint64_t key =
-                static_cast<std::uint64_t>(d) * spec.shards +
-                p.shardOf[t];
-            if (seen.emplace(key, p.cutEdges.size()).second) {
-                CutEdge e;
-                e.src = d;
-                e.fromShard = p.shardOf[d];
-                e.toShard = p.shardOf[t];
-                e.bytes = edgePayloadBytes(g[d], spec);
-                p.cutBytes += e.bytes;
-                p.cutEdges.push_back(e);
-            }
-        }
-    }
+    collectCut(g, spec, p.shardOf, p.cutEdges, p.cutBytes);
+    panicIf(refined && p.cutBytes > greedy_cut,
+            "boundary refinement increased the cut");
     return p;
 }
 

@@ -20,6 +20,11 @@
  *    already is, under a hard (1 + imbalanceTol) load cap. Keeps
  *    per-tower chains on one chip and cuts only at genuine all-to-all
  *    points (BConv), at the price of a second pass over the edges.
+ *    The greedy cut then seeds a Kernighan–Lin-style boundary-swap
+ *    refinement (ShardSpec::refinePasses): tasks migrate to the shard
+ *    that most reduces the deduplicated cut bytes, under the same
+ *    load cap, taking only strictly improving moves — the refined cut
+ *    is never worse than the greedy one (asserted).
  *
  * Balance weights are estimated per-task *seconds* at a reference chip
  * configuration (taskWeights), so memory-bound and compute-bound tasks
@@ -70,6 +75,17 @@ struct ShardSpec
      * from memory tasks ship the bytes the task loaded/stored.
      */
     std::uint64_t computeOutputBytes = 1ull << 19;
+    /**
+     * Kernighan–Lin-style boundary refinement passes applied after
+     * MinCutGreedy (seeded by the greedy cut): each pass walks every
+     * task once and moves it to the shard that most reduces the
+     * deduplicated cut bytes, under the same load cap. Only strictly
+     * improving moves are taken, so refinement never increases the
+     * cut (partitionGraph asserts this). 0 disables; passes stop
+     * early once a walk finds no improving move. Ignored by
+     * ContiguousByLevel, whose contract is contiguity.
+     */
+    std::size_t refinePasses = 2;
 };
 
 /** One deduplicated cross-shard dependency. */

@@ -5,6 +5,32 @@
 namespace ciflow::shard
 {
 
+ShardSpec
+placementShardSpec(const HksParams &par, std::size_t shards,
+                   PartitionStrategy strategy, double imbalance_tol)
+{
+    ShardSpec ss;
+    ss.shards = shards;
+    ss.strategy = strategy;
+    ss.imbalanceTol = imbalance_tol;
+    ss.computeOutputBytes = par.towerBytes();
+    return ss;
+}
+
+PlacementEval
+evaluatePlacement(const TaskGraph &g, const Partition &p,
+                  const RpuConfig &chip, const InterconnectConfig &net)
+{
+    const ShardedEngine eng(chip, net);
+    const ShardedCompiled sc = eng.compile(g, p);
+    PlacementEval e;
+    e.runtime = eng.replayRuntime(sc);
+    e.cutBytes = p.cutBytes;
+    e.transferTasks = sc.transferTasks;
+    e.imbalance = p.imbalance();
+    return e;
+}
+
 std::vector<PlacementResult>
 searchPlacements(ExperimentRunner &runner, const HksParams &par,
                  const MemoryConfig &mem, const PlacementSpec &spec)
@@ -60,13 +86,11 @@ searchPlacements(ExperimentRunner &runner, const HksParams &par,
     jobs.reserve(cuts.size());
     for (Cut &c : cuts) {
         jobs.push_back([&c, &spec, &par] {
-            ShardSpec ss;
-            ss.shards = c.shards;
-            ss.strategy = c.strategy;
-            ss.imbalanceTol = spec.imbalanceTol;
-            ss.computeOutputBytes = par.towerBytes();
-            c.partition =
-                partitionGraph(c.exp->graph(), ss, *c.weights);
+            c.partition = partitionGraph(
+                c.exp->graph(),
+                placementShardSpec(par, c.shards, c.strategy,
+                                   spec.imbalanceTol),
+                *c.weights);
         });
     }
     runner.runAll(jobs);
@@ -99,13 +123,12 @@ searchPlacements(ExperimentRunner &runner, const HksParams &par,
         jobs.push_back([&j, &chip, &spec] {
             InterconnectConfig net = spec.interconnect;
             net.topology = j.r.topology;
-            const ShardedEngine eng(chip, net);
-            const ShardedCompiled sc =
-                eng.compile(j.cut->exp->graph(), j.cut->partition);
-            j.r.runtime = eng.replayRuntime(sc);
-            j.r.cutBytes = j.cut->partition.cutBytes;
-            j.r.transferTasks = sc.transferTasks;
-            j.r.imbalance = j.cut->partition.imbalance();
+            const PlacementEval e = evaluatePlacement(
+                j.cut->exp->graph(), j.cut->partition, chip, net);
+            j.r.runtime = e.runtime;
+            j.r.cutBytes = e.cutBytes;
+            j.r.transferTasks = e.transferTasks;
+            j.r.imbalance = e.imbalance;
         });
     }
     runner.runAll(jobs);

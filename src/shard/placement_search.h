@@ -76,6 +76,38 @@ std::vector<PlacementResult>
 searchPlacements(ExperimentRunner &runner, const HksParams &par,
                  const MemoryConfig &mem, const PlacementSpec &spec);
 
+/**
+ * The ShardSpec of one (K, strategy) grid point: the benchmark's
+ * tower size as the compute-output payload plus the search's load-cap
+ * tolerance. Shared by searchPlacements and the auto-tuner's shard
+ * axis so both search harnesses cut the graph identically.
+ */
+ShardSpec placementShardSpec(const HksParams &par, std::size_t shards,
+                             PartitionStrategy strategy,
+                             double imbalance_tol);
+
+/** The replayed outcome of one (partition, topology) point. */
+struct PlacementEval
+{
+    /** Sharded end-to-end runtime (seconds). */
+    double runtime = 0.0;
+    std::uint64_t cutBytes = 0;
+    std::size_t transferTasks = 0;
+    /** Partition work imbalance (0 = perfect). */
+    double imbalance = 0.0;
+};
+
+/**
+ * Compile + replay one placement point: `g` under partition `p` on
+ * `chip`-configured RPUs joined by `net`. The single evaluation step
+ * both searchPlacements grid points and tuner shard-axis points go
+ * through — a pure function of its arguments, so equal inputs give
+ * bit-identical runtimes regardless of which harness asked.
+ */
+PlacementEval evaluatePlacement(const TaskGraph &g, const Partition &p,
+                                const RpuConfig &chip,
+                                const InterconnectConfig &net);
+
 } // namespace ciflow::shard
 
 #endif // CIFLOW_SHARD_PLACEMENT_SEARCH_H

@@ -1,0 +1,81 @@
+#include "tune/eval_cache.h"
+
+#include <bit>
+
+namespace ciflow::tune
+{
+
+bool
+Measurement::dominates(const Measurement &o) const
+{
+    if (runtime > o.runtime || aggregateGBps > o.aggregateGBps ||
+        capacityBytes > o.capacityBytes)
+        return false;
+    return runtime < o.runtime || aggregateGBps < o.aggregateGBps ||
+           capacityBytes < o.capacityBytes;
+}
+
+std::size_t
+EvalKeyHash::operator()(const EvalKey &k) const
+{
+    auto mix = [](std::size_t seed, std::uint64_t v) {
+        v += 0x9e3779b97f4a7c15ull + seed;
+        v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ull;
+        v = (v ^ (v >> 27)) * 0x94d049bb133111ebull;
+        return static_cast<std::size_t>(v ^ (v >> 31));
+    };
+    std::size_t h = ExperimentKeyHash{}(k.graph);
+    h = mix(h, std::bit_cast<std::uint64_t>(k.bandwidthGBps));
+    h = mix(h, std::bit_cast<std::uint64_t>(k.modopsMult));
+    h = mix(h, std::bit_cast<std::uint64_t>(k.channelSkew));
+    h = mix(h, k.memChannels);
+    h = mix(h, static_cast<std::uint64_t>(k.channelPolicy));
+    h = mix(h, k.shards);
+    h = mix(h, static_cast<std::uint64_t>(k.topology));
+    h = mix(h, static_cast<std::uint64_t>(k.strategy));
+    return h;
+}
+
+bool
+EvalCache::lookup(const EvalKey &k, Measurement &out)
+{
+    std::lock_guard<std::mutex> lk(mu);
+    auto it = map.find(k);
+    if (it == map.end()) {
+        ++nmisses;
+        return false;
+    }
+    ++nhits;
+    out = it->second;
+    return true;
+}
+
+void
+EvalCache::insert(const EvalKey &k, const Measurement &m)
+{
+    std::lock_guard<std::mutex> lk(mu);
+    map.emplace(k, m);
+}
+
+std::size_t
+EvalCache::hits() const
+{
+    std::lock_guard<std::mutex> lk(mu);
+    return nhits;
+}
+
+std::size_t
+EvalCache::misses() const
+{
+    std::lock_guard<std::mutex> lk(mu);
+    return nmisses;
+}
+
+std::size_t
+EvalCache::size() const
+{
+    std::lock_guard<std::mutex> lk(mu);
+    return map.size();
+}
+
+} // namespace ciflow::tune

@@ -1,0 +1,363 @@
+#include "tune/tuner.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <mutex>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "shard/placement_search.h"
+
+namespace ciflow::tune
+{
+
+const char *
+strategyName(Strategy s)
+{
+    switch (s) {
+    case Strategy::ExhaustiveGrid:
+        return "grid";
+    case Strategy::CoordinateDescent:
+        return "cd";
+    case Strategy::RandomRestartHillClimb:
+        return "hillclimb";
+    }
+    return "?";
+}
+
+double
+TuneResult::evalFraction() const
+{
+    return spaceSize > 0 ? static_cast<double>(evaluations) /
+                               static_cast<double>(spaceSize)
+                         : 0.0;
+}
+
+std::vector<TunedPoint>
+paretoFrontier(const std::vector<TunedPoint> &pts)
+{
+    std::vector<TunedPoint> out;
+    for (const TunedPoint &p : pts) {
+        bool dominated = false;
+        for (const TunedPoint &q : pts)
+            if (&q != &p && q.m.dominates(p.m)) {
+                dominated = true;
+                break;
+            }
+        if (!dominated)
+            out.push_back(p);
+    }
+    std::stable_sort(out.begin(), out.end(),
+                     [](const TunedPoint &a, const TunedPoint &b) {
+                         return a.m.runtime < b.m.runtime;
+                     });
+    return out;
+}
+
+Tuner::Tuner(ExperimentRunner &runner_, const HksParams &par_,
+             TuneSpace space)
+    : runner(runner_), par(par_), sp(std::move(space))
+{
+    sp.validate();
+}
+
+EvalKey
+Tuner::keyOf(const TunePoint &p) const
+{
+    EvalKey key;
+    key.graph = ExperimentKey::of(par, p.dataflow, sp.memoryConfig(p));
+    key.bandwidthGBps = p.bandwidthGBps;
+    key.modopsMult = p.modopsMult;
+    key.memChannels = p.memChannels;
+    // Canonicalize knobs that are vacuous at this point so physically
+    // identical configurations share one cache entry: topology and
+    // partition strategy do nothing without a cut, channel policy and
+    // skew do nothing on a single channel.
+    if (p.memChannels > 1) {
+        key.channelSkew = p.channelSkew;
+        key.channelPolicy = p.channelPolicy;
+    }
+    if (p.shards > 1) {
+        key.shards = p.shards;
+        key.topology = p.topology;
+        key.strategy = p.strategy;
+    }
+    return key;
+}
+
+Measurement
+Tuner::evaluate(const std::vector<std::size_t> &idx)
+{
+    const TunePoint p = sp.at(idx);
+    const EvalKey key = keyOf(p);
+    Measurement m;
+    if (cache.lookup(key, m))
+        return m;
+    m = evaluateUncached(p);
+    cache.insert(key, m);
+    return m;
+}
+
+std::vector<Measurement>
+Tuner::evaluateAll(const std::vector<std::vector<std::size_t>> &pts)
+{
+    std::vector<Measurement> res(pts.size());
+    // Fan out one job per *distinct canonical key*: tuples differing
+    // only in vacuous knobs evaluate once and copy the result, so no
+    // two concurrent jobs race to fill the same cache entry and the
+    // hit/miss accounting is deterministic under parallelism.
+    std::unordered_map<EvalKey, std::size_t, EvalKeyHash> first;
+    std::vector<std::size_t> owner(pts.size());
+    std::vector<std::function<void()>> jobs;
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+        const auto [it, inserted] =
+            first.emplace(keyOf(sp.at(pts[i])), i);
+        owner[i] = it->second;
+        if (inserted)
+            jobs.push_back([this, &res, &pts, i] {
+                res[i] = evaluate(pts[i]);
+            });
+    }
+    runner.runAll(jobs);
+    for (std::size_t i = 0; i < pts.size(); ++i)
+        res[i] = res[owner[i]];
+    return res;
+}
+
+Measurement
+Tuner::evaluateUncached(const TunePoint &p)
+{
+    const RpuConfig cfg = sp.chipConfig(p);
+    const MemoryConfig mem = sp.memoryConfig(p);
+    const std::shared_ptr<const HksExperiment> exp =
+        runner.experiment(par, p.dataflow, mem);
+
+    Measurement m;
+    m.aggregateGBps = p.bandwidthGBps * static_cast<double>(p.shards);
+    m.capacityBytes = static_cast<double>(p.dataMemBytes) *
+                      static_cast<double>(p.shards);
+    if (p.shards <= 1) {
+        m.runtime = exp->simulate(cfg).runtime;
+        return m;
+    }
+
+    // Multi-chip points delegate to the sharding layer through the
+    // same per-point helpers searchPlacements uses, so a tuner shard
+    // axis and a placement search agree bit-identically.
+    const std::vector<double> w = shard::taskWeights(exp->graph(), cfg);
+    const shard::Partition part = shard::partitionGraph(
+        exp->graph(),
+        shard::placementShardSpec(par, p.shards, p.strategy,
+                                  sp.imbalanceTol),
+        w);
+    shard::InterconnectConfig net = sp.interconnect;
+    net.topology = p.topology;
+    const shard::PlacementEval e =
+        shard::evaluatePlacement(exp->graph(), part, cfg, net);
+    m.runtime = e.runtime;
+    m.cutBytes = e.cutBytes;
+    m.transferTasks = e.transferTasks;
+    return m;
+}
+
+TuneResult
+Tuner::tune(const TuneOptions &opts)
+{
+    const std::size_t hits0 = cache.hits();
+    const std::size_t miss0 = cache.misses();
+
+    // Per-call bookkeeping: every distinct point this call touched,
+    // ordered by index tuple so packaging below is deterministic.
+    std::mutex mu;
+    std::map<std::vector<std::size_t>, Measurement> visited;
+    auto record = [&](const std::vector<std::size_t> &idx) {
+        const Measurement m = evaluate(idx);
+        std::lock_guard<std::mutex> lk(mu);
+        visited.emplace(idx, m);
+        return m;
+    };
+    // One parallel fan-out over a batch of points (results in input
+    // order), recorded into the visited map.
+    auto batch = [&](const std::vector<std::vector<std::size_t>> &pts) {
+        const std::vector<Measurement> res = evaluateAll(pts);
+        std::lock_guard<std::mutex> lk(mu);
+        for (std::size_t i = 0; i < pts.size(); ++i)
+            visited.emplace(pts[i], res[i]);
+        return res;
+    };
+
+    TuneResult r;
+    r.strategy = opts.strategy;
+    r.spaceSize = sp.pointCount();
+
+    switch (opts.strategy) {
+    case Strategy::ExhaustiveGrid: {
+        std::vector<std::vector<std::size_t>> pts;
+        pts.reserve(r.spaceSize);
+        for (std::size_t f = 0; f < r.spaceSize; ++f)
+            pts.push_back(sp.unflatten(f));
+        batch(pts);
+        r.rounds = 1;
+        break;
+    }
+    case Strategy::CoordinateDescent: {
+        std::vector<std::size_t> cur(kAxisCount, 0);
+        double cur_rt = record(cur).runtime;
+        for (std::size_t round = 0; round < opts.maxRounds; ++round) {
+            r.rounds = round + 1;
+            bool improved = false;
+            for (std::size_t a = 0; a < kAxisCount; ++a) {
+                const std::size_t n =
+                    sp.axisSize(static_cast<Axis>(a));
+                if (n < 2)
+                    continue;
+                std::vector<std::vector<std::size_t>> pts;
+                pts.reserve(n);
+                for (std::size_t v = 0; v < n; ++v) {
+                    std::vector<std::size_t> idx = cur;
+                    idx[a] = v;
+                    pts.push_back(std::move(idx));
+                }
+                const std::vector<Measurement> res = batch(pts);
+                // Axis argmin; only a strict improvement moves, and
+                // ties keep the lowest index, so the walk is a total
+                // order and terminates.
+                std::size_t bestv = cur[a];
+                double best_rt = cur_rt;
+                for (std::size_t v = 0; v < n; ++v)
+                    if (res[v].runtime < best_rt) {
+                        bestv = v;
+                        best_rt = res[v].runtime;
+                    }
+                if (bestv != cur[a]) {
+                    cur[a] = bestv;
+                    cur_rt = best_rt;
+                    improved = true;
+                }
+            }
+            if (!improved)
+                break;
+        }
+        break;
+    }
+    case Strategy::RandomRestartHillClimb: {
+        Rng rng(opts.seed);
+        for (std::size_t rs = 0; rs < opts.restarts; ++rs) {
+            r.rounds = rs + 1;
+            std::vector<std::size_t> cur(kAxisCount);
+            for (std::size_t a = 0; a < kAxisCount; ++a)
+                cur[a] = static_cast<std::size_t>(rng.uniform(
+                    sp.axisSize(static_cast<Axis>(a))));
+            double cur_rt = record(cur).runtime;
+            for (std::size_t step = 0; step < opts.maxClimbSteps;
+                 ++step) {
+                // +-1 moves along every axis, axis order then -1
+                // before +1 — the deterministic neighbor order ties
+                // break toward.
+                std::vector<std::vector<std::size_t>> nbrs;
+                for (std::size_t a = 0; a < kAxisCount; ++a) {
+                    const std::size_t n =
+                        sp.axisSize(static_cast<Axis>(a));
+                    for (int dir : {-1, +1}) {
+                        if ((dir < 0 && cur[a] == 0) ||
+                            (dir > 0 && cur[a] + 1 >= n))
+                            continue;
+                        std::vector<std::size_t> idx = cur;
+                        idx[a] = cur[a] + static_cast<std::size_t>(
+                                              dir > 0 ? 1 : -1);
+                        nbrs.push_back(std::move(idx));
+                    }
+                }
+                if (nbrs.empty())
+                    break;
+                const std::vector<Measurement> res = batch(nbrs);
+                std::size_t best = nbrs.size();
+                double best_rt = cur_rt;
+                for (std::size_t i = 0; i < nbrs.size(); ++i)
+                    if (res[i].runtime < best_rt) {
+                        best = i;
+                        best_rt = res[i].runtime;
+                    }
+                if (best == nbrs.size())
+                    break; // local optimum
+                cur = nbrs[best];
+                cur_rt = best_rt;
+            }
+        }
+        break;
+    }
+    }
+
+    r.evaluated.reserve(visited.size());
+    for (const auto &[idx, m] : visited) {
+        TunedPoint p;
+        p.idx = idx;
+        p.point = sp.at(idx);
+        p.m = m;
+        r.evaluated.push_back(std::move(p));
+    }
+    panicIf(r.evaluated.empty(), "tune() evaluated no points");
+    const TunedPoint *best = &r.evaluated.front();
+    for (const TunedPoint &p : r.evaluated)
+        if (p.m.runtime < best->m.runtime)
+            best = &p;
+    r.best = *best;
+    r.frontier = paretoFrontier(r.evaluated);
+    r.evaluations = cache.misses() - miss0;
+    r.cacheHits = cache.hits() - hits0;
+    return r;
+}
+
+TuneSpace
+ocBaseSpace()
+{
+    TuneSpace sp;
+    sp.dataflows = {Dataflow::OC};
+    sp.capacities = {32ull << 20};
+    sp.bandwidths = paperBandwidthSweep();
+    sp.evkOnChip = true;
+    return sp;
+}
+
+TuneSpace
+paperJointSpace(const HksParams &par, bool evk_on_chip)
+{
+    TuneSpace sp;
+    sp.dataflows = {Dataflow::MP, Dataflow::DC, Dataflow::OC};
+    sp.bandwidths = paperBandwidthSweep();
+    sp.channelCounts = {1, 2, 4};
+    sp.modopsMults = {1.0, 2.0};
+    sp.evkOnChip = evk_on_chip;
+    std::uint64_t need = 0;
+    for (Dataflow d : sp.dataflows)
+        need = std::max(need, minDataCapacity(par, d));
+    sp.capacities.clear();
+    for (std::uint64_t cap : {16ull << 20, 32ull << 20, 64ull << 20})
+        if (cap >= need)
+            sp.capacities.push_back(cap);
+    if (sp.capacities.empty())
+        sp.capacities = {need};
+    return sp;
+}
+
+double
+ocBaseBandwidth(Tuner &t, double target_runtime)
+{
+    const TuneSpace &sp = t.space();
+    std::vector<std::vector<std::size_t>> pts;
+    pts.reserve(sp.bandwidths.size());
+    for (std::size_t i = 0; i < sp.bandwidths.size(); ++i) {
+        std::vector<std::size_t> idx(kAxisCount, 0);
+        idx[static_cast<std::size_t>(Axis::Bandwidth)] = i;
+        pts.push_back(std::move(idx));
+    }
+    const std::vector<Measurement> res = t.evaluateAll(pts);
+    std::vector<double> runtimes;
+    runtimes.reserve(res.size());
+    for (const Measurement &m : res)
+        runtimes.push_back(m.runtime);
+    return ocBaseFromGrid(sp.bandwidths, runtimes, target_runtime);
+}
+
+} // namespace ciflow::tune

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Tuner: pluggable search strategies over a TuneSpace, on the
+ * ExperimentRunner pool, through one shared evaluation cache.
+ *
+ * The tuner closes the loop the compile-once/simulate-many work
+ * opened: with one point evaluation down to a compiled-schedule
+ * replay, searching the joint (dataflow, capacity, channel layout,
+ * MODOPS, sharding) space is a second-scale affair. Three strategies
+ * share one Tuner:
+ *
+ *  - ExhaustiveGrid: every point, fanned out with one runAll batch —
+ *    the ground truth the cheaper strategies are measured against.
+ *  - CoordinateDescent: sweep one axis at a time (each axis fiber is
+ *    its own parallel runAll fan-out — the nested-runAll pattern),
+ *    move to the axis argmin, repeat until a full round improves
+ *    nothing. Evaluates O(rounds * sum(axis sizes)) points instead of
+ *    the axis-size product.
+ *  - RandomRestartHillClimb: deterministic seeded restarts, each
+ *    climbing to a +-1-per-axis local optimum.
+ *
+ * Every evaluation goes through the Tuner's EvalCache, so strategies
+ * run back-to-back reuse each other's measurements bit-identically,
+ * and TuneResult reports exactly how many fresh evaluations a
+ * strategy needed. Results are deterministic: simulation is a pure
+ * function of (graph, config) and all selection rules are total
+ * orders, so parallel searches equal serial ones.
+ *
+ * Results come back as a Pareto frontier over (runtime, aggregate
+ * bandwidth, aggregate capacity), not just an argmin: the paper's
+ * Table IV/V question is "what is the cheapest memory system that
+ * holds performance", which is a frontier query.
+ */
+
+#ifndef CIFLOW_TUNE_TUNER_H
+#define CIFLOW_TUNE_TUNER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "rpu/runner.h"
+#include "tune/eval_cache.h"
+#include "tune/tune_space.h"
+
+namespace ciflow::tune
+{
+
+/** Search strategies a Tuner can run. */
+enum class Strategy : std::uint8_t {
+    ExhaustiveGrid,
+    CoordinateDescent,
+    RandomRestartHillClimb,
+};
+
+/** Short name ("grid"/"cd"/"hillclimb"). */
+const char *strategyName(Strategy s);
+
+/** Knobs of one tune() invocation. */
+struct TuneOptions
+{
+    Strategy strategy = Strategy::CoordinateDescent;
+    /** CoordinateDescent: max full axis rounds. */
+    std::size_t maxRounds = 8;
+    /** RandomRestartHillClimb: independent seeded starts. */
+    std::size_t restarts = 4;
+    /** RandomRestartHillClimb: max moves per climb. */
+    std::size_t maxClimbSteps = 64;
+    /** RandomRestartHillClimb: RNG seed (results are a pure function
+     * of it). */
+    std::uint64_t seed = 0x7005eedULL;
+};
+
+/** One evaluated point: where it sits in the space and what it cost. */
+struct TunedPoint
+{
+    /** Index tuple into the TuneSpace axes (kAxisCount long). */
+    std::vector<std::size_t> idx;
+    TunePoint point;
+    Measurement m;
+};
+
+/** The outcome of one tune() call. */
+struct TuneResult
+{
+    Strategy strategy = Strategy::ExhaustiveGrid;
+    /** Lowest-runtime point found (ties: lexicographically smallest
+     * index tuple). */
+    TunedPoint best;
+    /** Pareto frontier of the evaluated points, fastest first. */
+    std::vector<TunedPoint> frontier;
+    /** Every distinct point this call evaluated, in index order. */
+    std::vector<TunedPoint> evaluated;
+    /** Full grid size of the space. */
+    std::size_t spaceSize = 0;
+    /** Fresh evaluations this call paid for (cache misses). */
+    std::size_t evaluations = 0;
+    /** Lookups this call served from the shared cache. */
+    std::size_t cacheHits = 0;
+    /** Rounds (CD) or restarts (hill climb) actually run. */
+    std::size_t rounds = 0;
+
+    /** evaluations / spaceSize — the cost of not being exhaustive. */
+    double evalFraction() const;
+};
+
+/**
+ * The non-dominated subset of `pts` under (runtime, aggregateGBps,
+ * capacityBytes) minimization, sorted by runtime (ties: index order).
+ * Duplicate measurements are all kept — none strictly dominates.
+ */
+std::vector<TunedPoint> paretoFrontier(const std::vector<TunedPoint> &pts);
+
+/**
+ * Auto-tuner for one benchmark over one TuneSpace. All strategies run
+ * on the runner's pool and share this Tuner's evaluation cache (plus
+ * the runner's graph cache across Tuners), so repeated or overlapping
+ * searches reuse prior work bit-identically.
+ */
+class Tuner
+{
+  public:
+    Tuner(ExperimentRunner &runner, const HksParams &par,
+          TuneSpace space);
+
+    /** Run one search; see TuneOptions. Safe to call repeatedly. */
+    TuneResult tune(const TuneOptions &opts = {});
+
+    /**
+     * Evaluate one index tuple through the cache. The building block
+     * strategies are made of; exposed for custom search loops.
+     */
+    Measurement evaluate(const std::vector<std::size_t> &idx);
+
+    /**
+     * Evaluate a batch of index tuples concurrently on the runner's
+     * pool (nestable: callable from inside another runAll job).
+     * Results in input order; every point lands in the cache.
+     */
+    std::vector<Measurement>
+    evaluateAll(const std::vector<std::vector<std::size_t>> &pts);
+
+    const TuneSpace &space() const { return sp; }
+    const HksParams &params() const { return par; }
+    /** Fresh evaluations since construction (cache misses). */
+    std::size_t evaluations() const { return cache.misses(); }
+    /** Cache hits since construction. */
+    std::size_t cacheHits() const { return cache.hits(); }
+
+  private:
+    /** Canonical cache key of `p` (vacuous knobs pinned to defaults). */
+    EvalKey keyOf(const TunePoint &p) const;
+    Measurement evaluateUncached(const TunePoint &p);
+
+    ExperimentRunner &runner;
+    HksParams par;
+    TuneSpace sp;
+    EvalCache cache;
+};
+
+/**
+ * Table IV's OCbase search space as a 1-D tune grid: the OC dataflow
+ * over the paper bandwidth sweep at the baseline memory system (32
+ * MiB, evks on-chip), every other axis pinned.
+ */
+TuneSpace ocBaseSpace();
+
+/**
+ * The joint (dataflow x capacity x bandwidth x channels x MODOPS)
+ * grid bench_tuner gates and example_auto_tuner explores: all three
+ * dataflows, {16, 32, 64} MiB capacities with entries below `par`'s
+ * schedulability floor (minDataCapacity across the dataflow axis)
+ * dropped, the paper bandwidth sweep, {1, 2, 4} channels, and
+ * {1, 2}x MODOPS — up to 378 points.
+ */
+TuneSpace paperJointSpace(const HksParams &par,
+                          bool evk_on_chip = false);
+
+/**
+ * The OCbase grid scan as a tune-engine strategy: smallest bandwidth
+ * on `t`'s bandwidth axis whose runtime meets `target_runtime`
+ * (within the paper's 0.1% tolerance), or 64.0 when none does. All
+ * other axes evaluate at index 0, and the axis is swept with one
+ * parallel fan-out. On ocBaseSpace() this returns bit-identically the
+ * value of ciflow::ocBaseBandwidth(runner, par) — the same graphs,
+ * the same replays, the same grid-first-hit rule — with every
+ * evaluation left in the tuner's cache for later strategies.
+ */
+double ocBaseBandwidth(Tuner &t, double target_runtime);
+
+} // namespace ciflow::tune
+
+#endif // CIFLOW_TUNE_TUNER_H

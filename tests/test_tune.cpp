@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Auto-tuner tests: space indexing, strategy convergence to the
+ * exhaustive-grid optimum (bit-identical runtimes), evaluation-cache
+ * hit accounting, Pareto-frontier correctness on a hand-built
+ * 3-point space, shard-axis delegation to the placement helpers, and
+ * OCbase bit-identity with the rpu-layer grid scan.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "shard/placement_search.h"
+#include "tune/tuner.h"
+
+using namespace ciflow;
+using namespace ciflow::tune;
+
+namespace
+{
+
+/** 3 dataflows x 3 bandwidths x 2 channel counts = 18 points. */
+TuneSpace
+smallSpace()
+{
+    TuneSpace sp;
+    sp.dataflows = {Dataflow::MP, Dataflow::DC, Dataflow::OC};
+    sp.bandwidths = {16.0, 32.0, 64.0};
+    sp.channelCounts = {1, 2};
+    return sp;
+}
+
+/** Axes where every +-1 climb reaches the global optimum. */
+TuneSpace
+monotoneSpace()
+{
+    TuneSpace sp;
+    sp.dataflows = {Dataflow::OC};
+    sp.bandwidths = {16.0, 32.0, 64.0};
+    sp.channelCounts = {1, 2};
+    sp.modopsMults = {1.0, 2.0};
+    return sp;
+}
+
+TunedPoint
+handPoint(double runtime, double gbps, double cap)
+{
+    TunedPoint p;
+    p.m.runtime = runtime;
+    p.m.aggregateGBps = gbps;
+    p.m.capacityBytes = cap;
+    return p;
+}
+
+} // namespace
+
+TEST(TuneSpace, IndexingIsABijection)
+{
+    const TuneSpace sp = smallSpace();
+    EXPECT_EQ(sp.pointCount(), 18u);
+    std::set<std::vector<std::size_t>> seen;
+    for (std::size_t f = 0; f < sp.pointCount(); ++f) {
+        const std::vector<std::size_t> idx = sp.unflatten(f);
+        ASSERT_EQ(idx.size(), kAxisCount);
+        EXPECT_TRUE(seen.insert(idx).second);
+        (void)sp.at(idx); // in-range by construction
+    }
+}
+
+TEST(TuneSpace, ChannelSkewMaterializesAsymmetricBandwidths)
+{
+    TuneSpace sp = smallSpace();
+    sp.channelSkews = {2.0};
+    std::vector<std::size_t> idx(kAxisCount, 0);
+    idx[std::size_t(Axis::Bandwidth)] = 2; // 64 GB/s
+    idx[std::size_t(Axis::Channels)] = 1;  // 2 channels
+    const RpuConfig cfg = sp.chipConfig(sp.at(idx));
+    ASSERT_EQ(cfg.channelGBps.size(), 2u);
+    // Shares 1:2 of 64 GB/s.
+    EXPECT_NEAR(cfg.channelGBps[0], 64.0 / 3.0, 1e-12);
+    EXPECT_NEAR(cfg.channelGBps[1], 128.0 / 3.0, 1e-12);
+    // Skew 1.0 keeps the symmetric replay path (empty vector).
+    sp.channelSkews = {1.0};
+    EXPECT_TRUE(sp.chipConfig(sp.at(idx)).channelGBps.empty());
+}
+
+TEST(Tuner, ExhaustiveMatchesDirectSimulation)
+{
+    ExperimentRunner runner(4);
+    const HksParams &par = benchmarkByName("BTS1");
+    const TuneSpace sp = smallSpace();
+    Tuner t(runner, par, sp);
+    const TuneResult r = t.tune({.strategy = Strategy::ExhaustiveGrid});
+    EXPECT_EQ(r.spaceSize, 18u);
+    EXPECT_EQ(r.evaluated.size(), 18u);
+    EXPECT_EQ(r.evaluations, 18u);
+
+    // Independent nested loop over the same grid.
+    double best = 0.0;
+    bool first = true;
+    for (Dataflow d : sp.dataflows)
+        for (double bw : sp.bandwidths)
+            for (std::size_t ch : sp.channelCounts) {
+                RpuConfig cfg = sp.chip;
+                cfg.bandwidthGBps = bw;
+                cfg.memChannels = ch;
+                MemoryConfig mem{32ull << 20, false};
+                const double rt =
+                    runner.experiment(par, d, mem)->simulate(cfg).runtime;
+                if (first || rt < best) {
+                    best = rt;
+                    first = false;
+                }
+            }
+    EXPECT_EQ(r.best.m.runtime, best);
+    // The frontier contains the best point and only evaluated points.
+    ASSERT_FALSE(r.frontier.empty());
+    EXPECT_EQ(r.frontier.front().m.runtime, best);
+}
+
+TEST(Tuner, CoordinateDescentFindsGridOptimumUnderHalfTheEvals)
+{
+    ExperimentRunner runner(4);
+    const HksParams &par = benchmarkByName("BTS1");
+    Tuner exhaustive(runner, par, smallSpace());
+    const TuneResult ex =
+        exhaustive.tune({.strategy = Strategy::ExhaustiveGrid});
+
+    Tuner cd(runner, par, smallSpace());
+    const TuneResult r =
+        cd.tune({.strategy = Strategy::CoordinateDescent});
+    // Bit-identical optimum: both strategies replay the same compiled
+    // schedules, and the shared runner graph cache feeds both tuners.
+    EXPECT_EQ(r.best.m.runtime, ex.best.m.runtime);
+    EXPECT_LT(r.evaluations * 2, ex.spaceSize);
+    EXPECT_GE(r.rounds, 1u);
+}
+
+TEST(Tuner, HillClimbFindsGridOptimumAndIsSeedDeterministic)
+{
+    ExperimentRunner runner(4);
+    const HksParams &par = benchmarkByName("BTS1");
+    Tuner exhaustive(runner, par, monotoneSpace());
+    const TuneResult ex =
+        exhaustive.tune({.strategy = Strategy::ExhaustiveGrid});
+
+    Tuner hc(runner, par, monotoneSpace());
+    TuneOptions opts;
+    opts.strategy = Strategy::RandomRestartHillClimb;
+    opts.restarts = 2;
+    const TuneResult r1 = hc.tune(opts);
+    EXPECT_EQ(r1.best.m.runtime, ex.best.m.runtime);
+
+    // Same seed on a fresh tuner: identical walk, point for point.
+    Tuner hc2(runner, par, monotoneSpace());
+    const TuneResult r2 = hc2.tune(opts);
+    ASSERT_EQ(r2.evaluated.size(), r1.evaluated.size());
+    for (std::size_t i = 0; i < r1.evaluated.size(); ++i) {
+        EXPECT_EQ(r2.evaluated[i].idx, r1.evaluated[i].idx);
+        EXPECT_EQ(r2.evaluated[i].m.runtime, r1.evaluated[i].m.runtime);
+    }
+}
+
+TEST(Tuner, EvaluationCacheCountsHitsAndRepeatedTunesAreFree)
+{
+    ExperimentRunner runner(4);
+    const HksParams &par = benchmarkByName("BTS1");
+    Tuner t(runner, par, smallSpace());
+
+    const std::vector<std::size_t> zero(kAxisCount, 0);
+    const Measurement m1 = t.evaluate(zero);
+    EXPECT_EQ(t.evaluations(), 1u);
+    EXPECT_EQ(t.cacheHits(), 0u);
+    const Measurement m2 = t.evaluate(zero);
+    EXPECT_EQ(t.evaluations(), 1u);
+    EXPECT_EQ(t.cacheHits(), 1u);
+    EXPECT_EQ(m1.runtime, m2.runtime);
+
+    const TuneResult ex = t.tune({.strategy = Strategy::ExhaustiveGrid});
+    // The pre-evaluated origin point hits; the other 17 are fresh.
+    EXPECT_EQ(ex.evaluations, 17u);
+    EXPECT_EQ(ex.cacheHits, 1u);
+
+    // A second exhaustive pass on the same tuner evaluates nothing.
+    const TuneResult ex2 =
+        t.tune({.strategy = Strategy::ExhaustiveGrid});
+    EXPECT_EQ(ex2.evaluations, 0u);
+    EXPECT_EQ(ex2.cacheHits, 18u);
+    EXPECT_EQ(ex2.best.m.runtime, ex.best.m.runtime);
+}
+
+TEST(Tuner, RunnerGraphCacheCountersTrackExperimentReuse)
+{
+    ExperimentRunner runner(2);
+    const HksParams &par = benchmarkByName("BTS1");
+    const MemoryConfig mem{32ull << 20, false};
+    EXPECT_EQ(runner.cacheMisses(), 0u);
+    EXPECT_EQ(runner.cacheHits(), 0u);
+    runner.experiment(par, Dataflow::OC, mem);
+    EXPECT_EQ(runner.cacheMisses(), 1u);
+    EXPECT_EQ(runner.cacheHits(), 0u);
+    runner.experiment(par, Dataflow::OC, mem);
+    EXPECT_EQ(runner.cacheMisses(), 1u);
+    EXPECT_EQ(runner.cacheHits(), 1u);
+    EXPECT_EQ(runner.cachedExperiments(), 1u);
+}
+
+TEST(Pareto, DominanceAndHandBuiltThreePointFrontier)
+{
+    // a: fastest; b: slower but cheaper bandwidth; c: dominated by a
+    // (slower, same bandwidth, more capacity).
+    const TunedPoint a = handPoint(1e-3, 64.0, 32.0);
+    const TunedPoint b = handPoint(2e-3, 32.0, 32.0);
+    const TunedPoint c = handPoint(2.5e-3, 64.0, 64.0);
+
+    EXPECT_TRUE(a.m.dominates(c.m));
+    EXPECT_FALSE(a.m.dominates(b.m));
+    EXPECT_FALSE(b.m.dominates(a.m));
+    EXPECT_FALSE(c.m.dominates(a.m));
+    // Equal measurements do not dominate each other.
+    EXPECT_FALSE(a.m.dominates(a.m));
+
+    const std::vector<TunedPoint> f = paretoFrontier({a, b, c});
+    ASSERT_EQ(f.size(), 2u);
+    EXPECT_EQ(f[0].m.runtime, a.m.runtime);
+    EXPECT_EQ(f[1].m.runtime, b.m.runtime);
+}
+
+TEST(Tuner, ShardAxisDelegatesToPlacementHelpers)
+{
+    ExperimentRunner runner(4);
+    const HksParams &par = benchmarkByName("BTS1");
+    TuneSpace sp;
+    sp.dataflows = {Dataflow::OC};
+    sp.bandwidths = {16.0};
+    sp.shardCounts = {1, 2};
+    sp.strategies = {shard::PartitionStrategy::ContiguousByLevel};
+    Tuner t(runner, par, sp);
+
+    std::vector<std::size_t> idx(kAxisCount, 0);
+    idx[std::size_t(Axis::Shards)] = 1; // K = 2
+    const Measurement m = t.evaluate(idx);
+    EXPECT_EQ(m.aggregateGBps, 32.0);
+    EXPECT_GT(m.transferTasks, 0u);
+
+    // The same point evaluated directly through the shard helpers.
+    const MemoryConfig mem{32ull << 20, false};
+    auto exp = runner.experiment(par, Dataflow::OC, mem);
+    RpuConfig chip = sp.chip;
+    chip.bandwidthGBps = 16.0;
+    chip.dataMemBytes = mem.dataCapacityBytes;
+    chip.evkOnChip = mem.evkOnChip;
+    const shard::Partition p = shard::partitionGraph(
+        exp->graph(),
+        shard::placementShardSpec(
+            par, 2, shard::PartitionStrategy::ContiguousByLevel,
+            sp.imbalanceTol),
+        shard::taskWeights(exp->graph(), chip));
+    const shard::PlacementEval e = shard::evaluatePlacement(
+        exp->graph(), p, chip, sp.interconnect);
+    EXPECT_EQ(m.runtime, e.runtime);
+    EXPECT_EQ(m.cutBytes, e.cutBytes);
+    EXPECT_EQ(m.transferTasks, e.transferTasks);
+
+    // And the K=1 point is the plain single-RPU replay.
+    idx[std::size_t(Axis::Shards)] = 0;
+    EXPECT_EQ(t.evaluate(idx).runtime,
+              exp->simulate(chip).runtime);
+}
+
+TEST(Tuner, OcBaseGridIsBitIdenticalToRpuHelper)
+{
+    ExperimentRunner runner;
+    for (const char *bench : {"BTS1", "BTS2", "ARK"}) {
+        const HksParams &par = benchmarkByName(bench);
+        const double ref = ciflow::ocBaseBandwidth(runner, par);
+        Tuner t(runner, par, ocBaseSpace());
+        const double target = baselineRuntime(runner, par);
+        EXPECT_EQ(tune::ocBaseBandwidth(t, target), ref) << bench;
+        // The scan cached the whole grid.
+        EXPECT_EQ(t.evaluations(), ocBaseSpace().bandwidths.size());
+    }
+}
+
+TEST(Tuner, NestedTuneInsideRunnerJobsDoesNotDeadlock)
+{
+    // Tuners fanning out their own sweeps from inside runAll jobs is
+    // the bench_tuner shape; the pool's help-drain must absorb it.
+    ExperimentRunner runner(2);
+    std::vector<double> best(2, 0.0);
+    std::vector<std::function<void()>> jobs;
+    const char *benches[] = {"BTS1", "BTS2"};
+    for (std::size_t i = 0; i < 2; ++i)
+        jobs.push_back([&runner, &best, benches, i] {
+            Tuner t(runner, benchmarkByName(benches[i]), smallSpace());
+            best[i] =
+                t.tune({.strategy = Strategy::CoordinateDescent})
+                    .best.m.runtime;
+        });
+    runner.runAll(jobs);
+    EXPECT_GT(best[0], 0.0);
+    EXPECT_GT(best[1], 0.0);
+}
