@@ -4,14 +4,18 @@
  * replay path, on a bandwidthToMatch-style repeated-simulate loop (61
  * points, the worst-case bisection budget).
  *
- * For each benchmark the same 61 sweep points are evaluated three
+ * For each benchmark the same 61 sweep points are evaluated four
  * ways — rebuilding the EventQueue and re-lowering every task per
  * point (the pre-CompiledSchedule engine), replaying the compiled
- * schedule with SimStats packaging, and the makespan-only replay used
- * by the bisection helpers — after asserting that rebuild and compiled
- * SimStats are bit-identical at every point. Emits BENCH_sim.json so
- * CI can track simulates/sec across PRs; exits nonzero on any
- * equivalence mismatch.
+ * schedule with SimStats packaging, the makespan-only replay used by
+ * the bisection helpers, and the batched replayMany fast path that
+ * walks the compiled arrays once per kBatchLanes-point block — after
+ * asserting that rebuild and compiled SimStats are bit-identical at
+ * every point and that the batched runtimes equal the scalar ones to
+ * the bit. Also reports the one-off compile cost the replay paths
+ * amortize. Emits BENCH_sim.json so CI can track simulates/sec across
+ * PRs; CI gates compiled/rebuild >= 10x and batched/scalar >= 2x
+ * (target >= 3x). Exits nonzero on any equivalence mismatch.
  */
 
 #include <chrono>
@@ -79,6 +83,23 @@ timeLoop(const std::vector<double> &bws, double budget, F &&loop)
     return t;
 }
 
+/** Repeat `batch` (which simulates `n` points per call) for ~budget. */
+template <typename F>
+PathTiming
+timeBatchLoop(std::size_t n, double budget, F &&batch)
+{
+    PathTiming t;
+    const Clock::time_point t0 = Clock::now();
+    double elapsed = 0.0;
+    do {
+        batch();
+        t.sims += n;
+        elapsed = secondsSince(t0);
+    } while (elapsed < budget);
+    t.simsPerSec = static_cast<double>(t.sims) / elapsed;
+    return t;
+}
+
 bool
 bitIdentical(const SimStats &a, const SimStats &b)
 {
@@ -91,13 +112,20 @@ struct Row
 {
     std::string name;
     std::size_t tasks = 0;
-    PathTiming rebuild, compiled, replayOnly;
+    PathTiming rebuild, compiled, replayOnly, batched;
+    double compileMs = 0.0;
     bool identical = true;
 
     double
     speedup() const
     {
         return compiled.simsPerSec / rebuild.simsPerSec;
+    }
+
+    double
+    batchedSpeedup() const
+    {
+        return batched.simsPerSec / replayOnly.simsPerSec;
     }
 };
 
@@ -107,7 +135,8 @@ int
 main()
 {
     benchutil::header("Simulator throughput: rebuild-per-simulate vs "
-                      "compiled replay (61-point bisection loop)");
+                      "compiled replay vs batched replay (61-point "
+                      "bisection loop)");
 
     const std::vector<double> bws = bisectionPoints();
     const MemoryConfig mem{32ull << 20, false};
@@ -122,7 +151,8 @@ main()
         row.name = name;
         row.tasks = exp.graph().size();
 
-        // Correctness gate: both paths bit-identical at every point.
+        // Correctness gate 1: rebuild and compiled SimStats
+        // bit-identical at every point.
         for (double bw : bws) {
             RpuConfig cfg;
             cfg.bandwidthGBps = bw;
@@ -137,6 +167,36 @@ main()
                              name, bw);
                 row.identical = false;
             }
+        }
+
+        // Correctness gate 2: the batched replay is bit-identical to
+        // the scalar replay at every point of the loop.
+        const std::vector<double> batched_rt =
+            exp.simulateRuntimeMany(bws);
+        for (std::size_t i = 0; i < bws.size(); ++i) {
+            if (batched_rt[i] != exp.simulateRuntime(bws[i])) {
+                std::fprintf(stderr,
+                             "FAIL: %s at %.6f GB/s: batched and "
+                             "scalar replay runtimes differ\n",
+                             name, bws[i]);
+                row.identical = false;
+            }
+        }
+
+        // One-off compile cost the replay paths amortize (also the
+        // payoff of CompiledSchedule::reserve's bulk build).
+        {
+            RpuConfig cfg;
+            cfg.dataMemBytes = mem.dataCapacityBytes;
+            cfg.evkOnChip = mem.evkOnChip;
+            const RpuEngine eng(cfg);
+            const int reps = 20;
+            const Clock::time_point t0 = Clock::now();
+            for (int i = 0; i < reps; ++i) {
+                sim::CompiledSchedule cs = eng.compile(exp.graph());
+                (void)cs;
+            }
+            row.compileMs = secondsSince(t0) * 1e3 / reps;
         }
 
         row.rebuild = timeLoop(bws, kBudget, [&](double bw) {
@@ -155,48 +215,75 @@ main()
             volatile double rt = exp.simulateRuntime(bw);
             (void)rt;
         });
+        {
+            std::vector<double> mults(bws.size(), 1.0);
+            std::vector<double> out(bws.size());
+            row.batched = timeBatchLoop(bws.size(), kBudget, [&] {
+                exp.simulateRuntimeMany(bws.data(), mults.data(),
+                                        bws.size(), out.data());
+            });
+        }
         rows.push_back(std::move(row));
     }
 
-    std::printf("%-9s | %8s | %12s %12s %12s | %8s | %s\n", "Benchmark",
-                "tasks", "rebuild/s", "compiled/s", "replay/s",
-                "speedup", "identical");
+    std::printf("%-9s | %8s %8s | %11s %11s %11s %11s | %7s %7s | %s\n",
+                "Benchmark", "tasks", "compile", "rebuild/s",
+                "compiled/s", "replay/s", "batched/s", "speedup",
+                "batchup", "identical");
     benchutil::rule();
     bool all_identical = true;
     bool meets_target = true;
+    bool meets_batch_target = true;
     for (const Row &r : rows) {
-        std::printf("%-9s | %8zu | %12.0f %12.0f %12.0f | %7.1fx | %s\n",
-                    r.name.c_str(), r.tasks, r.rebuild.simsPerSec,
-                    r.compiled.simsPerSec, r.replayOnly.simsPerSec,
-                    r.speedup(), r.identical ? "yes" : "NO");
+        std::printf("%-9s | %8zu %6.1fms | %11.0f %11.0f %11.0f %11.0f "
+                    "| %6.1fx %6.2fx | %s\n",
+                    r.name.c_str(), r.tasks, r.compileMs,
+                    r.rebuild.simsPerSec, r.compiled.simsPerSec,
+                    r.replayOnly.simsPerSec, r.batched.simsPerSec,
+                    r.speedup(), r.batchedSpeedup(),
+                    r.identical ? "yes" : "NO");
         all_identical = all_identical && r.identical;
         meets_target = meets_target && r.speedup() >= 10.0;
+        meets_batch_target =
+            meets_batch_target && r.batchedSpeedup() >= 3.0;
     }
     benchutil::rule();
+    std::printf("compile  = RpuEngine::compile (one-off cost the "
+                "replay paths amortize)\n");
     std::printf("rebuild  = RpuEngine::runRebuild per point (EventQueue "
                 "+ CodeGen re-lowered each simulate)\n");
     std::printf("compiled = HksExperiment::simulate (compile-once "
                 "replay, SimStats packaging)\n");
     std::printf("replay   = HksExperiment::simulateRuntime "
                 "(makespan-only, allocation-free)\n");
+    std::printf("batched  = HksExperiment::simulateRuntimeMany "
+                "(replayMany, %zu point-lanes per walk)\n",
+                sim::kBatchLanes);
+    std::printf("batchup  = batched / replay simulates per second\n");
 
     std::FILE *json = std::fopen("BENCH_sim.json", "w");
     if (json != nullptr) {
         std::fprintf(json, "{\n  \"bench\": \"sim_throughput\",\n"
-                           "  \"points_per_loop\": %zu,\n  \"rows\": [\n",
-                     bws.size());
+                           "  \"points_per_loop\": %zu,\n"
+                           "  \"batch_lanes\": %zu,\n  \"rows\": [\n",
+                     bws.size(), sim::kBatchLanes);
         for (std::size_t i = 0; i < rows.size(); ++i) {
             const Row &r = rows[i];
             std::fprintf(
                 json,
                 "    {\"benchmark\": \"%s\", \"tasks\": %zu, "
+                "\"compile_ms\": %.3f, "
                 "\"rebuild_sims_per_sec\": %.1f, "
                 "\"compiled_sims_per_sec\": %.1f, "
                 "\"replay_sims_per_sec\": %.1f, "
-                "\"speedup\": %.2f, \"bit_identical\": %s}%s\n",
-                r.name.c_str(), r.tasks, r.rebuild.simsPerSec,
-                r.compiled.simsPerSec, r.replayOnly.simsPerSec,
-                r.speedup(), r.identical ? "true" : "false",
+                "\"batched_sims_per_sec\": %.1f, "
+                "\"speedup\": %.2f, \"batchedSpeedup\": %.2f, "
+                "\"bit_identical\": %s}%s\n",
+                r.name.c_str(), r.tasks, r.compileMs,
+                r.rebuild.simsPerSec, r.compiled.simsPerSec,
+                r.replayOnly.simsPerSec, r.batched.simsPerSec,
+                r.speedup(), r.batchedSpeedup(),
+                r.identical ? "true" : "false",
                 i + 1 < rows.size() ? "," : "");
         }
         std::fprintf(json, "  ]\n}\n");
@@ -211,5 +298,9 @@ main()
     if (!meets_target)
         std::fprintf(stderr, "warning: compiled-path speedup below the "
                              "10x target on this machine\n");
+    if (!meets_batch_target)
+        std::fprintf(stderr, "warning: batched-replay speedup below "
+                             "the 3x target on this machine (CI gates "
+                             "at 2x)\n");
     return 0;
 }

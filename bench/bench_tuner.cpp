@@ -47,7 +47,21 @@ struct Row
     double hcBestMs = 0.0;
     std::size_t hcEvals = 0;
     std::size_t hcHits = 0;
+    /** Lifetime EvalCache traffic of the cd+hc tuner. */
+    std::size_t cacheHits = 0;
+    std::size_t cacheMisses = 0;
     std::size_t paretoPoints = 0;
+
+    /** Fraction of cd+hc lookups served from the shared cache. */
+    double
+    cacheHitRate() const
+    {
+        const std::size_t total = cacheHits + cacheMisses;
+        return total > 0
+                   ? static_cast<double>(cacheHits) /
+                         static_cast<double>(total)
+                   : 0.0;
+    }
     double ocbaseGbps = 0.0;
     double ocbaseRefGbps = 0.0;
     std::string bestConfig;
@@ -97,6 +111,10 @@ main()
             r.hcBestMs = hc.best.m.runtime * 1e3;
             r.hcEvals = hc.evaluations;
             r.hcHits = hc.cacheHits;
+            // Lifetime hit/miss traffic of the shared cd+hc cache:
+            // the reuse a future batched tuner must beat.
+            r.cacheHits = search.cacheHits();
+            r.cacheMisses = search.evaluations();
 
             // Table IV's OCbase through the tune engine.
             Tuner ocb(runner, par, ocBaseSpace());
@@ -129,6 +147,11 @@ main()
     for (const Row &r : rows)
         std::printf("%-9s best: %s\n", r.benchmark.c_str(),
                     r.bestConfig.c_str());
+    for (const Row &r : rows)
+        std::printf("%-9s eval cache (cd+hc): %zu hits / %zu misses "
+                    "(%.0f%% hit rate)\n",
+                    r.benchmark.c_str(), r.cacheHits, r.cacheMisses,
+                    r.cacheHitRate() * 100.0);
     std::printf("\ncd/hc must match the exhaustive optimum "
                 "bit-identically; cd must evaluate < 50%% of the "
                 "grid; OCbase must equal the rpu-layer grid scan.\n");
@@ -145,12 +168,17 @@ main()
                 "\"exhaustive_best_ms\": %.6f, \"cd_best_ms\": %.6f, "
                 "\"cd_evals\": %zu, \"cd_eval_frac\": %.4f, "
                 "\"hc_best_ms\": %.6f, \"hc_evals\": %zu, "
-                "\"hc_cache_hits\": %zu, \"pareto_points\": %zu, "
+                "\"hc_cache_hits\": %zu, "
+                "\"eval_cache_hits\": %zu, "
+                "\"eval_cache_misses\": %zu, "
+                "\"eval_cache_hit_rate\": %.4f, "
+                "\"pareto_points\": %zu, "
                 "\"ocbase_gbps\": %.1f, \"ocbase_ref_gbps\": %.1f, "
                 "\"best_config\": \"%s\", \"pass\": %s}%s\n",
                 r.benchmark.c_str(), r.spacePoints,
                 r.exhaustiveBestMs, r.cdBestMs, r.cdEvals, r.cdFrac,
-                r.hcBestMs, r.hcEvals, r.hcHits, r.paretoPoints,
+                r.hcBestMs, r.hcEvals, r.hcHits, r.cacheHits,
+                r.cacheMisses, r.cacheHitRate(), r.paretoPoints,
                 r.ocbaseGbps, r.ocbaseRefGbps, r.bestConfig.c_str(),
                 r.pass ? "true" : "false",
                 i + 1 < rows.size() ? "," : "");

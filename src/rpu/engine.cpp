@@ -150,12 +150,26 @@ RpuEngine::compile(const TaskGraph &g) const
         cs.addResource("compute");
     }
 
+    // Exact totals up front so the CSR build never reallocates: one op
+    // per task, plus one extra for split-pipe compute tasks that carry
+    // a shuffle half.
+    std::size_t ndeps = 0, nops = 0;
+    for (const Task &t : g.tasks()) {
+        ndeps += t.deps.size();
+        nops += 1;
+        if (cfg.splitComputePipes && t.kind == TaskKind::Compute &&
+            t.shuffleOps > 0)
+            nops += 1;
+    }
+    cs.reserve(g.size(), ndeps, nops);
+
     ChannelPlacer placer(cfg.channelPolicy, nchan);
     std::vector<sim::CompiledOp> ops;
     for (const Task &t : g.tasks()) {
         ops.clear();
         lowerTask(t, cg, placer, 0, ops);
-        cs.addTask(t.deps, ops);
+        cs.addTask(t.deps.data(), t.deps.size(), ops.data(),
+                   ops.size());
     }
     cs.setLayoutTag(RpuLayout::of(cfg).tag());
     return cs;

@@ -57,9 +57,102 @@ HksExperiment::simulateRuntime(double bandwidth_gbps,
     RpuConfig cfg;
     cfg.bandwidthGBps = bandwidth_gbps;
     cfg.modopsMult = modops_mult;
-    cfg = normalized(cfg);
+    return simulateRuntime(cfg);
+}
+
+double
+HksExperiment::simulateRuntime(const RpuConfig &cfg_in) const
+{
+    const RpuConfig cfg = normalized(cfg_in);
     return RpuEngine(cfg).replayRuntime(
         scheduleFor(RpuLayout::of(cfg), cfg));
+}
+
+namespace
+{
+
+/**
+ * Per-thread batched-replay buffers: the per-point ReplayRates (each
+ * reusing its bytesPerSec vector) and the block scratch are shared by
+ * every batched simulate on this thread, so repeated batches allocate
+ * nothing once warm.
+ */
+struct BatchTls
+{
+    std::vector<sim::ReplayRates> rates;
+    sim::BatchScratch scratch;
+    std::vector<RpuConfig> cfgs;
+};
+
+BatchTls &
+batchTls()
+{
+    thread_local BatchTls tls;
+    return tls;
+}
+
+} // namespace
+
+void
+HksExperiment::simulateRuntimeMany(const RpuConfig *cfgs, std::size_t n,
+                                   double *out) const
+{
+    if (n == 0)
+        return;
+    const RpuConfig first = normalized(cfgs[0]);
+    const RpuLayout layout = RpuLayout::of(first);
+    const sim::CompiledSchedule &cs = scheduleFor(layout, first);
+
+    BatchTls &tls = batchTls();
+    if (tls.rates.size() < n)
+        tls.rates.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const RpuConfig cfg = normalized(cfgs[i]);
+        panicIf(!(RpuLayout::of(cfg) == layout),
+                "batched replay points must share one compiled "
+                "layout; fall back to scalar simulate() for "
+                "layout-changing sweeps");
+        RpuEngine(cfg).rates(cs, tls.rates[i]);
+    }
+    cs.replayMany(tls.rates.data(), n, tls.scratch);
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = tls.scratch.makespan[i];
+}
+
+void
+HksExperiment::simulateRuntimeMany(const double *bandwidth_gbps,
+                                   const double *modops_mult,
+                                   std::size_t n, double *out) const
+{
+    BatchTls &tls = batchTls();
+    if (tls.cfgs.size() < n)
+        tls.cfgs.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        // Reset the reused slot: a previous batch on this thread may
+        // have left non-default layout knobs behind.
+        tls.cfgs[i] = RpuConfig{};
+        tls.cfgs[i].bandwidthGBps = bandwidth_gbps[i];
+        tls.cfgs[i].modopsMult = modops_mult[i];
+    }
+    simulateRuntimeMany(tls.cfgs.data(), n, out);
+}
+
+std::vector<double>
+HksExperiment::simulateRuntimeMany(
+    const std::vector<double> &bandwidth_gbps, double modops_mult) const
+{
+    const std::size_t n = bandwidth_gbps.size();
+    std::vector<double> out(n);
+    BatchTls &tls = batchTls();
+    if (tls.cfgs.size() < n)
+        tls.cfgs.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        tls.cfgs[i] = RpuConfig{};
+        tls.cfgs[i].bandwidthGBps = bandwidth_gbps[i];
+        tls.cfgs[i].modopsMult = modops_mult;
+    }
+    simulateRuntimeMany(tls.cfgs.data(), n, out.data());
+    return out;
 }
 
 SimStats
@@ -129,12 +222,10 @@ ocBaseBandwidth(const HksParams &par)
     mem.dataCapacityBytes = 32ull << 20;
     mem.evkOnChip = true;
     HksExperiment oc(par, Dataflow::OC, mem);
+    // One batched replay of the whole paper grid; bit-identical to the
+    // per-point simulateRuntime loop this replaced.
     const std::vector<double> &grid = paperBandwidthSweep();
-    std::vector<double> runtimes;
-    runtimes.reserve(grid.size());
-    for (double bw : grid)
-        runtimes.push_back(oc.simulateRuntime(bw));
-    return ocBaseFromGrid(grid, runtimes, target);
+    return ocBaseFromGrid(grid, oc.simulateRuntimeMany(grid), target);
 }
 
 double

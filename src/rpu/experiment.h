@@ -51,6 +51,38 @@ class HksExperiment
     double simulateRuntime(double bandwidth_gbps,
                            double modops_mult = 1.0) const;
 
+    /** Runtime-only simulate under a full RPU configuration. */
+    double simulateRuntime(const RpuConfig &cfg) const;
+
+    /**
+     * Batched simulateRuntime: evaluate `n` (bandwidth, MODOPS) points
+     * with one walk of the compiled arrays per sim::kBatchLanes-point
+     * block (sim::CompiledSchedule::replayMany) instead of n
+     * independent replays. out[i] is bit-identical to
+     * simulateRuntime(bandwidth_gbps[i], modops_mult[i]). Allocation
+     * free after per-thread warm-up; the sweep harnesses' hot path.
+     */
+    void simulateRuntimeMany(const double *bandwidth_gbps,
+                             const double *modops_mult, std::size_t n,
+                             double *out) const;
+
+    /** Convenience overload: one MODOPS multiplier for every point. */
+    std::vector<double>
+    simulateRuntimeMany(const std::vector<double> &bandwidth_gbps,
+                        double modops_mult = 1.0) const;
+
+    /**
+     * Batched simulateRuntime over full RPU configurations. All `n`
+     * configurations must share one RpuLayout (they may differ in any
+     * rate knob: bandwidth, MODOPS, clocks, per-channel skew); the
+     * schedule compiled for that layout is then replayed at every
+     * point in kBatchLanes-wide blocks. Panics when a configuration
+     * changes the compiled layout — batch only rate-varying points and
+     * fall back to scalar simulate() for layout-changing sweeps.
+     */
+    void simulateRuntimeMany(const RpuConfig *cfgs, std::size_t n,
+                             double *out) const;
+
     /**
      * Simulate under a full RPU configuration (channel count and
      * policy, split pipes, ...). The configuration's memory-system

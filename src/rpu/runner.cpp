@@ -1,5 +1,7 @@
 #include "rpu/runner.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace ciflow
@@ -207,6 +209,9 @@ ExperimentRunner::sweep(const HksExperiment &exp,
                         const std::vector<SweepPoint> &points)
 {
     std::vector<SimStats> out(points.size());
+    // One job per point: the SimStats path replays scalar either way,
+    // so batching here would only trade pool parallelism for saved
+    // queue ops. The batched fast path is sweepRuntimes().
     std::vector<std::function<void()>> jobs;
     jobs.reserve(points.size());
     for (std::size_t i = 0; i < points.size(); ++i) {
@@ -217,6 +222,44 @@ ExperimentRunner::sweep(const HksExperiment &exp,
     }
     runAll(jobs);
     return out;
+}
+
+std::vector<double>
+ExperimentRunner::sweepRuntimes(const HksExperiment &exp,
+                                const std::vector<SweepPoint> &points)
+{
+    std::vector<double> out(points.size());
+    std::vector<std::function<void()>> jobs;
+    jobs.reserve((points.size() + sim::kBatchLanes - 1) /
+                 sim::kBatchLanes);
+    for (std::size_t base = 0; base < points.size();
+         base += sim::kBatchLanes) {
+        const std::size_t n =
+            std::min(sim::kBatchLanes, points.size() - base);
+        jobs.push_back([&, base, n] {
+            double bws[sim::kBatchLanes];
+            double mults[sim::kBatchLanes];
+            for (std::size_t i = 0; i < n; ++i) {
+                bws[i] = points[base + i].bandwidthGBps;
+                mults[i] = points[base + i].modopsMult;
+            }
+            exp.simulateRuntimeMany(bws, mults, n, out.data() + base);
+        });
+    }
+    runAll(jobs);
+    return out;
+}
+
+std::vector<double>
+ExperimentRunner::sweepRuntimes(const HksExperiment &exp,
+                                const std::vector<double> &bandwidths,
+                                double modops_mult)
+{
+    std::vector<SweepPoint> points;
+    points.reserve(bandwidths.size());
+    for (double bw : bandwidths)
+        points.push_back({bw, modops_mult});
+    return sweepRuntimes(exp, points);
 }
 
 std::vector<SimStats>
@@ -249,15 +292,13 @@ ocBaseBandwidth(ExperimentRunner &runner, const HksParams &par)
     mem.dataCapacityBytes = 32ull << 20;
     mem.evkOnChip = true;
     auto oc = runner.experiment(par, Dataflow::OC, mem);
-    // Evaluate the whole paper grid with one parallel sweep, then
-    // apply the shared grid rule.
+    // Evaluate the whole paper grid with one parallel batched sweep,
+    // then apply the shared grid rule. Bit-identical to the SimStats
+    // sweep this replaced: every lane replays the same schedule at the
+    // same rates.
     const std::vector<double> &grid = paperBandwidthSweep();
-    const std::vector<SimStats> stats = runner.sweep(*oc, grid);
-    std::vector<double> runtimes;
-    runtimes.reserve(stats.size());
-    for (const SimStats &s : stats)
-        runtimes.push_back(s.runtime);
-    return ocBaseFromGrid(grid, runtimes, target);
+    return ocBaseFromGrid(grid, runner.sweepRuntimes(*oc, grid),
+                          target);
 }
 
 std::vector<SimStats>

@@ -92,7 +92,12 @@ class ExperimentRunner
     std::shared_ptr<const HksExperiment>
     experiment(const HksParams &par, Dataflow d, const MemoryConfig &mem);
 
-    /** Simulate every point in parallel; results in point order. */
+    /**
+     * Simulate every point in parallel (one pool job per point, full
+     * SimStats packaging); results in point order. For runtime-only
+     * grids prefer sweepRuntimes(), which dispatches whole batches
+     * through the replayMany fast path.
+     */
     std::vector<SimStats> sweep(const HksExperiment &exp,
                                 const std::vector<SweepPoint> &points);
 
@@ -100,6 +105,24 @@ class ExperimentRunner
     std::vector<SimStats> sweep(const HksExperiment &exp,
                                 const std::vector<double> &bandwidths,
                                 double modops_mult = 1.0);
+
+    /**
+     * Runtime-only sweep through the batched replay fast path: points
+     * are grouped into sim::kBatchLanes-sized batches, each evaluated
+     * by one pool worker with a single walk of the compiled arrays
+     * (HksExperiment::simulateRuntimeMany). Results are in point order
+     * and bit-identical to calling exp.simulateRuntime per point
+     * (asserted by tests/test_runner.cpp). The grid-scan hot path.
+     */
+    std::vector<double>
+    sweepRuntimes(const HksExperiment &exp,
+                  const std::vector<SweepPoint> &points);
+
+    /** Runtime-only bandwidth sweep at a fixed MODOPS multiplier. */
+    std::vector<double>
+    sweepRuntimes(const HksExperiment &exp,
+                  const std::vector<double> &bandwidths,
+                  double modops_mult = 1.0);
 
     /** Fully general sweep: one RpuConfig per point. */
     std::vector<SimStats>

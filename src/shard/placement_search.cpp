@@ -41,18 +41,25 @@ searchPlacements(ExperimentRunner &runner, const HksParams &par,
     chip.dataMemBytes = mem.dataCapacityBytes;
     chip.evkOnChip = mem.evkOnChip;
 
+    // The rate-only bandwidth axis (default: the nominal chip alone).
+    std::vector<double> bws = spec.chipBandwidths;
+    if (bws.empty())
+        bws.push_back(chip.bandwidthGBps);
+
     // Phase 1: one partition per (dataflow, shard count, strategy) —
-    // the cut does not depend on the topology, so it is computed once
-    // and shared across the topology grid points.
+    // the cut does not depend on the topology or on any replay rate,
+    // so it is computed once and shared across the topology and
+    // bandwidth grid points.
     struct Cut
     {
         std::shared_ptr<const HksExperiment> exp;
         std::shared_ptr<const std::vector<double>> weights;
+        /** Single-RPU runtime per bandwidth axis point. */
+        std::shared_ptr<const std::vector<double>> baselines;
         Dataflow dataflow = Dataflow::OC;
         std::size_t shards = 1;
         PartitionStrategy strategy =
             PartitionStrategy::ContiguousByLevel;
-        double baseline = 0.0;
         Partition partition;
     };
     std::vector<Cut> cuts;
@@ -60,7 +67,16 @@ searchPlacements(ExperimentRunner &runner, const HksParams &par,
         auto exp = runner.experiment(par, d, mem);
         auto weights = std::make_shared<const std::vector<double>>(
             taskWeights(exp->graph(), chip));
-        const double baseline = exp->simulate(chip).runtime;
+        // Single-RPU baselines across the bandwidth axis in one
+        // batched replay (rate-only, so all points share the chip's
+        // compiled layout).
+        std::vector<RpuConfig> bcfgs(bws.size(), chip);
+        for (std::size_t i = 0; i < bws.size(); ++i)
+            bcfgs[i].bandwidthGBps = bws[i];
+        auto baselines =
+            std::make_shared<std::vector<double>>(bws.size());
+        exp->simulateRuntimeMany(bcfgs.data(), bcfgs.size(),
+                                 baselines->data());
         bool k1_done = false;
         for (std::size_t k : spec.shardCounts) {
             for (PartitionStrategy strat : spec.strategies) {
@@ -74,10 +90,10 @@ searchPlacements(ExperimentRunner &runner, const HksParams &par,
                 Cut c;
                 c.exp = exp;
                 c.weights = weights;
+                c.baselines = baselines;
                 c.dataflow = d;
                 c.shards = k;
                 c.strategy = strat;
-                c.baseline = baseline;
                 cuts.push_back(std::move(c));
             }
         }
@@ -95,23 +111,22 @@ searchPlacements(ExperimentRunner &runner, const HksParams &par,
     }
     runner.runAll(jobs);
 
-    // Phase 2: compile + replay each (cut, topology) grid point. K=1
-    // needs no topology sweep either — there are no links.
+    // Phase 2: compile each (cut, topology) grid point once and
+    // replay the whole bandwidth axis as one batch. K=1 needs no
+    // topology sweep either — there are no links.
     struct Job
     {
         const Cut *cut = nullptr;
-        PlacementResult r;
+        Topology topology = Topology::PointToPoint;
+        /** One result per bandwidth axis point. */
+        std::vector<PlacementResult> results;
     };
     std::vector<Job> grid;
     for (const Cut &c : cuts) {
         for (Topology topo : spec.topologies) {
             Job j;
             j.cut = &c;
-            j.r.dataflow = c.dataflow;
-            j.r.shards = c.shards;
-            j.r.topology = topo;
-            j.r.strategy = c.strategy;
-            j.r.baseline = c.baseline;
+            j.topology = topo;
             grid.push_back(std::move(j));
             if (c.shards == 1)
                 break;
@@ -120,23 +135,38 @@ searchPlacements(ExperimentRunner &runner, const HksParams &par,
     jobs.clear();
     jobs.reserve(grid.size());
     for (Job &j : grid) {
-        jobs.push_back([&j, &chip, &spec] {
+        jobs.push_back([&j, &chip, &spec, &bws] {
+            const Cut &c = *j.cut;
             InterconnectConfig net = spec.interconnect;
-            net.topology = j.r.topology;
-            const PlacementEval e = evaluatePlacement(
-                j.cut->exp->graph(), j.cut->partition, chip, net);
-            j.r.runtime = e.runtime;
-            j.r.cutBytes = e.cutBytes;
-            j.r.transferTasks = e.transferTasks;
-            j.r.imbalance = e.imbalance;
+            net.topology = j.topology;
+            const ShardedEngine eng(chip, net);
+            const ShardedCompiled sc =
+                eng.compile(c.exp->graph(), c.partition);
+            std::vector<double> runtimes(bws.size());
+            eng.replayRuntimeMany(sc, bws.data(), bws.size(),
+                                  runtimes.data());
+            j.results.resize(bws.size());
+            for (std::size_t i = 0; i < bws.size(); ++i) {
+                PlacementResult &r = j.results[i];
+                r.dataflow = c.dataflow;
+                r.shards = c.shards;
+                r.topology = j.topology;
+                r.strategy = c.strategy;
+                r.chipBandwidthGBps = bws[i];
+                r.runtime = runtimes[i];
+                r.baseline = (*c.baselines)[i];
+                r.cutBytes = c.partition.cutBytes;
+                r.transferTasks = sc.transferTasks;
+                r.imbalance = c.partition.imbalance();
+            }
         });
     }
     runner.runAll(jobs);
 
     std::vector<PlacementResult> out;
-    out.reserve(grid.size());
+    out.reserve(grid.size() * bws.size());
     for (const Job &j : grid)
-        out.push_back(j.r);
+        out.insert(out.end(), j.results.begin(), j.results.end());
     std::stable_sort(out.begin(), out.end(),
                      [](const PlacementResult &a,
                         const PlacementResult &b) {

@@ -20,6 +20,9 @@ struct ReplayTls
 {
     sim::ReplayRates rates;
     sim::ReplayScratch scratch;
+    /** Batched-replay buffers (replayRuntimeMany). */
+    std::vector<sim::ReplayRates> batchRates;
+    sim::BatchScratch batchScratch;
 };
 
 ReplayTls &
@@ -84,6 +87,18 @@ ShardedEngine::compile(const TaskGraph &g, const Partition &p) const
                         "link" + std::to_string(a) + ">" +
                         std::to_string(b));
     }
+
+    // Exact totals up front (every cut edge becomes one single-op,
+    // single-dep transfer task) so the CSR build never reallocates.
+    std::size_t ndeps = p.cutEdges.size(), nops = p.cutEdges.size();
+    for (const Task &t : g.tasks()) {
+        ndeps += t.deps.size();
+        nops += 1;
+        if (cfg.splitComputePipes && t.kind == TaskKind::Compute &&
+            t.shuffleOps > 0)
+            nops += 1;
+    }
+    sc.schedule.reserve(g.size() + p.cutEdges.size(), ndeps, nops);
 
     const RpuEngine eng(cfg);
     const CodeGen cg(cfg.vectorLen);
@@ -151,15 +166,20 @@ ShardedEngine::compile(const TaskGraph &g, const Partition &p) const
     return sc;
 }
 
-void
-ShardedEngine::rates(const ShardedCompiled &sc,
-                     sim::ReplayRates &r) const
+namespace
 {
-    panicIf(sc.schedule.layoutTag() !=
-                shardedTag(RpuLayout::of(cfg), sc.shards,
-                           net.topology),
-            "sharded schedule layout does not match config");
-    const std::size_t nchan = cfg.channelCount();
+
+/**
+ * Fill `r` with the replay rates of `chip_cfg`-configured chips joined
+ * by `net`, for a schedule of `sc`'s shape. Shared by the scalar and
+ * batched replay paths so every point of a batch derives its rates
+ * exactly as a scalar replay would.
+ */
+void
+fillRates(const RpuConfig &chip_cfg, const InterconnectConfig &net,
+          const ShardedCompiled &sc, sim::ReplayRates &r)
+{
+    const std::size_t nchan = chip_cfg.channelCount();
     const std::size_t nres = sc.schedule.resourceCount();
     panicIf(nres != sc.shards * sc.perChip + sc.links,
             "sharded schedule resource count does not match config");
@@ -168,12 +188,25 @@ ShardedEngine::rates(const ShardedCompiled &sc,
     for (std::size_t s = 0; s < sc.shards; ++s)
         for (std::size_t c = 0; c < nchan; ++c)
             r.bytesPerSec[s * sc.perChip + c] =
-                cfg.channelBytesPerSec(c);
+                chip_cfg.channelBytesPerSec(c);
     const double link_bps = gbps(net.linkGBps);
     for (std::size_t l = 0; l < sc.links; ++l)
         r.bytesPerSec[sc.shards * sc.perChip + l] = link_bps;
-    r.workPerSec[kWorkArith] = cfg.modopsPerSec();
-    r.workPerSec[kWorkShuffle] = cfg.shuffleElemsPerSec();
+    r.workPerSec[kWorkArith] = chip_cfg.modopsPerSec();
+    r.workPerSec[kWorkShuffle] = chip_cfg.shuffleElemsPerSec();
+}
+
+} // namespace
+
+void
+ShardedEngine::rates(const ShardedCompiled &sc,
+                     sim::ReplayRates &r) const
+{
+    panicIf(sc.schedule.layoutTag() !=
+                shardedTag(RpuLayout::of(cfg), sc.shards,
+                           net.topology),
+            "sharded schedule layout does not match config");
+    fillRates(cfg, net, sc, r);
 }
 
 double
@@ -182,6 +215,36 @@ ShardedEngine::replayRuntime(const ShardedCompiled &sc) const
     ReplayTls &tls = replayTls();
     rates(sc, tls.rates);
     return sc.schedule.replay(tls.rates, tls.scratch);
+}
+
+void
+ShardedEngine::replayRuntimeMany(const ShardedCompiled &sc,
+                                 const double *chip_bandwidths_gbps,
+                                 std::size_t n, double *out) const
+{
+    if (n == 0)
+        return;
+    panicIf(sc.schedule.layoutTag() !=
+                shardedTag(RpuLayout::of(cfg), sc.shards,
+                           net.topology),
+            "sharded schedule layout does not match config");
+    // Per-channel bandwidths override the aggregate knob, so a
+    // *varying* bandwidth axis would be silently vacuous; a single
+    // point simply replays the chip's configured (asymmetric) rates.
+    panicIf(n > 1 && !cfg.channelGBps.empty(),
+            "chip-bandwidth batch is vacuous under per-channel "
+            "bandwidths (channelGBps overrides the aggregate)");
+    ReplayTls &tls = replayTls();
+    if (tls.batchRates.size() < n)
+        tls.batchRates.resize(n);
+    RpuConfig chip = cfg;
+    for (std::size_t i = 0; i < n; ++i) {
+        chip.bandwidthGBps = chip_bandwidths_gbps[i];
+        fillRates(chip, net, sc, tls.batchRates[i]);
+    }
+    sc.schedule.replayMany(tls.batchRates.data(), n, tls.batchScratch);
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = tls.batchScratch.makespan[i];
 }
 
 ShardedStats

@@ -19,21 +19,64 @@ CompiledSchedule::resourceName(ResourceId id) const
     return names[id];
 }
 
+void
+CompiledSchedule::reserve(std::size_t tasks, std::size_t deps,
+                          std::size_t ops)
+{
+    depOff.reserve(tasks + 1);
+    depIds.reserve(deps);
+    opOff.reserve(tasks + 1);
+    opRes.reserve(ops);
+    opBytes.reserve(ops);
+    opWork0.reserve(ops);
+    opWork1.reserve(ops);
+    opSec.reserve(ops);
+    opPost.reserve(ops);
+}
+
+TaskId
+CompiledSchedule::addTask(const TaskId *deps, std::size_t ndeps,
+                          const CompiledOp *ops_in, std::size_t nops)
+{
+    const TaskId id = static_cast<TaskId>(taskCount());
+    panicIf(nops == 0, "task with no ops");
+    for (std::size_t i = 0; i < nops; ++i)
+        panicIf(ops_in[i].resource >= names.size(),
+                "op on unknown resource");
+    for (std::size_t i = 0; i < ndeps; ++i)
+        panicIf(deps[i] >= id, "forward dependency in sim task");
+    depIds.insert(depIds.end(), deps, deps + ndeps);
+    depOff.push_back(static_cast<std::uint32_t>(depIds.size()));
+    for (std::size_t i = 0; i < nops; ++i) {
+        const CompiledOp &op = ops_in[i];
+        opRes.push_back(op.resource);
+        opBytes.push_back(op.bytes);
+        opWork0.push_back(op.work[0]);
+        opWork1.push_back(op.work[1]);
+        opSec.push_back(op.seconds);
+        opPost.push_back(op.postSeconds);
+    }
+    opOff.push_back(static_cast<std::uint32_t>(opRes.size()));
+    return id;
+}
+
 TaskId
 CompiledSchedule::addTask(const std::vector<TaskId> &deps,
                           const std::vector<CompiledOp> &ops_in)
 {
-    const TaskId id = static_cast<TaskId>(taskCount());
-    panicIf(ops_in.empty(), "task with no ops");
-    for (const CompiledOp &op : ops_in)
-        panicIf(op.resource >= names.size(), "op on unknown resource");
-    for (TaskId d : deps)
-        panicIf(d >= id, "forward dependency in sim task");
-    depIds.insert(depIds.end(), deps.begin(), deps.end());
-    depOff.push_back(static_cast<std::uint32_t>(depIds.size()));
-    ops.insert(ops.end(), ops_in.begin(), ops_in.end());
-    opOff.push_back(static_cast<std::uint32_t>(ops.size()));
-    return id;
+    return addTask(deps.data(), deps.size(), ops_in.data(),
+                   ops_in.size());
+}
+
+void
+CompiledSchedule::checkRates(const ReplayRates &rates) const
+{
+    if (rates.bytesPerSec.size() == names.size())
+        return;
+    panic("replay rates cover a different resource count: rates have " +
+          std::to_string(rates.bytesPerSec.size()) +
+          " resources, schedule (layout tag " + std::to_string(tag) +
+          ") has " + std::to_string(names.size()));
 }
 
 double
@@ -42,8 +85,7 @@ CompiledSchedule::replay(const ReplayRates &rates,
 {
     const std::size_t nt = taskCount();
     const std::size_t nr = names.size();
-    panicIf(rates.bytesPerSec.size() != nr,
-            "replay rates cover a different resource count");
+    checkRates(rates);
 
     // finish[t] is written before any read (deps point backward), so a
     // plain resize suffices; the per-resource accumulators need zeroing.
@@ -67,32 +109,40 @@ CompiledSchedule::replay(const ReplayRates &rates,
         }
         double task_fin = 0.0;
         for (std::uint32_t i = opOff[t]; i < opOff[t + 1]; ++i) {
-            const CompiledOp &o = ops[i];
+            const ResourceId res = opRes[i];
             // max over components; all are >= 0 and max is exact, so
             // the result is bit-identical to evaluating only the
-            // component(s) the op actually carries.
-            double dur = o.seconds;
-            const double da = o.work[0] / w0;
-            if (da > dur)
-                dur = da;
-            const double ds = o.work[1] / w1;
-            if (ds > dur)
-                dur = ds;
-            const double db = o.bytes / bps[o.resource];
-            if (db > dur)
-                dur = db;
+            // component(s) the op actually carries. Zero numerators
+            // are skipped rather than divided: 0/rate is +0 exactly
+            // and can never raise the max, so an op pays one divide
+            // per component it carries, not one per class.
+            double dur = opSec[i];
+            if (opWork0[i] != 0.0) {
+                const double da = opWork0[i] / w0;
+                if (da > dur)
+                    dur = da;
+            }
+            if (opWork1[i] != 0.0) {
+                const double ds = opWork1[i] / w1;
+                if (ds > dur)
+                    dur = ds;
+            }
+            if (opBytes[i] != 0.0) {
+                const double db = opBytes[i] / bps[res];
+                if (db > dur)
+                    dur = db;
+            }
             const double start =
-                s.freeAt[o.resource] > ready ? s.freeAt[o.resource]
-                                             : ready;
+                s.freeAt[res] > ready ? s.freeAt[res] : ready;
             // The resource frees after the service duration; dependents
             // additionally wait out the op's propagation delay. With
             // postSeconds == 0 both times are the same double, so the
             // pre-latency replay results are reproduced bit-exactly.
             const double fin = start + dur;
-            s.freeAt[o.resource] = fin;
-            s.busy[o.resource] += dur;
-            ++s.jobs[o.resource];
-            const double vis = fin + o.postSeconds;
+            s.freeAt[res] = fin;
+            s.busy[res] += dur;
+            ++s.jobs[res];
+            const double vis = fin + opPost[i];
             if (vis > task_fin)
                 task_fin = vis;
         }
@@ -103,6 +153,276 @@ CompiledSchedule::replay(const ReplayRates &rates,
             makespan = task_fin;
     }
     return makespan;
+}
+
+namespace
+{
+
+/** The flattened-schedule pointers one block replay walks. */
+struct BlockView
+{
+    const std::uint32_t *depOff;
+    const TaskId *depIds;
+    const std::uint32_t *opOff;
+    const ResourceId *opRes;
+    const double *opBytes;
+    const double *opWork0;
+    const double *opWork1;
+    const double *opSec;
+    const double *opPost;
+    std::size_t taskCount;
+};
+
+/**
+ * One block of up to kBatchLanes point-lanes: the scalar replay() op
+ * body evaluated per lane over lane-contiguous buffers — the same
+ * divides in the same max order, so every lane is bit-identical to
+ * its scalar replay. Marked always_inline so the `lanes` argument
+ * constant-propagates when the full-block wrapper below passes the
+ * compile-time kBatchLanes, turning every lane loop into a
+ * fixed-trip-count, unit-stride loop the vectorizer unrolls flat.
+ */
+[[gnu::always_inline]] inline void
+blockBody(const BlockView &v, const std::size_t lanes, BatchScratch &s,
+          double *makespans)
+{
+    const double *__restrict w0 = s.w0.data();
+    const double *__restrict w1 = s.w1.data();
+    double ready[kBatchLanes];
+    double dur[kBatchLanes];
+    double task_fin[kBatchLanes];
+    double makespan[kBatchLanes] = {};
+
+    for (std::size_t t = 0; t < v.taskCount; ++t) {
+        for (std::size_t l = 0; l < lanes; ++l) {
+            ready[l] = 0.0;
+            task_fin[l] = 0.0;
+        }
+        for (std::uint32_t i = v.depOff[t]; i < v.depOff[t + 1]; ++i) {
+            const double *df = &s.finish[v.depIds[i] * lanes];
+            for (std::size_t l = 0; l < lanes; ++l)
+                if (df[l] > ready[l])
+                    ready[l] = df[l];
+        }
+        for (std::uint32_t i = v.opOff[t]; i < v.opOff[t + 1]; ++i) {
+            const ResourceId res = v.opRes[i];
+            const double bytes = v.opBytes[i];
+            const double work0 = v.opWork0[i];
+            const double work1 = v.opWork1[i];
+            const double sec = v.opSec[i];
+            const double post = v.opPost[i];
+            const double *__restrict bp = &s.bps[res * lanes];
+            double *__restrict fa = &s.freeAt[res * lanes];
+            double *__restrict bz = &s.busy[res * lanes];
+            // Component maxes in staged lane loops; zero numerators
+            // are skipped exactly as in scalar replay() (0/rate is +0
+            // and never raises the max), and the branch is per-op —
+            // uniform across lanes — so each stage stays branch-free
+            // vector code.
+            for (std::size_t l = 0; l < lanes; ++l)
+                dur[l] = sec;
+            if (work0 != 0.0)
+                for (std::size_t l = 0; l < lanes; ++l) {
+                    const double da = work0 / w0[l];
+                    if (da > dur[l])
+                        dur[l] = da;
+                }
+            if (work1 != 0.0)
+                for (std::size_t l = 0; l < lanes; ++l) {
+                    const double ds = work1 / w1[l];
+                    if (ds > dur[l])
+                        dur[l] = ds;
+                }
+            if (bytes != 0.0)
+                for (std::size_t l = 0; l < lanes; ++l) {
+                    const double db = bytes / bp[l];
+                    if (db > dur[l])
+                        dur[l] = db;
+                }
+            for (std::size_t l = 0; l < lanes; ++l) {
+                const double start =
+                    fa[l] > ready[l] ? fa[l] : ready[l];
+                const double fin = start + dur[l];
+                fa[l] = fin;
+                bz[l] += dur[l];
+                const double vis = fin + post;
+                if (vis > task_fin[l])
+                    task_fin[l] = vis;
+            }
+            ++s.jobs[res];
+        }
+        double *tf = &s.finish[t * lanes];
+        for (std::size_t l = 0; l < lanes; ++l) {
+            tf[l] = task_fin[l];
+            if (task_fin[l] > makespan[l])
+                makespan[l] = task_fin[l];
+        }
+    }
+    for (std::size_t l = 0; l < lanes; ++l)
+        makespans[l] = makespan[l];
+}
+
+#if defined(__GNUC__)
+
+// laneMax passes 64-byte vectors by value, which GCC flags (-Wpsabi)
+// as an ABI hazard for ISAs without 512-bit registers; every such
+// call is always_inline and internal to this TU, so none crosses an
+// ABI boundary (the library builds with -Wno-psabi — the warning is
+// emitted at clone expansion, outside any diagnostic-pragma region).
+
+/**
+ * One full batch block as an explicit vector value: kBatchLanes
+ * doubles wide, element-aligned (the scratch buffers guarantee no
+ * more), allowed to alias the double arrays it loads from. GCC/Clang
+ * lower it to the widest unit the target has and split otherwise, so
+ * the lane math is guaranteed SIMD — no cost-model coin flip — while
+ * every element still sees the exact IEEE divide/max/add of the
+ * scalar replay.
+ */
+typedef double LaneVec
+    __attribute__((vector_size(kBatchLanes * sizeof(double)),
+                   aligned(8), may_alias));
+
+[[gnu::always_inline]] inline LaneVec
+laneMax(LaneVec a, LaneVec b)
+{
+    return a > b ? a : b;
+}
+
+/**
+ * Full-width block with per-ISA clones: the resolver picks the widest
+ * vector unit the host has (AVX-512, AVX2, or baseline SSE2) at load
+ * time. Every clone runs the identical IEEE operations — ISA width
+ * changes how many lanes one instruction covers, never a result bit.
+ */
+#if defined(__x86_64__)
+[[gnu::target_clones("default", "avx2", "arch=x86-64-v4")]]
+#endif
+void
+blockBodyFull(const BlockView &v, BatchScratch &s, double *makespans)
+{
+    const LaneVec w0 = *reinterpret_cast<const LaneVec *>(s.w0.data());
+    const LaneVec w1 = *reinterpret_cast<const LaneVec *>(s.w1.data());
+    LaneVec makespan = {};
+
+    for (std::size_t t = 0; t < v.taskCount; ++t) {
+        LaneVec ready = {};
+        for (std::uint32_t i = v.depOff[t]; i < v.depOff[t + 1]; ++i)
+            ready = laneMax(ready,
+                            *reinterpret_cast<const LaneVec *>(
+                                &s.finish[v.depIds[i] * kBatchLanes]));
+        LaneVec task_fin = {};
+        for (std::uint32_t i = v.opOff[t]; i < v.opOff[t + 1]; ++i) {
+            const ResourceId res = v.opRes[i];
+            // Component maxes with zero numerators skipped exactly as
+            // in scalar replay() (0/rate is +0 and never raises the
+            // max); the branches are per-op, uniform across lanes.
+            LaneVec dur = v.opSec[i] - LaneVec{};
+            if (v.opWork0[i] != 0.0)
+                dur = laneMax(dur, v.opWork0[i] / w0);
+            if (v.opWork1[i] != 0.0)
+                dur = laneMax(dur, v.opWork1[i] / w1);
+            if (v.opBytes[i] != 0.0)
+                dur = laneMax(dur,
+                              v.opBytes[i] /
+                                  *reinterpret_cast<const LaneVec *>(
+                                      &s.bps[res * kBatchLanes]));
+            LaneVec *fa = reinterpret_cast<LaneVec *>(
+                &s.freeAt[res * kBatchLanes]);
+            LaneVec *bz = reinterpret_cast<LaneVec *>(
+                &s.busy[res * kBatchLanes]);
+            const LaneVec fin = laneMax(*fa, ready) + dur;
+            *fa = fin;
+            *bz = *bz + dur;
+            task_fin = laneMax(task_fin, fin + v.opPost[i]);
+            ++s.jobs[res];
+        }
+        *reinterpret_cast<LaneVec *>(&s.finish[t * kBatchLanes]) =
+            task_fin;
+        makespan = laneMax(makespan, task_fin);
+    }
+    *reinterpret_cast<LaneVec *>(makespans) = makespan;
+}
+
+#else // !__GNUC__: portable scalar fallback
+
+void
+blockBodyFull(const BlockView &v, BatchScratch &s, double *makespans)
+{
+    blockBody(v, kBatchLanes, s, makespans);
+}
+
+#endif
+
+/** Tail block (< kBatchLanes lanes); runtime width, no clones. */
+void
+blockBodyTail(const BlockView &v, std::size_t lanes, BatchScratch &s,
+              double *makespans)
+{
+    blockBody(v, lanes, s, makespans);
+}
+
+} // namespace
+
+void
+CompiledSchedule::replayBlock(const ReplayRates *points,
+                              std::size_t lanes, BatchScratch &s,
+                              double *makespans) const
+{
+    const std::size_t nr = names.size();
+
+    // Transpose the block's rates into lane-contiguous layout so the
+    // per-op lane loops read them with unit stride.
+    for (std::size_t l = 0; l < lanes; ++l) {
+        checkRates(points[l]);
+        for (std::size_t r = 0; r < nr; ++r)
+            s.bps[r * lanes + l] = points[l].bytesPerSec[r];
+        s.w0[l] = points[l].workPerSec[0];
+        s.w1[l] = points[l].workPerSec[1];
+    }
+    for (std::size_t i = 0; i < nr * lanes; ++i) {
+        s.freeAt[i] = 0.0;
+        s.busy[i] = 0.0;
+    }
+    for (std::size_t r = 0; r < nr; ++r)
+        s.jobs[r] = 0;
+
+    const BlockView v{depOff.data(), depIds.data(),  opOff.data(),
+                      opRes.data(),  opBytes.data(), opWork0.data(),
+                      opWork1.data(), opSec.data(),  opPost.data(),
+                      taskCount()};
+    if (lanes == kBatchLanes)
+        blockBodyFull(v, s, makespans);
+    else
+        blockBodyTail(v, lanes, s, makespans);
+}
+
+void
+CompiledSchedule::replayMany(const ReplayRates *points, std::size_t n,
+                             BatchScratch &s) const
+{
+    const std::size_t nt = taskCount();
+    const std::size_t nr = names.size();
+    if (s.makespan.size() < n)
+        s.makespan.resize(n);
+    if (s.finish.size() < nt * kBatchLanes)
+        s.finish.resize(nt * kBatchLanes);
+    if (s.freeAt.size() < nr * kBatchLanes) {
+        s.freeAt.resize(nr * kBatchLanes);
+        s.busy.resize(nr * kBatchLanes);
+        s.bps.resize(nr * kBatchLanes);
+    }
+    if (s.jobs.size() < nr)
+        s.jobs.resize(nr);
+    if (s.w0.size() < kBatchLanes) {
+        s.w0.resize(kBatchLanes);
+        s.w1.resize(kBatchLanes);
+    }
+    for (std::size_t base = 0; base < n; base += kBatchLanes) {
+        const std::size_t lanes =
+            n - base < kBatchLanes ? n - base : kBatchLanes;
+        replayBlock(points + base, lanes, s, s.makespan.data() + base);
+    }
 }
 
 SimResult

@@ -16,9 +16,22 @@
  * the exact same IEEE division (numerator / rate) the eager path would,
  * with no double rounding through an intermediate "unit seconds" value.
  *
+ * Op storage is structure-of-arrays: each cost component lives in its
+ * own contiguous array (bytes[], work0[], work1[], seconds[],
+ * postSeconds[], resource[]) instead of an array of 56-byte op records.
+ * The scalar replay streams only the components it needs, and —
+ * the reason for the layout — replayMany() walks the arrays *once*
+ * while evaluating up to kBatchLanes replay points per op with
+ * lane-contiguous scratch (finish[t*B + lane], freeAt[r*B + lane]), so
+ * the per-op lane loop auto-vectorizes. Each lane performs the exact
+ * same IEEE divides and maxes as a scalar replay at that point, so a
+ * batched sweep is bit-identical lane-by-lane to per-point replay
+ * (asserted by tests/test_compiled_schedule.cpp).
+ *
  * replay() writes into caller-owned ReplayScratch buffers, so repeated
  * simulates — including parallel sweeps with per-thread scratch —
- * allocate nothing after the first call.
+ * allocate nothing after the first call. replayMany() does the same
+ * with a BatchScratch.
  */
 
 #ifndef CIFLOW_SIM_COMPILED_SCHEDULE_H
@@ -35,6 +48,14 @@ namespace ciflow::sim
 
 /** Rate-scaled work classes an op may carry (arithmetic, shuffle). */
 constexpr std::size_t kWorkClasses = 2;
+
+/**
+ * Point-lanes one replayMany() block evaluates per op. Eight doubles
+ * fill one AVX-512 register (two AVX2 registers); larger batches are
+ * processed in blocks of this width, so scratch stays cache-resident
+ * regardless of how many points a sweep submits.
+ */
+constexpr std::size_t kBatchLanes = 8;
 
 /**
  * One compiled op: cost numerators bound to a resource. The duration at
@@ -55,6 +76,9 @@ constexpr std::size_t kWorkClasses = 2;
  * to dependents postSeconds later. The next message on the same link
  * does not wait out the latency — cross-chip transfers queue on link
  * bandwidth and pipeline their propagation.
+ *
+ * This is the *build-time* record handed to addTask(); storage inside
+ * the schedule is structure-of-arrays (see file comment).
  */
 struct CompiledOp
 {
@@ -100,6 +124,36 @@ struct ReplayScratch
     std::vector<std::size_t> jobs;
 };
 
+/**
+ * Reusable replayMany() state: the lane-contiguous buffers of one
+ * batch block plus the per-point makespans of the whole call. Like
+ * ReplayScratch, buffers grow on first use and are then reused — one
+ * instance per thread makes batched parallel sweeps allocation free.
+ *
+ * Per-lane layouts index as [t * lanes + lane] / [r * lanes + lane],
+ * where `lanes` <= kBatchLanes is the width of the block. After a
+ * replayMany() call the per-lane buffers hold the *last* block's
+ * state (sweeps of up to kBatchLanes points see all their lanes);
+ * `makespan` always covers every submitted point.
+ */
+struct BatchScratch
+{
+    /** Makespan per replay point (valid after replayMany, size n). */
+    std::vector<double> makespan;
+    /** Finish time per (task, lane) of the last block. */
+    std::vector<double> finish;
+    /** Next-free time per (resource, lane) of the last block. */
+    std::vector<double> freeAt;
+    /** Busy seconds per (resource, lane) of the last block. */
+    std::vector<double> busy;
+    /** Jobs per resource (rate-independent, so lane-invariant). */
+    std::vector<std::size_t> jobs;
+    /** Lane-transposed byte rates: bps[r * lanes + lane]. */
+    std::vector<double> bps;
+    /** Per-lane work-class rates. */
+    std::vector<double> w0, w1;
+};
+
 /** A task graph compiled to CSR arrays for scaled replay. */
 class CompiledSchedule
 {
@@ -111,6 +165,16 @@ class CompiledSchedule
     const std::string &resourceName(ResourceId id) const;
 
     /**
+     * Pre-size the CSR arrays for a schedule of `tasks` tasks carrying
+     * `deps` dependencies and `ops` ops in total. Purely an
+     * optimization: compilers that know their totals up front (the RPU
+     * and shard lowerings) avoid every growth reallocation of the
+     * build loop. Over-estimates waste memory only until the schedule
+     * is destroyed; under-estimates merely fall back to growth.
+     */
+    void reserve(std::size_t tasks, std::size_t deps, std::size_t ops);
+
+    /**
      * Append a task of `ops` (at least one) depending on the earlier
      * tasks `deps`. Panics on forward/self dependencies, empty ops, or
      * an unknown resource id — the same contract as EventQueue.
@@ -118,8 +182,16 @@ class CompiledSchedule
     TaskId addTask(const std::vector<TaskId> &deps,
                    const std::vector<CompiledOp> &ops);
 
+    /**
+     * Span-style addTask: the same contract over raw (pointer, count)
+     * ranges, so compilers can append from reused buffers without
+     * materializing vectors per task.
+     */
+    TaskId addTask(const TaskId *deps, std::size_t ndeps,
+                   const CompiledOp *ops_in, std::size_t nops);
+
     std::size_t taskCount() const { return opOff.size() - 1; }
-    std::size_t opCount() const { return ops.size(); }
+    std::size_t opCount() const { return opRes.size(); }
     std::size_t depCount() const { return depIds.size(); }
 
     /**
@@ -142,18 +214,47 @@ class CompiledSchedule
      */
     double replay(const ReplayRates &rates, ReplayScratch &scratch) const;
 
+    /**
+     * Simulate the schedule at `n` replay points with one walk of the
+     * compiled arrays per kBatchLanes-point block, instead of n
+     * independent walks: op costs are read once per block and
+     * evaluated across the block's lanes with lane-contiguous scratch,
+     * so the inner loop vectorizes and the dominant cost of a sweep —
+     * memory traffic over the compiled arrays — is amortized across
+     * the batch. Every lane performs the exact divides and maxes of a
+     * scalar replay() at that point, so scratch.makespan[i] is
+     * bit-identical to replay(points[i], ...) for every i. Thread-safe
+     * for concurrent calls with distinct scratch.
+     */
+    void replayMany(const ReplayRates *points, std::size_t n,
+                    BatchScratch &scratch) const;
+
     /** replay() plus SimResult packaging (allocates; for tests/tools). */
     SimResult run(const ReplayRates &rates) const;
 
   private:
+    /** One <= kBatchLanes-wide block of replayMany. */
+    void replayBlock(const ReplayRates *points, std::size_t lanes,
+                     BatchScratch &s, double *makespans) const;
+
+    /** Panic unless `rates` covers this schedule's resources. */
+    void checkRates(const ReplayRates &rates) const;
+
     std::vector<std::string> names;
     std::uint64_t tag = 0;
     // CSR arrays: task t's deps are depIds[depOff[t]..depOff[t+1]) and
-    // its ops are ops[opOff[t]..opOff[t+1]).
+    // its ops are index range [opOff[t], opOff[t+1]) into the SoA op
+    // component arrays below.
     std::vector<std::uint32_t> depOff{0};
     std::vector<TaskId> depIds;
     std::vector<std::uint32_t> opOff{0};
-    std::vector<CompiledOp> ops;
+    // Op components, structure-of-arrays (see file comment).
+    std::vector<ResourceId> opRes;
+    std::vector<double> opBytes;
+    std::vector<double> opWork0;
+    std::vector<double> opWork1;
+    std::vector<double> opSec;
+    std::vector<double> opPost;
 };
 
 } // namespace ciflow::sim

@@ -135,6 +135,17 @@ class Tuner
      * Evaluate a batch of index tuples concurrently on the runner's
      * pool (nestable: callable from inside another runAll job).
      * Results in input order; every point lands in the cache.
+     *
+     * Fresh single-chip points are grouped by everything that shapes
+     * the task graph or the compiled layout (benchmark, dataflow,
+     * capacity, evk residency, channel count, placement policy); each
+     * group differs only in rate knobs (bandwidth, MODOPS, skew) and
+     * is dispatched as ONE pool job that replays the whole group in
+     * kBatchLanes-wide blocks (HksExperiment::simulateRuntimeMany).
+     * Multi-chip points fall back to scalar per-point jobs — their
+     * partitions change the compiled layout point by point. Batched
+     * and scalar evaluations are bit-identical, so strategies and
+     * cache contents are unaffected by the grouping.
      */
     std::vector<Measurement>
     evaluateAll(const std::vector<std::vector<std::size_t>> &pts);
@@ -150,6 +161,16 @@ class Tuner
     /** Canonical cache key of `p` (vacuous knobs pinned to defaults). */
     EvalKey keyOf(const TunePoint &p) const;
     Measurement evaluateUncached(const TunePoint &p);
+
+    /**
+     * Evaluate the points pts[i] for i in `members` — all single-chip
+     * on one (graph, compiled layout), differing only in rate knobs —
+     * through the cache, replaying every fresh member as one batch.
+     * Writes res[i]; runs inside one pool job.
+     */
+    void evaluateBatch(const std::vector<std::size_t> &members,
+                       const std::vector<std::vector<std::size_t>> &pts,
+                       std::vector<Measurement> &res);
 
     ExperimentRunner &runner;
     HksParams par;

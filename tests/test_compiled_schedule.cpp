@@ -239,14 +239,70 @@ TEST(CompiledSchedule, ReplayRejectsRateCountMismatch)
 {
     sim::CompiledSchedule cs;
     auto a = cs.addResource("a");
+    cs.addResource("b");
+    cs.setLayoutTag(77);
     sim::CompiledOp op;
     op.resource = a;
     op.seconds = 1.0;
     cs.addTask({}, {op});
-    sim::ReplayRates rates; // empty bytesPerSec
+    sim::ReplayRates rates;
+    rates.bytesPerSec = {1.0}; // one entry short
     sim::ReplayScratch scratch;
+    // The panic names both counts and the schedule's layout tag, so a
+    // stale ReplayRates crossing schedules is diagnosable.
     EXPECT_DEATH(cs.replay(rates, scratch),
-                 "different resource count");
+                 "different resource count.*rates have 1.*"
+                 "layout tag 77.*has 2");
+    sim::BatchScratch batch;
+    EXPECT_DEATH(cs.replayMany(&rates, 1, batch),
+                 "different resource count.*rates have 1.*"
+                 "layout tag 77.*has 2");
+}
+
+TEST(CompiledSchedule, BulkBuildMatchesIncremental)
+{
+    // reserve() + the span-style addTask build the identical schedule
+    // the vector overload does.
+    auto build = [](sim::CompiledSchedule &cs, bool bulk) {
+        cs.addResource("dram");
+        cs.addResource("pipe");
+        if (bulk)
+            cs.reserve(3, 2, 4);
+        sim::CompiledOp mem;
+        mem.resource = 0;
+        mem.bytes = 1000.0;
+        sim::CompiledOp cmp;
+        cmp.resource = 1;
+        cmp.work[0] = 600.0;
+        cmp.work[1] = 150.0;
+        if (bulk) {
+            cs.addTask(nullptr, 0, &mem, 1);
+            const sim::TaskId d0[1] = {0};
+            const sim::CompiledOp both[2] = {mem, cmp};
+            cs.addTask(d0, 1, both, 2);
+            const sim::TaskId d1[1] = {1};
+            cs.addTask(d1, 1, &cmp, 1);
+        } else {
+            auto t0 = cs.addTask({}, {mem});
+            auto t1 = cs.addTask({t0}, {mem, cmp});
+            cs.addTask({t1}, {cmp});
+        }
+    };
+    sim::CompiledSchedule inc, bulk;
+    build(inc, false);
+    build(bulk, true);
+    EXPECT_EQ(bulk.taskCount(), inc.taskCount());
+    EXPECT_EQ(bulk.opCount(), inc.opCount());
+    EXPECT_EQ(bulk.depCount(), inc.depCount());
+
+    sim::ReplayRates rates;
+    rates.bytesPerSec = {500.0, 1.0};
+    rates.workPerSec[0] = 300.0;
+    rates.workPerSec[1] = 100.0;
+    sim::ReplayScratch s1, s2;
+    EXPECT_EQ(bulk.replay(rates, s1), inc.replay(rates, s2));
+    for (std::size_t t = 0; t < inc.taskCount(); ++t)
+        EXPECT_EQ(s1.finish[t], s2.finish[t]);
 }
 
 TEST(CompiledSchedule, ScratchIsReusedAcrossReplays)
@@ -326,6 +382,201 @@ TEST(SinglePassScheduler, RandomDagsBitIdenticalToMultiPass)
             EXPECT_EQ(scratch.jobs[r], ref.jobs[r]);
         }
     }
+}
+
+// --- batched replayMany vs scalar replay -----------------------------
+
+namespace
+{
+
+/** Random compiled DAG mixing bytes/work/seconds and postSeconds. */
+sim::CompiledSchedule
+randomCompiledDag(std::mt19937 &rng, std::size_t nt, std::size_t nr)
+{
+    sim::CompiledSchedule cs;
+    for (std::size_t r = 0; r < nr; ++r)
+        cs.addResource("r" + std::to_string(r));
+    std::uniform_int_distribution<std::size_t> op_count(1, 3);
+    std::uniform_int_distribution<std::size_t> res(0, nr - 1);
+    std::uniform_int_distribution<int> kind(0, 3);
+    std::uniform_real_distribution<double> mag(0.5, 2000.0);
+    std::uniform_real_distribution<double> post(0.0, 0.5);
+    std::vector<sim::TaskId> deps;
+    std::vector<sim::CompiledOp> ops;
+    for (std::size_t t = 0; t < nt; ++t) {
+        ops.clear();
+        const std::size_t nops = op_count(rng);
+        for (std::size_t i = 0; i < nops; ++i) {
+            sim::CompiledOp o;
+            o.resource = static_cast<sim::ResourceId>(res(rng));
+            switch (kind(rng)) {
+            case 0:
+                o.bytes = mag(rng);
+                break;
+            case 1:
+                o.work[0] = mag(rng);
+                break;
+            case 2:
+                o.work[0] = mag(rng);
+                o.work[1] = mag(rng);
+                break;
+            default:
+                o.seconds = mag(rng) * 1e-3;
+                break;
+            }
+            // Half the ops pipeline a propagation delay, so the
+            // batched path is exercised with postSeconds != 0.
+            if (kind(rng) < 2)
+                o.postSeconds = post(rng);
+            ops.push_back(o);
+        }
+        deps.clear();
+        if (t > 0) {
+            std::uniform_int_distribution<std::size_t> dep_count(0, 3);
+            std::uniform_int_distribution<sim::TaskId> dep(
+                0, static_cast<sim::TaskId>(t - 1));
+            const std::size_t ndeps = dep_count(rng);
+            for (std::size_t i = 0; i < ndeps; ++i)
+                deps.push_back(dep(rng));
+        }
+        cs.addTask(deps, ops);
+    }
+    return cs;
+}
+
+/** Random replay point over `nr` resources. */
+sim::ReplayRates
+randomRates(std::mt19937 &rng, std::size_t nr)
+{
+    std::uniform_real_distribution<double> rate(1.0, 5000.0);
+    sim::ReplayRates r;
+    r.bytesPerSec.resize(nr);
+    for (std::size_t i = 0; i < nr; ++i)
+        r.bytesPerSec[i] = rate(rng);
+    r.workPerSec[0] = rate(rng);
+    r.workPerSec[1] = rate(rng);
+    return r;
+}
+
+} // namespace
+
+TEST(BatchedReplay, RandomDagsBitIdenticalToScalarOnAllLanes)
+{
+    std::mt19937 rng(20260726);
+    for (int trial = 0; trial < 10; ++trial) {
+        const std::size_t nr = 2 + trial % 4;
+        const std::size_t nt = 40 + 31 * (trial % 5);
+        const sim::CompiledSchedule cs = randomCompiledDag(rng, nt, nr);
+
+        // One full block: every lane must reproduce its scalar replay
+        // to the bit — makespan, per-task finish, per-resource busy
+        // seconds and job counts.
+        std::vector<sim::ReplayRates> pts;
+        for (std::size_t l = 0; l < sim::kBatchLanes; ++l)
+            pts.push_back(randomRates(rng, nr));
+        sim::BatchScratch batch;
+        cs.replayMany(pts.data(), pts.size(), batch);
+
+        for (std::size_t l = 0; l < pts.size(); ++l) {
+            sim::ReplayScratch scalar;
+            const double makespan = cs.replay(pts[l], scalar);
+            ASSERT_EQ(batch.makespan[l], makespan)
+                << "trial " << trial << " lane " << l;
+            for (std::size_t t = 0; t < nt; ++t)
+                ASSERT_EQ(batch.finish[t * pts.size() + l],
+                          scalar.finish[t])
+                    << "trial " << trial << " lane " << l << " task "
+                    << t;
+            for (std::size_t r = 0; r < nr; ++r) {
+                ASSERT_EQ(batch.busy[r * pts.size() + l],
+                          scalar.busy[r])
+                    << "trial " << trial << " lane " << l;
+                ASSERT_EQ(batch.jobs[r], scalar.jobs[r]);
+            }
+        }
+    }
+}
+
+TEST(BatchedReplay, DegenerateAndTailBatchWidths)
+{
+    std::mt19937 rng(20260727);
+    const std::size_t nr = 3, nt = 120;
+    const sim::CompiledSchedule cs = randomCompiledDag(rng, nt, nr);
+
+    // Odd batch sizes: B=1 (degenerate), a sub-block, and a size that
+    // forces full blocks plus a tail. Every makespan must equal the
+    // scalar replay at its point.
+    for (std::size_t n :
+         {std::size_t{1}, sim::kBatchLanes - 1,
+          2 * sim::kBatchLanes + 3}) {
+        std::vector<sim::ReplayRates> pts;
+        for (std::size_t i = 0; i < n; ++i)
+            pts.push_back(randomRates(rng, nr));
+        sim::BatchScratch batch;
+        cs.replayMany(pts.data(), n, batch);
+        for (std::size_t i = 0; i < n; ++i) {
+            sim::ReplayScratch scalar;
+            EXPECT_EQ(batch.makespan[i], cs.replay(pts[i], scalar))
+                << "n=" << n << " point " << i;
+        }
+    }
+}
+
+TEST(BatchedReplay, ExperimentBatchMatchesScalarAcrossConfigMatrix)
+{
+    // The acceptance matrix: paper sweep x dataflows x fused/split x
+    // multi-channel, batched through simulateRuntimeMany and compared
+    // bit-for-bit against per-point simulateRuntime.
+    const HksParams &b = benchmarkByName("ARK");
+    MemoryConfig mem{32ull << 20, false};
+    for (Dataflow d : allDataflows()) {
+        HksExperiment exp(b, d, mem);
+        for (bool split : {false, true}) {
+            for (std::size_t chans : {1u, 2u}) {
+                std::vector<RpuConfig> cfgs;
+                for (double bw : paperBandwidthSweep()) {
+                    for (double mult : {1.0, 2.0}) {
+                        RpuConfig cfg;
+                        cfg.bandwidthGBps = bw;
+                        cfg.modopsMult = mult;
+                        cfg.splitComputePipes = split;
+                        cfg.memChannels = chans;
+                        cfgs.push_back(cfg);
+                    }
+                }
+                std::vector<double> batched(cfgs.size());
+                exp.simulateRuntimeMany(cfgs.data(), cfgs.size(),
+                                        batched.data());
+                for (std::size_t i = 0; i < cfgs.size(); ++i)
+                    EXPECT_EQ(batched[i], exp.simulateRuntime(cfgs[i]))
+                        << "point " << i;
+            }
+        }
+    }
+}
+
+TEST(BatchedReplay, BandwidthOverloadMatchesScalarSweep)
+{
+    const HksParams &b = benchmarkByName("BTS1");
+    HksExperiment exp(b, Dataflow::OC, MemoryConfig{32ull << 20, true});
+    const std::vector<double> &grid = paperBandwidthSweepExtended();
+    const std::vector<double> batched =
+        exp.simulateRuntimeMany(grid, 2.0);
+    ASSERT_EQ(batched.size(), grid.size());
+    for (std::size_t i = 0; i < grid.size(); ++i)
+        EXPECT_EQ(batched[i], exp.simulateRuntime(grid[i], 2.0));
+}
+
+TEST(BatchedReplay, RejectsMixedLayoutsInOneBatch)
+{
+    const HksParams &b = benchmarkByName("BTS1");
+    HksExperiment exp(b, Dataflow::OC, MemoryConfig{32ull << 20, true});
+    std::vector<RpuConfig> cfgs(2);
+    cfgs[1].memChannels = 4; // layout-changing knob
+    std::vector<double> out(2);
+    EXPECT_DEATH(
+        exp.simulateRuntimeMany(cfgs.data(), cfgs.size(), out.data()),
+        "share one compiled layout");
 }
 
 // --- compiled vs rebuild on the paper experiments --------------------

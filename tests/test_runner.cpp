@@ -81,6 +81,44 @@ TEST(Runner, ParallelSweepMatchesSerialExactly)
     }
 }
 
+TEST(Runner, SweepRuntimesMatchesPerPointPathExactly)
+{
+    // The batched fast path (kBatchLanes-sized jobs through
+    // simulateRuntimeMany) must return exactly the runtimes of the
+    // serial per-point path, in point order, from both a parallel and
+    // a single-thread pool.
+    const HksParams &b = benchmarkByName("BTS2");
+    MemoryConfig mem{32ull << 20, false};
+    ExperimentRunner runner(4);
+    auto exp = runner.experiment(b, Dataflow::OC, mem);
+
+    std::vector<SweepPoint> points;
+    for (double bw : paperBandwidthSweepExtended())
+        for (double m : {1.0, 2.0, 4.0})
+            points.push_back({bw, m});
+
+    const std::vector<double> parallel =
+        runner.sweepRuntimes(*exp, points);
+    ASSERT_EQ(parallel.size(), points.size());
+
+    ExperimentRunner serial(1);
+    const std::vector<double> one_thread =
+        serial.sweepRuntimes(*exp, points);
+
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const double direct = exp->simulateRuntime(
+            points[i].bandwidthGBps, points[i].modopsMult);
+        EXPECT_EQ(parallel[i], direct) << i;
+        EXPECT_EQ(one_thread[i], direct) << i;
+    }
+
+    // The bandwidth overload agrees with the SweepPoint one.
+    const std::vector<double> &bws = paperBandwidthSweep();
+    const std::vector<double> rts = runner.sweepRuntimes(*exp, bws);
+    for (std::size_t i = 0; i < bws.size(); ++i)
+        EXPECT_EQ(rts[i], exp->simulateRuntime(bws[i]));
+}
+
 TEST(Runner, BandwidthSweepKeepsPointOrder)
 {
     const HksParams &b = benchmarkByName("ARK");
