@@ -17,11 +17,21 @@
  * (tune::ocBaseBandwidth over ocBaseSpace()) and requires it to equal
  * the rpu-layer grid scan bit-identically.
  *
+ * The layout-axis section measures how fast the tuner can explore the
+ * channel-layout axes (memChannels x channelPolicy): one fresh
+ * compile + replay per layout point (what a layout move cost before
+ * incremental compile) vs the patch path (one schedule rebound in
+ * place between layouts, HksExperiment::simulateRuntimeMany with a
+ * LayoutSweep) — after asserting the patched runtimes are
+ * bit-identical to scalar evaluation. CI gates layout_axis_speedup
+ * >= 10x.
+ *
  * Emits BENCH_tune.json for the CI artifact trail and exits nonzero
  * when any benchmark misses a gate — the tuner failing to rediscover
  * the paper's operating points is a regression, not a warning.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <functional>
 #include <string>
@@ -66,7 +76,117 @@ struct Row
     double ocbaseRefGbps = 0.0;
     std::string bestConfig;
     bool pass = false;
+
+    /** Evaluations the cd+hc tuner served through the patch path. */
+    std::size_t patchedEvals = 0;
+    /** Layout points in the layout-axis sweep. */
+    std::size_t layoutPoints = 0;
+    /** Layout-axis evals/sec, one fresh compile per point. */
+    double layoutFreshPerSec = 0.0;
+    /** Layout-axis evals/sec through the patch path. */
+    double layoutPatchedPerSec = 0.0;
+
+    double
+    layoutAxisSpeedup() const
+    {
+        return layoutFreshPerSec > 0.0
+                   ? layoutPatchedPerSec / layoutFreshPerSec
+                   : 0.0;
+    }
 };
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/**
+ * The channel-layout grid of the layout-axis study: every channel
+ * count x policy combination, all other knobs fixed — pure layout
+ * moves, the worst case for a compile-per-layout tuner.
+ */
+std::vector<RpuConfig>
+layoutAxisConfigs(const MemoryConfig &mem)
+{
+    std::vector<RpuConfig> cfgs;
+    for (std::size_t ch : {1, 2, 4, 8})
+        for (ChannelPolicy pol :
+             {ChannelPolicy::Interleave, ChannelPolicy::EvkDedicated,
+              ChannelPolicy::LeastLoaded}) {
+            RpuConfig cfg;
+            cfg.dataMemBytes = mem.dataCapacityBytes;
+            cfg.evkOnChip = mem.evkOnChip;
+            cfg.memChannels = ch;
+            cfg.channelPolicy = pol;
+            cfgs.push_back(cfg);
+        }
+    return cfgs;
+}
+
+/** Measure the layout-axis fresh vs patched rates for one row. */
+void
+measureLayoutAxis(const HksParams &par, Row &r)
+{
+    const MemoryConfig mem{32ull << 20, false};
+    const HksExperiment exp(par, Dataflow::OC, mem);
+    const std::vector<RpuConfig> cfgs = layoutAxisConfigs(mem);
+    r.layoutPoints = cfgs.size();
+    std::vector<double> out(cfgs.size());
+
+    // Correctness first: the patched sweep must reproduce scalar
+    // evaluation bit-identically at every layout.
+    LayoutSweep sweep;
+    exp.simulateRuntimeMany(cfgs.data(), cfgs.size(), out.data(),
+                            sweep);
+    for (std::size_t i = 0; i < cfgs.size(); ++i) {
+        if (out[i] != exp.simulateRuntime(cfgs[i])) {
+            std::fprintf(stderr,
+                         "FAIL: %s: patched layout sweep differs from "
+                         "scalar evaluation at point %zu\n",
+                         par.name, i);
+            r.pass = false;
+        }
+    }
+
+    const double kBudget = 0.3; // seconds per timed path
+
+    // Fresh path: every layout move pays a full compile, as the tuner
+    // did before incremental compile (first visit of each layout).
+    {
+        std::size_t evals = 0;
+        const Clock::time_point t0 = Clock::now();
+        double elapsed = 0.0;
+        do {
+            for (const RpuConfig &cfg : cfgs) {
+                const RpuEngine eng(cfg);
+                const sim::CompiledSchedule cs =
+                    eng.compile(exp.graph());
+                volatile double rt = eng.replayRuntime(cs);
+                (void)rt;
+            }
+            evals += cfgs.size();
+            elapsed = secondsSince(t0);
+        } while (elapsed < kBudget);
+        r.layoutFreshPerSec = static_cast<double>(evals) / elapsed;
+    }
+
+    // Patch path: one schedule rebound in place between layouts.
+    {
+        std::size_t evals = 0;
+        const Clock::time_point t0 = Clock::now();
+        double elapsed = 0.0;
+        do {
+            exp.simulateRuntimeMany(cfgs.data(), cfgs.size(),
+                                    out.data(), sweep);
+            evals += cfgs.size();
+            elapsed = secondsSince(t0);
+        } while (elapsed < kBudget);
+        r.layoutPatchedPerSec = static_cast<double>(evals) / elapsed;
+    }
+}
 
 } // namespace
 
@@ -126,8 +246,13 @@ main()
                      2 * r.cdEvals < r.spacePoints &&
                      r.hcBestMs == r.exhaustiveBestMs &&
                      r.ocbaseGbps == r.ocbaseRefGbps;
+            r.patchedEvals = search.patchedEvals();
         });
     runner.runAll(jobs);
+
+    // Timed layout-axis study, serial so the pool is quiet.
+    for (std::size_t i = 0; i < benches.size(); ++i)
+        measureLayoutAxis(benches[i], rows[i]);
 
     std::printf("%-9s | %5s | %9s %9s %6s %5s | %9s | %6s %6s | %6s\n",
                 "Benchmark", "grid", "best(ms)", "cd(ms)", "evals",
@@ -149,12 +274,37 @@ main()
                     r.bestConfig.c_str());
     for (const Row &r : rows)
         std::printf("%-9s eval cache (cd+hc): %zu hits / %zu misses "
-                    "(%.0f%% hit rate)\n",
+                    "(%.0f%% hit rate), %zu patched evals\n",
                     r.benchmark.c_str(), r.cacheHits, r.cacheMisses,
-                    r.cacheHitRate() * 100.0);
+                    r.cacheHitRate() * 100.0, r.patchedEvals);
     std::printf("\ncd/hc must match the exhaustive optimum "
                 "bit-identically; cd must evaluate < 50%% of the "
                 "grid; OCbase must equal the rpu-layer grid scan.\n");
+
+    std::printf("\n");
+    benchutil::header("Layout-axis exploration: fresh compile per "
+                      "layout vs incremental patch");
+    std::printf("%-9s | %6s | %11s %13s | %8s\n", "Benchmark",
+                "points", "fresh ev/s", "patched ev/s", "speedup");
+    benchutil::rule();
+    bool meets_layout_target = true;
+    for (const Row &r : rows) {
+        std::printf("%-9s | %6zu | %11.0f %13.0f | %7.1fx\n",
+                    r.benchmark.c_str(), r.layoutPoints,
+                    r.layoutFreshPerSec, r.layoutPatchedPerSec,
+                    r.layoutAxisSpeedup());
+        meets_layout_target =
+            meets_layout_target && r.layoutAxisSpeedup() >= 10.0;
+    }
+    benchutil::rule();
+    std::printf("fresh   = RpuEngine::compile + replayRuntime per "
+                "layout point (pre-patch tuner cost)\n");
+    std::printf("patched = simulateRuntimeMany + LayoutSweep "
+                "(recompileChannels between layouts)\n");
+    if (!meets_layout_target)
+        std::fprintf(stderr,
+                     "warning: layout-axis speedup below the 10x CI "
+                     "gate on this machine\n");
 
     std::FILE *json = std::fopen("BENCH_tune.json", "w");
     if (json != nullptr) {
@@ -173,12 +323,19 @@ main()
                 "\"eval_cache_misses\": %zu, "
                 "\"eval_cache_hit_rate\": %.4f, "
                 "\"pareto_points\": %zu, "
+                "\"patched_evals\": %zu, "
+                "\"layout_points\": %zu, "
+                "\"layout_fresh_evals_per_sec\": %.1f, "
+                "\"layout_patched_evals_per_sec\": %.1f, "
+                "\"layout_axis_speedup\": %.2f, "
                 "\"ocbase_gbps\": %.1f, \"ocbase_ref_gbps\": %.1f, "
                 "\"best_config\": \"%s\", \"pass\": %s}%s\n",
                 r.benchmark.c_str(), r.spacePoints,
                 r.exhaustiveBestMs, r.cdBestMs, r.cdEvals, r.cdFrac,
                 r.hcBestMs, r.hcEvals, r.hcHits, r.cacheHits,
                 r.cacheMisses, r.cacheHitRate(), r.paretoPoints,
+                r.patchedEvals, r.layoutPoints, r.layoutFreshPerSec,
+                r.layoutPatchedPerSec, r.layoutAxisSpeedup(),
                 r.ocbaseGbps, r.ocbaseRefGbps, r.bestConfig.c_str(),
                 r.pass ? "true" : "false",
                 i + 1 < rows.size() ? "," : "");

@@ -120,6 +120,56 @@ HksExperiment::simulateRuntimeMany(const RpuConfig *cfgs, std::size_t n,
 }
 
 void
+HksExperiment::simulateRuntimeMany(const RpuConfig *cfgs, std::size_t n,
+                                   double *out, LayoutSweep &sweep) const
+{
+    BatchTls &tls = batchTls();
+    std::size_t i = 0;
+    while (i < n) {
+        // Layout depends only on channel/pipe knobs, which
+        // normalized() never touches, so the raw configs group runs.
+        const RpuLayout layout = RpuLayout::of(cfgs[i]);
+        std::size_t j = i + 1;
+        while (j < n && RpuLayout::of(cfgs[j]) == layout)
+            ++j;
+
+        const RpuConfig first = normalized(cfgs[i]);
+        if (!sweep.compiled) {
+            sweep.ps = RpuEngine(first).compilePatchable(g);
+            sweep.compiled = true;
+        } else if (!(sweep.ps.layout == layout)) {
+            RpuEngine(first).recompileChannels(sweep.ps);
+            ++sweep.patches;
+        }
+
+        const std::size_t run = j - i;
+        if (run < sim::kBatchLanes / 2) {
+            // A lane block costs roughly a full kBatchLanes-wide walk
+            // regardless of occupancy, so short runs — the pure
+            // layout-axis case of one point per layout — replay
+            // scalar. Bit-identical either way (replayMany lanes
+            // equal scalar replays).
+            for (std::size_t k = 0; k < run; ++k)
+                out[i + k] = RpuEngine(normalized(cfgs[i + k]))
+                                 .replayRuntime(sweep.ps.schedule);
+        } else {
+            if (tls.rates.size() < run)
+                tls.rates.resize(run);
+            for (std::size_t k = 0; k < run; ++k)
+                RpuEngine(normalized(cfgs[i + k]))
+                    .rates(sweep.ps.schedule, tls.rates[k]);
+            sweep.ps.schedule.replayMany(tls.rates.data(), run,
+                                         tls.scratch);
+            for (std::size_t k = 0; k < run; ++k)
+                out[i + k] = tls.scratch.makespan[k];
+        }
+        if (sweep.ps.schedule.patchRevision() > 0)
+            sweep.patchedEvals += run;
+        i = j;
+    }
+}
+
+void
 HksExperiment::simulateRuntimeMany(const double *bandwidth_gbps,
                                    const double *modops_mult,
                                    std::size_t n, double *out) const

@@ -32,6 +32,26 @@
 namespace ciflow
 {
 
+/**
+ * Caller-owned state of a patch-based layout sweep: one patchable
+ * compiled schedule that is rebound in place (recompileChannels) as
+ * the sweep crosses channel layouts, plus counters reporting how much
+ * of the sweep ran incrementally. Compiled lazily on first use, so a
+ * default-constructed LayoutSweep can be handed to any experiment;
+ * reuse it only with the same experiment.
+ */
+struct LayoutSweep
+{
+    /** The reusable schedule, rebound in place across layouts. */
+    PatchableSchedule ps;
+    /** Whether `ps` holds a compiled schedule yet. */
+    bool compiled = false;
+    /** Channel repatches applied so far. */
+    std::size_t patches = 0;
+    /** Points replayed on a patched (revision > 0) binding. */
+    std::size_t patchedEvals = 0;
+};
+
 /** One (benchmark, dataflow, memory) combination, simulated at will. */
 class HksExperiment
 {
@@ -82,6 +102,21 @@ class HksExperiment
      */
     void simulateRuntimeMany(const RpuConfig *cfgs, std::size_t n,
                              double *out) const;
+
+    /**
+     * Layout-crossing batched simulateRuntime: the points may differ
+     * in the *channel* axes (memChannels, channelPolicy) as well as
+     * every rate knob. Consecutive same-layout points form batched
+     * replayMany runs; between runs the sweep's single schedule is
+     * rebound in place with recompileChannels instead of compiling
+     * from the graph, so a layout move costs one pass over the op
+     * stream. out[i] stays bit-identical to simulateRuntime(cfgs[i]).
+     * Points changing the pipe split or vector length panic (those
+     * reshape the skeleton). Order points by layout for fewest
+     * repatches.
+     */
+    void simulateRuntimeMany(const RpuConfig *cfgs, std::size_t n,
+                             double *out, LayoutSweep &sweep) const;
 
     /**
      * Simulate under a full RPU configuration (channel count and

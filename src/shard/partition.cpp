@@ -320,4 +320,29 @@ partitionGraph(const TaskGraph &g, const ShardSpec &spec,
     return p;
 }
 
+Partition
+assignmentPartition(const TaskGraph &g, const ShardSpec &spec,
+                    std::vector<std::uint32_t> shardOf,
+                    const std::vector<double> &weights)
+{
+    panicIf(spec.shards == 0, "partition into zero shards");
+    panicIf(shardOf.size() != g.size(),
+            "assignment does not cover the graph");
+    panicIf(weights.size() != g.size(),
+            "partition weights do not cover the graph");
+    for (std::uint32_t s : shardOf)
+        panicIf(s >= spec.shards,
+                "assignment uses an out-of-range shard");
+
+    Partition p;
+    p.shards = spec.shards;
+    p.strategy = spec.strategy;
+    p.shardOf = std::move(shardOf);
+    p.shardWork.assign(spec.shards, 0.0);
+    for (std::size_t t = 0; t < g.size(); ++t)
+        p.shardWork[p.shardOf[t]] += weights[t];
+    collectCut(g, spec, p.shardOf, p.cutEdges, p.cutBytes);
+    return p;
+}
+
 } // namespace ciflow::shard

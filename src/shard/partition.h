@@ -140,6 +140,20 @@ std::uint64_t edgePayloadBytes(const Task &producer,
 Partition partitionGraph(const TaskGraph &g, const ShardSpec &spec,
                          const std::vector<double> &weights);
 
+/**
+ * Build a Partition from an explicit task → shard assignment:
+ * per-shard work and the deduplicated cut are recomputed exactly as
+ * partitionGraph computes them for its own assignments. The entry
+ * point for move sequences — nudge an assignment, rebuild the
+ * Partition, hand it to ShardedEngine::recompilePartition — and for
+ * comparing a patched schedule against a from-scratch compile of the
+ * final assignment. Every assigned shard id must be < spec.shards;
+ * `weights` must hold one entry per task (see taskWeights).
+ */
+Partition assignmentPartition(const TaskGraph &g, const ShardSpec &spec,
+                              std::vector<std::uint32_t> shardOf,
+                              const std::vector<double> &weights);
+
 } // namespace ciflow::shard
 
 #endif // CIFLOW_SHARD_PARTITION_H

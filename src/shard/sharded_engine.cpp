@@ -45,8 +45,10 @@ shardedTag(const RpuLayout &chip, std::size_t shards, Topology topo)
 
 } // namespace
 
-ShardedCompiled
-ShardedEngine::compile(const TaskGraph &g, const Partition &p) const
+void
+ShardedEngine::compileInto(const TaskGraph &g, const Partition &p,
+                           ShardedCompiled &sc,
+                           ShardedPatchable *meta) const
 {
     g.validate();
     panicIf(p.shardOf.size() != g.size(),
@@ -55,7 +57,6 @@ ShardedEngine::compile(const TaskGraph &g, const Partition &p) const
     const std::size_t nchan = cfg.channelCount();
     const std::size_t per_chip = nchan + cfg.computePipeCount();
 
-    ShardedCompiled sc;
     sc.shards = k;
     sc.perChip = per_chip;
     sc.links = net.linkCount(k);
@@ -99,6 +100,19 @@ ShardedEngine::compile(const TaskGraph &g, const Partition &p) const
             nops += 1;
     }
     sc.schedule.reserve(g.size() + p.cutEdges.size(), ndeps, nops);
+    if (meta) {
+        const std::size_t graph_deps = ndeps - p.cutEdges.size();
+        const std::size_t graph_ops = nops - p.cutEdges.size();
+        meta->depOff.reserve(g.size() + 1);
+        meta->depOff.push_back(0);
+        meta->depIds.reserve(graph_deps);
+        meta->opOff.reserve(g.size() + 1);
+        meta->opOff.push_back(0);
+        meta->ops.reserve(graph_ops);
+        meta->roles.reserve(graph_ops);
+        meta->memBytes.reserve(graph_ops);
+        meta->chanOf.reserve(graph_ops);
+    }
 
     const RpuEngine eng(cfg);
     const CodeGen cg(cfg.vectorLen);
@@ -159,11 +173,182 @@ ShardedEngine::compile(const TaskGraph &g, const Partition &p) const
                       static_cast<sim::ResourceId>(shard * per_chip),
                       ops);
         new_id[t.id] = sc.schedule.addTask(deps, ops);
+        if (meta) {
+            meta->depIds.insert(meta->depIds.end(), t.deps.begin(),
+                                t.deps.end());
+            meta->depOff.push_back(
+                static_cast<std::uint32_t>(meta->depIds.size()));
+            meta->ops.insert(meta->ops.end(), ops.begin(), ops.end());
+            meta->opOff.push_back(
+                static_cast<std::uint32_t>(meta->ops.size()));
+            if (t.kind == TaskKind::Compute) {
+                meta->roles.push_back(OpRole::Pipe0);
+                meta->memBytes.push_back(0);
+                meta->chanOf.push_back(0);
+                if (ops.size() > 1) {
+                    meta->roles.push_back(OpRole::Pipe1);
+                    meta->memBytes.push_back(0);
+                    meta->chanOf.push_back(0);
+                }
+            } else {
+                meta->roles.push_back(t.isEvk ? OpRole::MemEvk
+                                              : OpRole::Mem);
+                meta->memBytes.push_back(t.bytes);
+                meta->chanOf.push_back(static_cast<std::uint32_t>(
+                    ops[0].resource - shard * per_chip));
+            }
+        }
     }
 
     sc.schedule.setLayoutTag(
         shardedTag(RpuLayout::of(cfg), k, net.topology));
+}
+
+ShardedCompiled
+ShardedEngine::compile(const TaskGraph &g, const Partition &p) const
+{
+    ShardedCompiled sc;
+    compileInto(g, p, sc, nullptr);
     return sc;
+}
+
+ShardedPatchable
+ShardedEngine::compilePatchable(const TaskGraph &g,
+                                const Partition &p) const
+{
+    ShardedPatchable ps;
+    compileInto(g, p, ps.compiled, &ps);
+    ps.part = p;
+    return ps;
+}
+
+void
+ShardedEngine::recompilePartition(ShardedPatchable &ps,
+                                  const Partition &newP) const
+{
+    const std::size_t k = ps.compiled.shards;
+    const std::size_t n = ps.part.shardOf.size();
+    panicIf(newP.shards != k,
+            "partition repatch cannot change the shard count: the "
+            "chip resource blocks would resize, compile from scratch");
+    panicIf(newP.shardOf.size() != n,
+            "partition does not cover the compiled graph");
+    panicIf(ps.compiled.schedule.baseLayoutTag() !=
+                shardedTag(RpuLayout::of(cfg), k, net.topology),
+            "patchable sharded schedule was compiled under a "
+            "different engine configuration");
+
+    const std::size_t nchan = cfg.channelCount();
+    const std::size_t per_chip = ps.compiled.perChip;
+
+    // A shard is dirty when its membership changed (a task left or
+    // joined); only dirty shards re-run placement. A clean shard's
+    // task sequence is unchanged, so its placer would retrace the
+    // recorded channels — reuse them instead.
+    ps.shardDirty.assign(k, 0);
+    for (std::size_t t = 0; t < n; ++t)
+        if (ps.part.shardOf[t] != newP.shardOf[t]) {
+            ps.shardDirty[ps.part.shardOf[t]] = 1;
+            ps.shardDirty[newP.shardOf[t]] = 1;
+        }
+
+    std::vector<ChannelPlacer> placers;
+    placers.reserve(k);
+    for (std::size_t s = 0; s < k; ++s)
+        placers.emplace_back(cfg.channelPolicy, nchan);
+
+    sim::CompiledSchedule &cs = ps.compiled.schedule;
+    cs.clearTasks();
+    ps.compiled.transferTasks = 0;
+    ps.compiled.transferBytes = 0;
+
+    const sim::ResourceId link_base =
+        static_cast<sim::ResourceId>(k * per_chip);
+    std::unordered_map<std::uint64_t, std::size_t> cut_index;
+    cut_index.reserve(newP.cutEdges.size());
+    for (std::size_t i = 0; i < newP.cutEdges.size(); ++i)
+        cut_index.emplace(static_cast<std::uint64_t>(
+                              newP.cutEdges[i].src) *
+                                  k +
+                              newP.cutEdges[i].toShard,
+                          i);
+    constexpr sim::TaskId kUnset = ~sim::TaskId{0};
+    ps.transferId.assign(newP.cutEdges.size(), kUnset);
+    if (ps.newId.size() < n)
+        ps.newId.resize(n);
+
+    for (std::size_t t = 0; t < n; ++t) {
+        const std::uint32_t shard = newP.shardOf[t];
+        ps.depScratch.clear();
+        for (std::uint32_t i = ps.depOff[t]; i < ps.depOff[t + 1];
+             ++i) {
+            const std::uint32_t d = ps.depIds[i];
+            if (newP.shardOf[d] == shard) {
+                ps.depScratch.push_back(ps.newId[d]);
+                continue;
+            }
+            const std::uint64_t key =
+                static_cast<std::uint64_t>(d) * k + shard;
+            const auto it = cut_index.find(key);
+            panicIf(it == cut_index.end(),
+                    "partition cut does not cover a cross-shard "
+                    "dependency");
+            const std::size_t idx = it->second;
+            if (ps.transferId[idx] == kUnset) {
+                const CutEdge &e = newP.cutEdges[idx];
+                sim::CompiledOp xfer;
+                xfer.resource =
+                    link_base +
+                    static_cast<sim::ResourceId>(net.linkIndex(
+                        e.fromShard, e.toShard, k));
+                xfer.bytes = static_cast<double>(e.bytes);
+                xfer.postSeconds = net.latencySec;
+                const sim::TaskId dep = ps.newId[d];
+                ps.transferId[idx] = cs.addTask(&dep, 1, &xfer, 1);
+                ++ps.compiled.transferTasks;
+                ps.compiled.transferBytes += e.bytes;
+            }
+            ps.depScratch.push_back(ps.transferId[idx]);
+        }
+
+        ps.opScratch.clear();
+        const sim::ResourceId base =
+            static_cast<sim::ResourceId>(shard * per_chip);
+        const sim::ResourceId pipe0 =
+            base + static_cast<sim::ResourceId>(nchan);
+        for (std::uint32_t i = ps.opOff[t]; i < ps.opOff[t + 1]; ++i) {
+            sim::CompiledOp o = ps.ops[i];
+            switch (ps.roles[i]) {
+            case OpRole::Mem:
+            case OpRole::MemEvk: {
+                const std::uint32_t chan =
+                    ps.shardDirty[shard]
+                        ? static_cast<std::uint32_t>(
+                              placers[shard].place(
+                                  ps.memBytes[i],
+                                  ps.roles[i] == OpRole::MemEvk))
+                        : ps.chanOf[i];
+                ps.chanOf[i] = chan;
+                o.resource =
+                    base + static_cast<sim::ResourceId>(chan);
+                break;
+            }
+            case OpRole::Pipe0:
+                o.resource = pipe0;
+                break;
+            case OpRole::Pipe1:
+                o.resource = pipe0 + 1;
+                break;
+            }
+            ps.opScratch.push_back(o);
+        }
+        ps.newId[t] =
+            cs.addTask(ps.depScratch.data(), ps.depScratch.size(),
+                       ps.opScratch.data(), ps.opScratch.size());
+    }
+
+    cs.patchCommit(shardedTag(RpuLayout::of(cfg), k, net.topology));
+    ps.part = newP;
 }
 
 namespace
@@ -202,7 +387,10 @@ void
 ShardedEngine::rates(const ShardedCompiled &sc,
                      sim::ReplayRates &r) const
 {
-    panicIf(sc.schedule.layoutTag() !=
+    // The base tag identifies the layout of the *current* binding
+    // (partition repatches re-stamp it), so these rates match exactly
+    // this revision of the schedule.
+    panicIf(sc.schedule.baseLayoutTag() !=
                 shardedTag(RpuLayout::of(cfg), sc.shards,
                            net.topology),
             "sharded schedule layout does not match config");
@@ -224,7 +412,7 @@ ShardedEngine::replayRuntimeMany(const ShardedCompiled &sc,
 {
     if (n == 0)
         return;
-    panicIf(sc.schedule.layoutTag() !=
+    panicIf(sc.schedule.baseLayoutTag() !=
                 shardedTag(RpuLayout::of(cfg), sc.shards,
                            net.topology),
             "sharded schedule layout does not match config");

@@ -50,6 +50,45 @@ struct ShardedCompiled
     std::uint64_t transferBytes = 0;
 };
 
+/**
+ * A sharded compile plus the cached lowering needed to rebind it to a
+ * new partition without re-lowering: every graph task's dependency
+ * list and compiled op templates (cost numerators, roles, exact
+ * memory payloads) are recorded once by compilePatchable(), so a
+ * partition move rebuilds only placement — dirty shards re-run their
+ * ChannelPlacer, clean shards reuse the recorded channel of every op
+ * (valid because placer state depends only on that shard's unchanged
+ * task sequence) — and the transfer tasks of the new cut. The
+ * schedule member replays exactly like a compile() result.
+ */
+struct ShardedPatchable
+{
+    ShardedCompiled compiled;
+    /** Partition the schedule is currently bound to. */
+    Partition part;
+
+    // Cached, partition-independent lowering (built once): graph task
+    // t's deps are depIds[depOff[t]..depOff[t+1]) and its op
+    // templates are index range [opOff[t], opOff[t+1]) below.
+    std::vector<std::uint32_t> depOff;
+    std::vector<std::uint32_t> depIds;
+    std::vector<std::uint32_t> opOff;
+    /** Op cost numerators (resource re-derived at each rebind). */
+    std::vector<sim::CompiledOp> ops;
+    /** Role per cached op (selects channel vs pipe rebinding). */
+    std::vector<OpRole> roles;
+    /** Memory-op payload in bytes (0 for pipe ops). */
+    std::vector<std::uint64_t> memBytes;
+
+    /** Within-chip channel currently bound per memory op. */
+    std::vector<std::uint32_t> chanOf;
+
+    // Reusable recompile scratch (allocation-free once warm).
+    std::vector<sim::TaskId> newId, transferId, depScratch;
+    std::vector<sim::CompiledOp> opScratch;
+    std::vector<char> shardDirty;
+};
+
 /** Aggregate results of one sharded simulation. */
 struct ShardedStats
 {
@@ -85,6 +124,32 @@ class ShardedEngine
     ShardedCompiled compile(const TaskGraph &g,
                             const Partition &p) const;
 
+    /**
+     * compile() plus the cached lowering recompilePartition() needs:
+     * the schedule is built by the same pass (bit-identical to
+     * compile()), with the per-task dep lists and op templates
+     * recorded along the way so later partition moves never consult
+     * the graph or CodeGen again.
+     */
+    ShardedPatchable compilePatchable(const TaskGraph &g,
+                                      const Partition &p) const;
+
+    /**
+     * Rebind `ps` to partition `newP` in place: the task CSR is
+     * rebuilt from the cached op templates (no graph, no CodeGen, no
+     * re-lowering), shards whose membership changed re-run channel
+     * placement, untouched shards reuse their existing channel
+     * binding, and the new cut's transfer tasks are materialized
+     * exactly as compile() would. Commits a patch revision (distinct
+     * layoutTag). The shard count cannot change — that resizes the
+     * resource table's chip blocks, so compile from scratch. The
+     * result is bit-identical to compile(g, newP)
+     * (tests/test_patch.cpp pins move sequences against from-scratch
+     * compiles of the final partition).
+     */
+    void recompilePartition(ShardedPatchable &ps,
+                            const Partition &newP) const;
+
     /** Replay rates: per-chip channel rates, link rates, work rates. */
     void rates(const ShardedCompiled &sc, sim::ReplayRates &r) const;
 
@@ -118,6 +183,14 @@ class ShardedEngine
     const InterconnectConfig &interconnect() const { return net; }
 
   private:
+    /**
+     * Shared lowering pass of compile()/compilePatchable(): builds
+     * the schedule into `sc`, recording the patch caches when `meta`
+     * is non-null, so the two entry points cannot drift.
+     */
+    void compileInto(const TaskGraph &g, const Partition &p,
+                     ShardedCompiled &sc, ShardedPatchable *meta) const;
+
     RpuConfig cfg;
     InterconnectConfig net;
 };

@@ -68,6 +68,51 @@ CompiledSchedule::addTask(const std::vector<TaskId> &deps,
                    ops_in.size());
 }
 
+BindingView
+CompiledSchedule::patchBegin(std::size_t resources)
+{
+    panicIf(resources == 0, "patch to zero resources");
+    names.resize(resources);
+    return BindingView{opRes.data(), opRes.size()};
+}
+
+void
+CompiledSchedule::patchResourceName(ResourceId id, const char *name)
+{
+    panicIf(id >= names.size(), "patch name for unknown resource id");
+    names[id] = name;
+}
+
+void
+CompiledSchedule::patchCommit(std::uint64_t newBaseTag)
+{
+    // A single vectorizable max-scan instead of a per-op check keeps
+    // commit cost negligible next to the rebind itself.
+    ResourceId hi = 0;
+    for (std::size_t i = 0; i < opRes.size(); ++i)
+        hi = opRes[i] > hi ? opRes[i] : hi;
+    panicIf(!opRes.empty() && hi >= names.size(),
+            "patched op targets an unknown resource");
+    tag = newBaseTag;
+    ++rev;
+}
+
+void
+CompiledSchedule::clearTasks()
+{
+    depOff.clear();
+    depOff.push_back(0);
+    depIds.clear();
+    opOff.clear();
+    opOff.push_back(0);
+    opRes.clear();
+    opBytes.clear();
+    opWork0.clear();
+    opWork1.clear();
+    opSec.clear();
+    opPost.clear();
+}
+
 void
 CompiledSchedule::checkRates(const ReplayRates &rates) const
 {
@@ -75,8 +120,9 @@ CompiledSchedule::checkRates(const ReplayRates &rates) const
         return;
     panic("replay rates cover a different resource count: rates have " +
           std::to_string(rates.bytesPerSec.size()) +
-          " resources, schedule (layout tag " + std::to_string(tag) +
-          ") has " + std::to_string(names.size()));
+          " resources, schedule (layout tag " +
+          std::to_string(layoutTag()) + ") has " +
+          std::to_string(names.size()));
 }
 
 double

@@ -32,6 +32,21 @@
  * simulates — including parallel sweeps with per-thread scratch —
  * allocate nothing after the first call. replayMany() does the same
  * with a BatchScratch.
+ *
+ * Compiled state splits into two halves. The *skeleton* — CSR offsets
+ * (depOff/depIds/opOff) and the op cost numerators (bytes, work,
+ * seconds, postSeconds) — depends only on the task graph and the
+ * lowering, not on which resource serves each op. The *binding* — the
+ * per-op resource ids, the resource name table, and the layout tag —
+ * is what a layout change (channel count, placement policy) actually
+ * alters. The patch API (patchBegin / patchResourceName / patchCommit)
+ * rewrites the binding in place against an untouched skeleton, so a
+ * layout move costs one pass over the op stream instead of a full
+ * re-lowering; clearTasks() additionally resets the skeleton while
+ * keeping array capacity, for patches that change task structure
+ * (shard moves). Each commit bumps a revision counter that is mixed
+ * into layoutTag(), so stale rate vectors built against an earlier
+ * binding still trip the tag-mismatch panic.
  */
 
 #ifndef CIFLOW_SIM_COMPILED_SCHEDULE_H
@@ -154,6 +169,30 @@ struct BatchScratch
     std::vector<double> w0, w1;
 };
 
+/**
+ * The externally visible identity of patch revision `rev` of a
+ * schedule whose compiler stamped base tag `base`: the base tag itself
+ * for a fresh compile (revision 0), and a revision-mixed value for
+ * every patched binding. The multiplier is odd, so distinct revisions
+ * of one base never collide with each other or with the base.
+ */
+constexpr std::uint64_t
+patchedTag(std::uint64_t base, std::uint64_t rev)
+{
+    return rev == 0 ? base : base ^ (rev * 0x9E3779B97F4A7C15ull);
+}
+
+/**
+ * Mutable view of a schedule's binding handed out by patchBegin():
+ * the per-op resource id array, opCount entries, to be rewritten in
+ * place and then sealed with patchCommit().
+ */
+struct BindingView
+{
+    ResourceId *opRes = nullptr;
+    std::size_t opCount = 0;
+};
+
 /** A task graph compiled to CSR arrays for scaled replay. */
 class CompiledSchedule
 {
@@ -195,12 +234,59 @@ class CompiledSchedule
     std::size_t depCount() const { return depIds.size(); }
 
     /**
-     * Opaque tag a compiler can stamp to identify the layout it
-     * lowered against; consumers verify it before replaying with
-     * layout-derived rates. 0 = untagged (hand-built schedules).
+     * Stamp the base layout tag — the opaque identity of the layout
+     * the current binding was lowered (or last patched) against.
+     * Leaves the patch revision alone; compilers stamping a fresh
+     * build use this, patches go through patchCommit().
      */
     void setLayoutTag(std::uint64_t t) { tag = t; }
-    std::uint64_t layoutTag() const { return tag; }
+
+    /**
+     * Identity of the current binding: the base layout tag mixed with
+     * the patch revision (patchedTag). Consumers verify it before
+     * replaying with layout-derived rates; a rate vector built against
+     * an earlier revision of this schedule fails the check even when
+     * both revisions bound the same layout. 0 = untagged fresh
+     * schedule (hand-built).
+     */
+    std::uint64_t layoutTag() const { return patchedTag(tag, rev); }
+
+    /** The compiler-stamped layout identity alone, revision-free. */
+    std::uint64_t baseLayoutTag() const { return tag; }
+
+    /** Patches committed since compile (0 = fresh build). */
+    std::uint64_t patchRevision() const { return rev; }
+
+    /**
+     * Begin an in-place rebind of the op → resource assignment: sizes
+     * the resource table to `resources` entries (existing names keep
+     * their ids; new ids start unnamed — name them with
+     * patchResourceName) and returns the mutable binding. The CSR
+     * skeleton — offsets and cost numerators — is untouched, and no
+     * allocation happens unless the resource table grows. The schedule
+     * must not be replayed between patchBegin and patchCommit.
+     */
+    BindingView patchBegin(std::size_t resources);
+
+    /** Rename resource `id` in place (reuses the string's storage). */
+    void patchResourceName(ResourceId id, const char *name);
+
+    /**
+     * Seal a patch: validates that every op targets a live resource,
+     * stamps `newBaseTag` as the base layout tag, and bumps the patch
+     * revision so layoutTag() is distinct from every earlier revision
+     * of this schedule.
+     */
+    void patchCommit(std::uint64_t newBaseTag);
+
+    /**
+     * Drop every task (deps and ops) while keeping the resource table,
+     * tags and array capacity: the rebuild half of the patch API, for
+     * patches that change task structure itself (the shard engine's
+     * partition repatch re-adds tasks after this). Follow the rebuild
+     * with patchCommit() to restore a consistent tag.
+     */
+    void clearTasks();
 
     /**
      * Simulate the whole schedule at one replay point: a single pass
@@ -240,15 +326,20 @@ class CompiledSchedule
     /** Panic unless `rates` covers this schedule's resources. */
     void checkRates(const ReplayRates &rates) const;
 
+    // --- binding: rewritten in place by the patch API ---
     std::vector<std::string> names;
     std::uint64_t tag = 0;
-    // CSR arrays: task t's deps are depIds[depOff[t]..depOff[t+1]) and
-    // its ops are index range [opOff[t], opOff[t+1]) into the SoA op
-    // component arrays below.
+    /** Patches committed since compile; mixed into layoutTag(). */
+    std::uint64_t rev = 0;
+    // --- skeleton: CSR arrays, fixed by the lowering ---
+    // Task t's deps are depIds[depOff[t]..depOff[t+1]) and its ops are
+    // index range [opOff[t], opOff[t+1]) into the SoA op component
+    // arrays below.
     std::vector<std::uint32_t> depOff{0};
     std::vector<TaskId> depIds;
     std::vector<std::uint32_t> opOff{0};
-    // Op components, structure-of-arrays (see file comment).
+    // Op components, structure-of-arrays (see file comment). opRes is
+    // binding (patchable); the cost numerators are skeleton.
     std::vector<ResourceId> opRes;
     std::vector<double> opBytes;
     std::vector<double> opWork0;

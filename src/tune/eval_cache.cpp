@@ -78,4 +78,18 @@ EvalCache::size() const
     return map.size();
 }
 
+void
+EvalCache::notePatched(std::size_t n)
+{
+    std::lock_guard<std::mutex> lk(mu);
+    npatched += n;
+}
+
+std::size_t
+EvalCache::patchedEvals() const
+{
+    std::lock_guard<std::mutex> lk(mu);
+    return npatched;
+}
+
 } // namespace ciflow::tune

@@ -126,17 +126,20 @@ Tuner::evaluateAll(const std::vector<std::vector<std::size_t>> &pts)
             scalar.push_back(i);
             continue;
         }
-        // The group key: the canonical key with every rate knob
-        // pinned, and the *materialized* layout fields (keyOf drops
-        // policy on one channel as vacuous, but the compiled layout
-        // still tags it — batch mates must share the actual layout).
+        // The group key: the canonical key with every rate knob AND
+        // every channel-layout knob pinned, so one group holds all
+        // single-chip points of one graph (benchmark, dataflow,
+        // capacity, evk residency). Members spanning channel layouts
+        // are layout-adjacent: evaluateBatch sorts them by layout and
+        // routes multi-layout groups through the patch-based sweep —
+        // one schedule rebound in place — instead of one compile per
+        // layout.
         EvalKey gk = keyOf(p);
         gk.bandwidthGBps = 0.0;
         gk.modopsMult = 0.0;
         gk.channelSkew = 1.0;
-        const RpuLayout lay = RpuLayout::of(sp.chipConfig(p));
-        gk.memChannels = lay.memChannels;
-        gk.channelPolicy = lay.channelPolicy;
+        gk.memChannels = 1;
+        gk.channelPolicy = ChannelPolicy::Interleave;
         groups[gk].push_back(i);
     }
     std::vector<std::function<void()>> jobs;
@@ -172,20 +175,45 @@ Tuner::evaluateBatch(const std::vector<std::size_t> &members,
     }
     if (fresh.empty())
         return;
-    // All fresh members share one graph and one compiled layout, so
-    // the whole set evaluates with a single batched replay — the same
-    // rates and schedule the scalar path would use, so each result is
-    // bit-identical to evaluateUncached on that point.
+    // All fresh members share one graph; they may span channel
+    // layouts. Sort by layout so equal layouts form consecutive
+    // replayMany runs (stable, so rate order within a layout is
+    // preserved), then evaluate single-layout sets through the plain
+    // batch and layout-crossing sets through the patch-based sweep:
+    // one schedule, rebound in place between runs. A patched binding
+    // is bit-identical to a fresh compile of its layout, so each
+    // result matches evaluateUncached on that point either way.
     const TunePoint p0 = sp.at(pts[fresh[0]]);
     const std::shared_ptr<const HksExperiment> exp =
         runner.experiment(par, p0.dataflow, sp.memoryConfig(p0));
+    std::stable_sort(
+        fresh.begin(), fresh.end(),
+        [this, &pts](std::size_t a, std::size_t b) {
+            const TunePoint pa = sp.at(pts[a]);
+            const TunePoint pb = sp.at(pts[b]);
+            if (pa.memChannels != pb.memChannels)
+                return pa.memChannels < pb.memChannels;
+            return pa.channelPolicy < pb.channelPolicy;
+        });
     std::vector<RpuConfig> cfgs;
     cfgs.reserve(fresh.size());
-    for (std::size_t i : fresh)
+    bool multi_layout = false;
+    for (std::size_t i : fresh) {
         cfgs.push_back(sp.chipConfig(sp.at(pts[i])));
+        if (!(RpuLayout::of(cfgs.back()) ==
+              RpuLayout::of(cfgs.front())))
+            multi_layout = true;
+    }
     std::vector<double> runtimes(fresh.size());
-    exp->simulateRuntimeMany(cfgs.data(), cfgs.size(),
-                             runtimes.data());
+    if (multi_layout) {
+        LayoutSweep sweep;
+        exp->simulateRuntimeMany(cfgs.data(), cfgs.size(),
+                                 runtimes.data(), sweep);
+        cache.notePatched(sweep.patchedEvals);
+    } else {
+        exp->simulateRuntimeMany(cfgs.data(), cfgs.size(),
+                                 runtimes.data());
+    }
     for (std::size_t j = 0; j < fresh.size(); ++j) {
         const std::size_t i = fresh[j];
         const TunePoint p = sp.at(pts[i]);

@@ -137,15 +137,18 @@ class Tuner
      * Results in input order; every point lands in the cache.
      *
      * Fresh single-chip points are grouped by everything that shapes
-     * the task graph or the compiled layout (benchmark, dataflow,
-     * capacity, evk residency, channel count, placement policy); each
-     * group differs only in rate knobs (bandwidth, MODOPS, skew) and
-     * is dispatched as ONE pool job that replays the whole group in
-     * kBatchLanes-wide blocks (HksExperiment::simulateRuntimeMany).
-     * Multi-chip points fall back to scalar per-point jobs — their
-     * partitions change the compiled layout point by point. Batched
-     * and scalar evaluations are bit-identical, so strategies and
-     * cache contents are unaffected by the grouping.
+     * the task graph (benchmark, dataflow, capacity, evk residency);
+     * each group is dispatched as ONE pool job that orders its
+     * members by channel layout and replays them in kBatchLanes-wide
+     * blocks (HksExperiment::simulateRuntimeMany). Members differing
+     * in the channel axes ride the incremental patch path: one
+     * patchable schedule rebound in place between layouts
+     * (recompileChannels) instead of one compile per layout, counted
+     * by patchedEvals(). Multi-chip points fall back to scalar
+     * per-point jobs — their partitions change the compiled layout
+     * point by point. Batched, patched, and scalar evaluations are
+     * bit-identical, so strategies and cache contents are unaffected
+     * by the grouping.
      */
     std::vector<Measurement>
     evaluateAll(const std::vector<std::vector<std::size_t>> &pts);
@@ -156,6 +159,12 @@ class Tuner
     std::size_t evaluations() const { return cache.misses(); }
     /** Cache hits since construction. */
     std::size_t cacheHits() const { return cache.hits(); }
+    /**
+     * Evaluations served through the incremental patch path (layout
+     * sweeps replaying a rebound schedule) since construction — how
+     * much of the search ran without a fresh compile.
+     */
+    std::size_t patchedEvals() const { return cache.patchedEvals(); }
 
   private:
     /** Canonical cache key of `p` (vacuous knobs pinned to defaults). */
