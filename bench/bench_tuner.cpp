@@ -146,7 +146,7 @@ measureLayoutAxis(const HksParams &par, Row &r)
             std::fprintf(stderr,
                          "FAIL: %s: patched layout sweep differs from "
                          "scalar evaluation at point %zu\n",
-                         par.name, i);
+                         par.name.c_str(), i);
             r.pass = false;
         }
     }

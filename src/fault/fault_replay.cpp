@@ -1,0 +1,294 @@
+#include "fault/fault_replay.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace ciflow::fault
+{
+
+using shard::Partition;
+using shard::ShardedCompiled;
+
+sim::RateEpochs
+buildEpochs(const FaultTrace &trace, const ShardedCompiled &sc,
+            double timeShift)
+{
+    const std::size_t nres =
+        sc.shards * sc.perChip + sc.links;
+    sim::RateEpochs ep;
+    if (trace.events.empty())
+        return ep;
+
+    // Per-resource fault contributions, in normalized trace order so
+    // multiplier products fold identically everywhere. A contribution
+    // is active on [at, end); permanent degrades have end = +inf.
+    struct Span
+    {
+        double at;
+        double end;
+        double factor;
+    };
+    const double inf = std::numeric_limits<double>::infinity();
+    std::vector<std::vector<Span>> spans(nres);
+    const auto add = [&](std::size_t r, double at, double end,
+                         double factor) {
+        panicIf(r >= nres, "fault event outside the machine shape");
+        spans[r].push_back({at, end, factor});
+    };
+    for (const FaultEvent &e : trace.events) {
+        switch (e.kind) {
+        case FaultKind::ChipFail:
+            // Failure is failover's job, not a rate epoch.
+            break;
+        case FaultKind::ChannelDegrade:
+            add(std::size_t{e.shard} * sc.perChip + e.channel, e.atSec,
+                inf, e.factor);
+            break;
+        case FaultKind::LinkDegrade:
+            add(sc.shards * sc.perChip + e.channel, e.atSec, inf,
+                e.factor);
+            break;
+        case FaultKind::TransientStall:
+            for (std::size_t r = 0; r < sc.perChip; ++r)
+                add(std::size_t{e.shard} * sc.perChip + r, e.atSec,
+                    e.atSec + e.durSec, e.factor);
+            break;
+        }
+    }
+
+    ep.off.assign(nres + 1, 0);
+    std::vector<double> bounds;
+    for (std::size_t r = 0; r < nres; ++r) {
+        ep.off[r] = static_cast<std::uint32_t>(ep.at.size());
+        if (spans[r].empty())
+            continue;
+        // Candidate epoch starts: every span boundary, shifted into
+        // the replay's local clock; boundaries already past fold into
+        // one state at time 0.
+        bounds.clear();
+        for (const Span &s : spans[r]) {
+            bounds.push_back(std::max(0.0, s.at - timeShift));
+            if (s.end < inf)
+                bounds.push_back(std::max(0.0, s.end - timeShift));
+        }
+        std::sort(bounds.begin(), bounds.end());
+        bounds.erase(std::unique(bounds.begin(), bounds.end()),
+                     bounds.end());
+        double prev = 1.0;
+        for (double t : bounds) {
+            const double abs = t + timeShift;
+            // Multiplier at local time t: the product of every active
+            // span's factor, folded in trace order.
+            double m = 1.0;
+            for (const Span &s : spans[r])
+                if (s.at <= abs && abs < s.end)
+                    m *= s.factor;
+            if (m == prev)
+                continue;
+            ep.at.push_back(t);
+            ep.mult.push_back(m);
+            prev = m;
+        }
+    }
+    ep.off[nres] = static_cast<std::uint32_t>(ep.at.size());
+    if (ep.mult.empty()) {
+        // Every event was a ChipFail or already recovered: no epochs.
+        ep.off.clear();
+        ep.at.clear();
+    }
+    return ep;
+}
+
+FaultSim::FaultSim(const TaskGraph &g, const shard::ShardSpec &sp,
+                   const std::vector<double> &w, const Partition &part,
+                   const RpuConfig &chip,
+                   const shard::InterconnectConfig &net)
+    : graph(g), spec(sp), weights(w), eng(chip, net), basePart(part)
+{
+    panicIf(spec.shards != part.shards,
+            "fault spec and partition disagree on the shard count");
+    ps = eng.compilePatchable(g, part);
+    eng.rates(ps.compiled, baseRates);
+    doneGraph.assign(g.size(), 0);
+}
+
+MachineShape
+FaultSim::shape() const
+{
+    return {ps.compiled.shards, eng.chip().channelCount(),
+            ps.compiled.links};
+}
+
+void
+FaultSim::resetBinding()
+{
+    if (!bindingDirty)
+        return;
+    eng.recompilePartition(ps, basePart);
+    bindingDirty = false;
+}
+
+double
+FaultSim::healthyMakespan()
+{
+    resetBinding();
+    return ps.compiled.schedule.replay(baseRates, scratch);
+}
+
+DegradedOutcome
+FaultSim::run(const FaultTrace &trace)
+{
+    if (sim::Error e = checkTrace(trace, shape()))
+        panic(e.message());
+    resetBinding();
+
+    // Earliest failure per chip, in time order; later failures of an
+    // already-dead chip are no-ops.
+    struct Fail
+    {
+        double at;
+        std::uint32_t shard;
+    };
+    std::vector<Fail> fails;
+    for (const FaultEvent &e : trace.events)
+        if (e.kind == FaultKind::ChipFail)
+            fails.push_back({e.atSec, e.shard});
+    std::stable_sort(fails.begin(), fails.end(),
+                     [](const Fail &a, const Fail &b) {
+                         return a.at < b.at;
+                     });
+
+    DegradedOutcome out;
+    std::fill(doneGraph.begin(), doneGraph.end(), std::uint8_t{0});
+    std::vector<char> alive(ps.compiled.shards, 1);
+    double tBase = 0.0;
+    bool anyDone = false;
+    Partition cur = basePart;
+
+    const auto schedMask = [&]() -> const std::uint8_t * {
+        if (!anyDone)
+            return nullptr;
+        doneSched.assign(ps.compiled.schedule.taskCount(), 0);
+        for (std::uint32_t t = 0; t < graph.size(); ++t)
+            doneSched[ps.newId[t]] = doneGraph[t];
+        // A transfer re-ships only when its value has not been
+        // produced yet; already-produced values moved in the
+        // migration-bytes accounting.
+        constexpr sim::TaskId kUnset = ~sim::TaskId{0};
+        for (std::size_t j = 0; j < ps.transferId.size(); ++j)
+            if (ps.transferId[j] != kUnset)
+                doneSched[ps.transferId[j]] =
+                    doneGraph[ps.part.cutEdges[j].src];
+        return doneSched.data();
+    };
+
+    for (const Fail &f : fails) {
+        if (!alive[f.shard])
+            continue;
+        const sim::RateEpochs ep =
+            buildEpochs(trace, ps.compiled, tBase);
+        const double m = ps.compiled.schedule.replayPiecewise(
+            baseRates, ep, schedMask(), scratch);
+        const double tfRel = f.at - tBase;
+        if (m <= tfRel) {
+            // The run finished before this chip died.
+            out.makespan = tBase + m;
+            return out;
+        }
+        // Salvage: everything that finished before the failure stays
+        // finished (tfRel < 0 means the chip died during a migration
+        // pause — no new progress to salvage).
+        if (tfRel >= 0.0) {
+            for (std::uint32_t t = 0; t < graph.size(); ++t)
+                if (scratch.finish[ps.newId[t]] <= tfRel)
+                    doneGraph[t] = 1;
+            anyDone = true;
+        }
+        alive[f.shard] = 0;
+        std::size_t survivors = 0;
+        for (char a : alive)
+            survivors += a != 0;
+        if (survivors == 0) {
+            out.completed = false;
+            out.makespan = std::numeric_limits<double>::infinity();
+            return out;
+        }
+        sim::Error err = planFailover(graph, spec, cur, f.shard, alive,
+                                      doneGraph.data(), weights, plan);
+        panicIf(bool(err), "failover planning failed unexpectedly");
+        eng.recompilePartition(ps, plan.part);
+        bindingDirty = true;
+        cur = plan.part;
+        const double mig =
+            migrationSeconds(plan.migrationBytes, eng.interconnect(),
+                             survivors);
+        ++out.failovers;
+        out.migratedBytes += plan.migrationBytes;
+        out.migrationSec += mig;
+        tBase = std::max(tBase, f.at) + mig;
+    }
+
+    const sim::RateEpochs ep =
+        buildEpochs(trace, ps.compiled, tBase);
+    const double m = ps.compiled.schedule.replayPiecewise(
+        baseRates, ep, schedMask(), scratch);
+    out.makespan = tBase + m;
+    return out;
+}
+
+void
+FaultSim::staticDegradedMakespans(const FaultTrace *traces,
+                                  std::size_t n, double *out)
+{
+    resetBinding();
+    const std::size_t nres = ps.compiled.schedule.resourceCount();
+    const std::size_t chipRes = ps.compiled.shards * ps.compiled.perChip;
+    if (staticRates.size() < n)
+        staticRates.resize(n);
+    std::vector<double> mult(nres);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (sim::Error e = checkTrace(traces[i], shape()))
+            panic(e.message());
+        // Fold every degrade to time 0: accumulate each resource's
+        // multiplier product first (the fold buildEpochs performs),
+        // then scale the base rate by it exactly once — rate * m is
+        // the arithmetic replayPiecewise's epoch path performs, so
+        // each lane is bit-identical to the piecewise evaluation of
+        // the same scenario. (Scaling per event instead would
+        // associate the products differently and drift in the last
+        // bit.)
+        std::fill(mult.begin(), mult.end(), 1.0);
+        for (const FaultEvent &e : traces[i].events) {
+            std::size_t res;
+            switch (e.kind) {
+            case FaultKind::ChannelDegrade:
+                res = std::size_t{e.shard} * ps.compiled.perChip +
+                      e.channel;
+                break;
+            case FaultKind::LinkDegrade:
+                res = chipRes + e.channel;
+                break;
+            default:
+                panic("static degraded replay accepts only "
+                      "channel/link degrade events");
+            }
+            panicIf(res >= nres,
+                    "degrade event outside the machine shape");
+            mult[res] *= e.factor;
+        }
+        sim::ReplayRates &r = staticRates[i];
+        r = baseRates;
+        // x * 1.0 == x exactly, so untouched resources keep their
+        // base rate to the bit.
+        for (std::size_t j = 0; j < nres; ++j)
+            r.bytesPerSec[j] *= mult[j];
+    }
+    ps.compiled.schedule.replayMany(staticRates.data(), n, batch);
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = batch.makespan[i];
+}
+
+} // namespace ciflow::fault

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * FaultSim: degraded-mode replay of a sharded compile under a
+ * FaultTrace.
+ *
+ * A FaultSim compiles one (graph, partition, chip, interconnect)
+ * combination exactly once — through ShardedEngine::compilePatchable,
+ * so chip-failure failovers rebind the schedule through the
+ * recompilePartition patch path instead of recompiling — and then
+ * evaluates any number of fault scenarios against it:
+ *
+ *  - Degrades and stalls become a sim::RateEpochs table (buildEpochs)
+ *    and replay through CompiledSchedule::replayPiecewise. A trace
+ *    with no events replays bit-identically to the healthy compiled
+ *    replay (replayPiecewise delegates to replay()).
+ *  - Each chip failure cuts the run at the failure time: tasks that
+ *    finished are salvaged into a done mask, the dead chip's tasks are
+ *    re-placed onto survivors (fault/failover.h), the migration bytes
+ *    are paid as a pause on the wall clock, and the run resumes in
+ *    degraded mode with the epoch table shifted to the resume time.
+ *    Contention state does not survive the cut (in-flight tasks
+ *    restart), which is the conservative side of the model.
+ *
+ * Scenario evaluation is deterministic — a pure function of the trace
+ * and the compiled schedule — and allocation-light after the first
+ * run (scratch and masks are reused).
+ */
+
+#ifndef CIFLOW_FAULT_FAULT_REPLAY_H
+#define CIFLOW_FAULT_FAULT_REPLAY_H
+
+#include <vector>
+
+#include "fault/failover.h"
+#include "fault/fault_trace.h"
+#include "shard/sharded_engine.h"
+
+namespace ciflow::fault
+{
+
+/**
+ * Map every degrade/stall of `trace` onto the resource blocks of a
+ * compiled shard schedule as a piecewise-rate epoch table, with event
+ * times shifted by -`timeShift` (events at or before the shift fold
+ * into the state at time 0). Channel degrades land on one chip's DRAM
+ * channel, link degrades on one link resource, and a chip stall on
+ * every resource of that chip; multipliers of overlapping faults
+ * compound in normalized trace order, so the folded products are
+ * reproducible to the bit. ChipFail events are ignored here — failure
+ * is handled by failover, not by rates. The trace must be normalized.
+ */
+sim::RateEpochs buildEpochs(const FaultTrace &trace,
+                            const shard::ShardedCompiled &sc,
+                            double timeShift = 0.0);
+
+/** Outcome of one fault scenario. */
+struct DegradedOutcome
+{
+    /** Total wall clock including migration pauses; +inf when the
+     * scenario killed every chip before completion. */
+    double makespan = 0.0;
+    /** False when no chip survived to finish the run. */
+    bool completed = true;
+    /** Chip failures survived via re-placement. */
+    std::size_t failovers = 0;
+    /** Total bytes re-replicated across all failovers. */
+    std::uint64_t migratedBytes = 0;
+    /** Total wall-clock seconds spent migrating. */
+    double migrationSec = 0.0;
+};
+
+/** Replays fault scenarios against one compiled sharded placement. */
+class FaultSim
+{
+  public:
+    /**
+     * Compile `g` under `part` once for fault evaluation. `g`,
+     * `weights` (see shard::taskWeights) and `spec` must outlive the
+     * FaultSim; spec.shards must equal part.shards.
+     */
+    FaultSim(const TaskGraph &g, const shard::ShardSpec &spec,
+             const std::vector<double> &weights,
+             const shard::Partition &part, const RpuConfig &chip,
+             const shard::InterconnectConfig &net);
+
+    /** The machine shape traces are validated against. */
+    MachineShape shape() const;
+
+    /** Healthy-path makespan of the base placement (bit-identical to
+     * ShardedEngine::replayRuntime on a fresh compile). */
+    double healthyMakespan();
+
+    /**
+     * Evaluate one scenario. Panics on a malformed trace (checkTrace
+     * it first when the trace is untrusted input). Equal traces give
+     * equal outcomes, independent of evaluation order, because the
+     * binding is reset to the base partition before every run.
+     */
+    DegradedOutcome run(const FaultTrace &trace);
+
+    /**
+     * Makespans of `n` degrade-only scenarios (every event a
+     * ChannelDegrade/LinkDegrade, folded to time 0 regardless of
+     * atSec) evaluated through CompiledSchedule::replayMany, one
+     * compiled-array walk per sim::kBatchLanes scenarios: the static
+     * half of a Monte Carlo sweep runs at batched-replay speed.
+     * out[i] is bit-identical to run(traces[i]) with the same events
+     * at atSec = 0 — the multipliers fold into pre-scaled per-resource
+     * rate vectors with the exact products replayPiecewise applies
+     * (asserted in tests/test_fault.cpp). Panics when a trace carries
+     * a ChipFail or TransientStall.
+     */
+    void staticDegradedMakespans(const FaultTrace *traces,
+                                 std::size_t n, double *out);
+
+    const shard::ShardedEngine &engine() const { return eng; }
+    /** The compiled base placement (current binding). */
+    const shard::ShardedCompiled &compiled() const
+    {
+        return ps.compiled;
+    }
+
+    // Constructor inputs, exposed so harnesses (fault/monte_carlo.h)
+    // can build an equivalent FaultSim per worker thread.
+    /** The task graph this sim replays. */
+    const TaskGraph &taskGraph() const { return graph; }
+    /** The partitioning spec failovers re-place under. */
+    const shard::ShardSpec &shardSpec() const { return spec; }
+    /** Per-task balance weights (shard::taskWeights). */
+    const std::vector<double> &taskWeights() const { return weights; }
+    /** The healthy placement scenarios start from. */
+    const shard::Partition &basePartition() const { return basePart; }
+
+  private:
+    /** Rebind to the base partition if a failover moved it. */
+    void resetBinding();
+
+    const TaskGraph &graph;
+    const shard::ShardSpec &spec;
+    const std::vector<double> &weights;
+    shard::ShardedEngine eng;
+    shard::Partition basePart;
+    shard::ShardedPatchable ps;
+    bool bindingDirty = false;
+
+    sim::ReplayRates baseRates;
+    sim::ReplayScratch scratch;
+    sim::BatchScratch batch;
+    std::vector<std::uint8_t> doneGraph;
+    std::vector<std::uint8_t> doneSched;
+    std::vector<sim::ReplayRates> staticRates;
+    FailoverPlan plan;
+};
+
+} // namespace ciflow::fault
+
+#endif // CIFLOW_FAULT_FAULT_REPLAY_H

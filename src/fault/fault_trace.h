@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Deterministic fault traces for the sharded fleet.
+ *
+ * A FaultTrace is a seeded, reproducible *script* of fault events
+ * against one K-chip machine: a chip dies at time t, a DRAM channel or
+ * interconnect link degrades to x% of its bandwidth, a chip stalls for
+ * a while and recovers. Traces are plain data — built explicitly by
+ * tests, or sampled from per-resource MTBF distributions by
+ * sampleTrace() — and everything downstream (epoch tables, failover,
+ * Monte Carlo) is a pure function of the trace, so the same seed and
+ * spec reproduce the same degraded replay bit for bit, on any thread
+ * count (tests/test_fault.cpp pins this).
+ *
+ * Events are expressed in machine coordinates (shard, channel-within-
+ * chip, link index), not schedule resource ids, so a trace is
+ * meaningful across recompiles of the same (K, topology) machine.
+ */
+
+#ifndef CIFLOW_FAULT_FAULT_TRACE_H
+#define CIFLOW_FAULT_FAULT_TRACE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/error.h"
+
+namespace ciflow::fault
+{
+
+/** What a fault event does to the machine. */
+enum class FaultKind : std::uint8_t {
+    /** Chip `shard` fails permanently at atSec (handled by failover
+     * re-placement, never by a rate epoch). */
+    ChipFail,
+    /** DRAM channel `channel` of chip `shard` serves at `factor` times
+     * its rate from atSec onward (compounding with earlier degrades). */
+    ChannelDegrade,
+    /** Interconnect link `channel` (link index; 0 for the bus) serves
+     * at `factor` times its rate from atSec onward. */
+    LinkDegrade,
+    /** Every resource of chip `shard` runs at `factor` times its rate
+     * for durSec, then recovers to its pre-stall speed. */
+    TransientStall,
+};
+
+/** Short stable name of a fault kind ("chip-fail", ...). */
+const char *faultKindName(FaultKind k);
+
+/** One scripted fault. Fields beyond the kind's use are ignored. */
+struct FaultEvent
+{
+    /** When the fault takes effect (seconds from run start). */
+    double atSec = 0.0;
+    FaultKind kind = FaultKind::ChipFail;
+    /** Target chip (ChipFail/ChannelDegrade/TransientStall). */
+    std::uint32_t shard = 0;
+    /** Channel within the chip, or link index (LinkDegrade). */
+    std::uint32_t channel = 0;
+    /** Speed multiplier while the fault is in effect (degrades and
+     * stalls; must be finite and positive). */
+    double factor = 1.0;
+    /** Stall duration (TransientStall only; must be > 0). */
+    double durSec = 0.0;
+};
+
+/** A seeded, reproducible script of fault events. */
+struct FaultTrace
+{
+    /** Seed the trace was sampled from (0 for hand-built traces). */
+    std::uint64_t seed = 0;
+    std::vector<FaultEvent> events;
+
+    bool empty() const { return events.empty(); }
+
+    /**
+     * Canonical order: stable-sort events by (atSec, kind, shard,
+     * channel). Sampling emits normalized traces; hand-built traces
+     * should normalize before use so serialization is canonical.
+     */
+    void normalize();
+
+    /**
+     * Canonical one-line-per-event text form, exact to the bit
+     * (doubles are hex floats): equal traces serialize to equal
+     * bytes, which is how the determinism tests compare scenario
+     * streams across runs and thread counts.
+     */
+    std::string serialize() const;
+};
+
+/**
+ * The machine shape a trace is validated against: K chips with
+ * `channels` DRAM channels each, joined by `links` link resources.
+ */
+struct MachineShape
+{
+    std::size_t shards = 1;
+    std::size_t channels = 1;
+    std::size_t links = 0;
+};
+
+/**
+ * Non-aborting trace validation: BadFaultTrace when an event targets a
+ * shard/channel/link outside `shape`, carries a non-finite or
+ * non-positive time/factor, or a TransientStall has no duration.
+ */
+sim::Error checkTrace(const FaultTrace &t, const MachineShape &shape);
+
+/**
+ * Per-resource MTBF fault model for sampled traces. Every MTBF is the
+ * mean of an exponential inter-arrival distribution; 0 disables that
+ * fault class. Sampling draws an independent derived RNG stream per
+ * (resource, fault class), so adding a fault class or widening the
+ * machine never perturbs the events of the others.
+ */
+struct FaultModel
+{
+    /** Mean seconds to permanent chip failure (per chip; 0 = never).
+     * A chip fails at most once. */
+    double chipFailMtbfSec = 0.0;
+    /** Mean seconds between degrade events of one DRAM channel. */
+    double channelDegradeMtbfSec = 0.0;
+    /** Mean seconds between degrade events of one link. */
+    double linkDegradeMtbfSec = 0.0;
+    /** Mean seconds between transient whole-chip stalls. */
+    double stallMtbfSec = 0.0;
+    /** Multiplier applied by one degrade event (compounds). */
+    double degradeFactor = 0.5;
+    /** Multiplier while a chip is stalled. */
+    double stallFactor = 0.1;
+    /** Stall duration in seconds. */
+    double stallDurSec = 1e-3;
+    /** Sampling horizon: no event starts at or after this time. */
+    double horizonSec = 1.0;
+};
+
+/**
+ * Sample a normalized FaultTrace for a `shape`-shaped machine from
+ * `model`, deterministically from `seed`: every (resource, class)
+ * stream is an independent Rng derived from the seed, so the same
+ * (model, shape, seed) triple yields the identical trace everywhere.
+ */
+FaultTrace sampleTrace(const FaultModel &model, const MachineShape &shape,
+                       std::uint64_t seed);
+
+/**
+ * The i-th seed derived from a base seed (splitmix64 mixing): the
+ * scenario streams of a Monte Carlo run, decorrelated from each other
+ * and from the base.
+ */
+std::uint64_t deriveSeed(std::uint64_t seed, std::uint64_t i);
+
+} // namespace ciflow::fault
+
+#endif // CIFLOW_FAULT_FAULT_TRACE_H

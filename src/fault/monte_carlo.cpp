@@ -1,0 +1,112 @@
+#include "fault/monte_carlo.h"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
+#include "common/logging.h"
+
+namespace ciflow::fault
+{
+
+FaultTrace
+scenarioTrace(const McSpec &spec, const MachineShape &shape,
+              std::size_t i)
+{
+    return sampleTrace(spec.model, shape, deriveSeed(spec.seed, i));
+}
+
+McStats
+monteCarlo(FaultSim &sim, const McSpec &spec)
+{
+    McStats st;
+    st.scenarios = spec.scenarios;
+    st.healthyMakespan = sim.healthyMakespan();
+    if (spec.scenarios == 0)
+        return st;
+    const MachineShape shape = sim.shape();
+
+    std::vector<DegradedOutcome> res(spec.scenarios);
+    const auto evalRange = [&](FaultSim &fs, std::size_t lo,
+                               std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i)
+            res[i] = fs.run(scenarioTrace(spec, shape, i));
+    };
+
+    const std::size_t nt = std::max<std::size_t>(
+        1, std::min(spec.threads, spec.scenarios));
+    if (nt == 1) {
+        evalRange(sim, 0, spec.scenarios);
+    } else {
+        // Disjoint index ranges per worker, each on its own FaultSim
+        // built from the same inputs: outcomes land by scenario index,
+        // so the aggregate cannot depend on the thread count.
+        const std::size_t chunk =
+            (spec.scenarios + nt - 1) / nt;
+        std::vector<std::thread> pool;
+        pool.reserve(nt - 1);
+        for (std::size_t w = 1; w < nt; ++w) {
+            const std::size_t lo = w * chunk;
+            const std::size_t hi =
+                std::min(spec.scenarios, lo + chunk);
+            if (lo >= hi)
+                break;
+            pool.emplace_back([&, lo, hi]() {
+                FaultSim worker(sim.taskGraph(), sim.shardSpec(),
+                                sim.taskWeights(),
+                                sim.basePartition(),
+                                sim.engine().chip(),
+                                sim.engine().interconnect());
+                evalRange(worker, lo, hi);
+            });
+        }
+        evalRange(sim, 0, std::min(spec.scenarios, chunk));
+        for (std::thread &t : pool)
+            t.join();
+    }
+
+    std::vector<double> completed;
+    completed.reserve(spec.scenarios);
+    double migSum = 0.0;
+    for (const DegradedOutcome &o : res) {
+        st.totalFailovers += o.failovers;
+        migSum += static_cast<double>(o.migratedBytes);
+        if (o.completed)
+            completed.push_back(o.makespan);
+    }
+    st.completedRuns = completed.size();
+    st.survivability = static_cast<double>(st.completedRuns) /
+                       static_cast<double>(st.scenarios);
+    st.expectedMigratedBytes =
+        migSum / static_cast<double>(st.scenarios);
+    if (completed.empty()) {
+        st.expectedMakespan = 0.0;
+        st.worstMakespan = 0.0;
+        st.p50Degradation = 0.0;
+        st.p99Degradation = 0.0;
+        return st;
+    }
+    std::sort(completed.begin(), completed.end());
+    double sum = 0.0;
+    for (double m : completed)
+        sum += m;
+    st.expectedMakespan =
+        sum / static_cast<double>(completed.size());
+    st.worstMakespan = completed.back();
+    // Nearest-rank percentiles over the completed scenarios.
+    const auto rank = [&](double p) {
+        const std::size_t n = completed.size();
+        std::size_t r = static_cast<std::size_t>(
+            std::ceil(p * static_cast<double>(n)));
+        if (r == 0)
+            r = 1;
+        if (r > n)
+            r = n;
+        return completed[r - 1];
+    };
+    st.p50Degradation = rank(0.50) / st.healthyMakespan;
+    st.p99Degradation = rank(0.99) / st.healthyMakespan;
+    return st;
+}
+
+} // namespace ciflow::fault

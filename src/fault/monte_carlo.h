@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Monte Carlo fault studies: N seeded scenarios against one placement.
+ *
+ * monteCarlo() samples `scenarios` independent FaultTraces from a
+ * FaultModel — scenario i's trace derives from mix(seed, i), so the
+ * stream of scenarios is reproducible byte-for-byte — evaluates each
+ * through FaultSim, and aggregates expected makespan, p50/p99
+ * degradation over the healthy path, survivability, and migration
+ * totals. Scenario results are indexed by scenario, so the aggregate
+ * is independent of evaluation order: running with more threads
+ * changes wall-clock, never a bit of the answer (each worker uses its
+ * own FaultSim clone).
+ */
+
+#ifndef CIFLOW_FAULT_MONTE_CARLO_H
+#define CIFLOW_FAULT_MONTE_CARLO_H
+
+#include <cstdint>
+
+#include "fault/fault_replay.h"
+
+namespace ciflow::fault
+{
+
+/** A Monte Carlo request: fault model, scenario count, seed. */
+struct McSpec
+{
+    FaultModel model;
+    /** Seeded scenarios to evaluate. */
+    std::size_t scenarios = 64;
+    /** Base seed; scenario i samples its trace from mix(seed, i). */
+    std::uint64_t seed = 1;
+    /** Worker threads (1 = serial; results are thread-invariant). */
+    std::size_t threads = 1;
+};
+
+/** Aggregates of one Monte Carlo fault study. */
+struct McStats
+{
+    std::size_t scenarios = 0;
+    /** Scenarios that completed (some chip always survived). */
+    std::size_t completedRuns = 0;
+    /** Healthy-path makespan (no faults), the degradation baseline. */
+    double healthyMakespan = 0.0;
+    /** Mean makespan over completed scenarios (wall clock including
+     * migration pauses); 0 when nothing completed. */
+    double expectedMakespan = 0.0;
+    /** Worst completed makespan. */
+    double worstMakespan = 0.0;
+    /** Median makespan / healthy makespan over completed scenarios
+     * (nearest-rank); 1.0 = no degradation. */
+    double p50Degradation = 1.0;
+    /** 99th-percentile degradation (nearest-rank over completed). */
+    double p99Degradation = 1.0;
+    /** completedRuns / scenarios. */
+    double survivability = 1.0;
+    /** Chip failures survived via failover, across all scenarios. */
+    std::size_t totalFailovers = 0;
+    /** Mean migrated bytes per scenario. */
+    double expectedMigratedBytes = 0.0;
+};
+
+/**
+ * Evaluate spec.scenarios seeded scenarios of spec.model against the
+ * placement compiled into `sim`. With spec.threads > 1, scenario
+ * ranges split across workers, each evaluating on its own FaultSim
+ * built from the same inputs — per-scenario outcomes land in a
+ * results array by index, so the returned stats are bit-identical for
+ * every thread count (tests/test_fault.cpp pins this).
+ */
+McStats monteCarlo(FaultSim &sim, const McSpec &spec);
+
+/** The scenario trace monteCarlo evaluates at index i (exposed so
+ * tests and tools can reproduce any scenario in isolation). */
+FaultTrace scenarioTrace(const McSpec &spec, const MachineShape &shape,
+                         std::size_t i);
+
+} // namespace ciflow::fault
+
+#endif // CIFLOW_FAULT_MONTE_CARLO_H

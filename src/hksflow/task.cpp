@@ -75,23 +75,40 @@ TaskGraph::stageModOps(StageId s) const
     return c;
 }
 
+sim::Error
+TaskGraph::validateChecked() const
+{
+    const auto bad = [](std::size_t i, const char *what) {
+        return sim::Error{sim::ErrorCode::InvalidGraph,
+                          "task " + std::to_string(i) + ": " + what};
+    };
+    for (std::size_t i = 0; i < list.size(); ++i) {
+        const Task &t = list[i];
+        if (t.id != i)
+            return bad(i, "task id out of sequence");
+        for (std::uint32_t d : t.deps)
+            if (d >= t.id)
+                return bad(i, "forward dependency in task graph");
+        if (t.kind == TaskKind::Compute) {
+            if (t.bytes != 0)
+                return bad(i, "compute task with bytes");
+            if (t.modOps == 0)
+                return bad(i, "compute task with no work");
+        } else {
+            if (t.bytes == 0)
+                return bad(i, "memory task with no bytes");
+            if (t.modOps != 0 || t.shuffleOps != 0)
+                return bad(i, "memory task with ops");
+        }
+    }
+    return {};
+}
+
 void
 TaskGraph::validate() const
 {
-    for (std::size_t i = 0; i < list.size(); ++i) {
-        const Task &t = list[i];
-        panicIf(t.id != i, "task id out of sequence");
-        for (std::uint32_t d : t.deps)
-            panicIf(d >= t.id, "forward dependency in task graph");
-        if (t.kind == TaskKind::Compute) {
-            panicIf(t.bytes != 0, "compute task with bytes");
-            panicIf(t.modOps == 0, "compute task with no work");
-        } else {
-            panicIf(t.bytes == 0, "memory task with no bytes");
-            panicIf(t.modOps != 0 || t.shuffleOps != 0,
-                    "memory task with ops");
-        }
-    }
+    if (sim::Error e = validateChecked())
+        panic(e.message());
 }
 
 } // namespace ciflow

@@ -21,6 +21,8 @@
 #include <string>
 #include <vector>
 
+#include "sim/error.h"
+
 namespace ciflow
 {
 
@@ -98,9 +100,22 @@ class TaskGraph
 
     /**
      * Check structural invariants (ids sequential, deps backward,
-     * byte/op fields consistent with kinds). Panics on violation.
+     * byte/op fields consistent with kinds). Panics on violation;
+     * internal callers (engine entry points on graphs our own builders
+     * emitted) use this so a lowering bug stops the process.
      */
     void validate() const;
+
+    /**
+     * The same structural checks as validate(), returning the first
+     * violation as a sim::Error (InvalidGraph, context names the task
+     * id and the broken invariant) instead of aborting — for API
+     * boundaries where the graph is input, not invariant: a caller
+     * validating an externally supplied graph can reject it and keep
+     * serving. validate() panics through this, so the two can never
+     * disagree about what is valid.
+     */
+    sim::Error validateChecked() const;
 
   private:
     std::vector<Task> list;

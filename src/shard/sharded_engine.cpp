@@ -200,6 +200,14 @@ ShardedEngine::compileInto(const TaskGraph &g, const Partition &p,
         }
     }
 
+    if (meta) {
+        // Publish the graph -> schedule id mapping of this binding
+        // (recompilePartition refreshes it on every repatch), so
+        // consumers that track per-task state across rebinds — the
+        // fault layer's done masks — never re-derive the interleave.
+        meta->newId = new_id;
+        meta->transferId = transfer_id;
+    }
     sc.schedule.setLayoutTag(
         shardedTag(RpuLayout::of(cfg), k, net.topology));
 }
@@ -304,7 +312,8 @@ ShardedEngine::recompilePartition(ShardedPatchable &ps,
                 xfer.bytes = static_cast<double>(e.bytes);
                 xfer.postSeconds = net.latencySec;
                 const sim::TaskId dep = ps.newId[d];
-                ps.transferId[idx] = cs.addTask(&dep, 1, &xfer, 1);
+                ps.transferId[idx] =
+                    cs.addTaskTrusted(&dep, 1, &xfer, 1);
                 ++ps.compiled.transferTasks;
                 ps.compiled.transferBytes += e.bytes;
             }
@@ -342,9 +351,17 @@ ShardedEngine::recompilePartition(ShardedPatchable &ps,
             }
             ps.opScratch.push_back(o);
         }
-        ps.newId[t] =
-            cs.addTask(ps.depScratch.data(), ps.depScratch.size(),
-                       ps.opScratch.data(), ps.opScratch.size());
+        // Trusted append: every template in ps.ops passed addTask's
+        // cost validation when compilePatchable recorded it, the
+        // transfer op's numerators are a cut byte count and a config
+        // latency (finite by construction), and dep ids come from
+        // newId/transferId entries of earlier loop iterations, so
+        // they precede the task being added. The validated addTask's
+        // per-op checks were the dominant cost of a rebind.
+        ps.newId[t] = cs.addTaskTrusted(ps.depScratch.data(),
+                                        ps.depScratch.size(),
+                                        ps.opScratch.data(),
+                                        ps.opScratch.size());
     }
 
     cs.patchCommit(shardedTag(RpuLayout::of(cfg), k, net.topology));

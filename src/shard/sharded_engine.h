@@ -83,7 +83,12 @@ struct ShardedPatchable
     /** Within-chip channel currently bound per memory op. */
     std::vector<std::uint32_t> chanOf;
 
-    // Reusable recompile scratch (allocation-free once warm).
+    // Reusable recompile scratch (allocation-free once warm). newId
+    // and transferId double as the *current* graph -> schedule id
+    // mapping: after compilePatchable or recompilePartition, graph
+    // task t is schedule task newId[t] and cut edge j's transfer is
+    // schedule task transferId[j] (or ~0 if the edge never
+    // materialized) — the fault layer's done masks rely on this.
     std::vector<sim::TaskId> newId, transferId, depScratch;
     std::vector<sim::CompiledOp> opScratch;
     std::vector<char> shardDirty;

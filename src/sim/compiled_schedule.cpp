@@ -1,5 +1,9 @@
 #include "sim/compiled_schedule.h"
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
 #include "common/logging.h"
 
 namespace ciflow::sim
@@ -40,24 +44,25 @@ CompiledSchedule::addTask(const TaskId *deps, std::size_t ndeps,
 {
     const TaskId id = static_cast<TaskId>(taskCount());
     panicIf(nops == 0, "task with no ops");
-    for (std::size_t i = 0; i < nops; ++i)
+    // Compile-time half of the replay watchdog: a cost numerator that
+    // is negative or non-finite can only ever produce a garbage
+    // duration, so reject it here where the lowering bug is, not at
+    // the millionth replay where the NaN surfaces.
+    const auto sane = [](double x) {
+        return std::isfinite(x) && x >= 0.0;
+    };
+    for (std::size_t i = 0; i < nops; ++i) {
         panicIf(ops_in[i].resource >= names.size(),
                 "op on unknown resource");
+        const CompiledOp &op = ops_in[i];
+        panicIf(!(sane(op.bytes) && sane(op.work[0]) &&
+                  sane(op.work[1]) && sane(op.seconds) &&
+                  sane(op.postSeconds)),
+                "op with a negative or non-finite cost numerator");
+    }
     for (std::size_t i = 0; i < ndeps; ++i)
         panicIf(deps[i] >= id, "forward dependency in sim task");
-    depIds.insert(depIds.end(), deps, deps + ndeps);
-    depOff.push_back(static_cast<std::uint32_t>(depIds.size()));
-    for (std::size_t i = 0; i < nops; ++i) {
-        const CompiledOp &op = ops_in[i];
-        opRes.push_back(op.resource);
-        opBytes.push_back(op.bytes);
-        opWork0.push_back(op.work[0]);
-        opWork1.push_back(op.work[1]);
-        opSec.push_back(op.seconds);
-        opPost.push_back(op.postSeconds);
-    }
-    opOff.push_back(static_cast<std::uint32_t>(opRes.size()));
-    return id;
+    return addTaskTrusted(deps, ndeps, ops_in, nops);
 }
 
 TaskId
@@ -113,25 +118,148 @@ CompiledSchedule::clearTasks()
     opPost.clear();
 }
 
+Error
+CompiledSchedule::checkReplay(const ReplayRates &rates) const
+{
+    if (rates.bytesPerSec.size() != names.size())
+        return {ErrorCode::RateMismatch,
+                "replay rates cover a different resource count: rates "
+                "have " +
+                    std::to_string(rates.bytesPerSec.size()) +
+                    " resources, schedule (layout tag " +
+                    std::to_string(layoutTag()) + ") has " +
+                    std::to_string(names.size())};
+    // Run-time half of the replay watchdog. With every rate positive,
+    // no divide in the replay recurrence can produce NaN (numerators
+    // are validated non-negative at addTask, and the zero-numerator
+    // skip means 0/0 never happens); the only degenerate outcome left
+    // is overflow to +inf, which propagates to the makespan and is
+    // caught by the post-replay finite check. A rate of +inf is
+    // deliberately legal — it models a free resource (every payload
+    // divides to exactly 0 seconds), which the degenerate-interconnect
+    // tests rely on. NaN fails `> 0.0` like any other comparison.
+    for (std::size_t k = 0; k < kWorkClasses; ++k) {
+        const double w = rates.workPerSec[k];
+        if (!(w > 0.0))
+            return {ErrorCode::NonFiniteRate,
+                    "work class " + std::to_string(k) + " rate is " +
+                        std::to_string(w) +
+                        "; rates must be positive (NaN, zero and "
+                        "negative are rejected)"};
+    }
+    for (std::size_t r = 0; r < names.size(); ++r) {
+        const double b = rates.bytesPerSec[r];
+        if (!(b > 0.0))
+            return {ErrorCode::NonFiniteRate,
+                    "resource " + names[r] + " byte rate is " +
+                        std::to_string(b) +
+                        "; rates must be positive (NaN, zero and "
+                        "negative are rejected)"};
+    }
+    return {};
+}
+
+Error
+CompiledSchedule::checkEpochs(const RateEpochs &ep) const
+{
+    if (ep.off.empty()) {
+        if (!ep.at.empty() || !ep.mult.empty())
+            return {ErrorCode::BadFaultTrace,
+                    "rate epochs carry times/multipliers but no "
+                    "per-resource offset table"};
+        return {};
+    }
+    if (ep.off.size() != names.size() + 1)
+        return {ErrorCode::BadFaultTrace,
+                "rate-epoch offsets cover " +
+                    std::to_string(ep.off.size() - 1) +
+                    " resources, schedule has " +
+                    std::to_string(names.size())};
+    if (ep.off.front() != 0 || ep.off.back() != ep.at.size() ||
+        ep.at.size() != ep.mult.size())
+        return {ErrorCode::BadFaultTrace,
+                "rate-epoch offsets do not span the epoch arrays"};
+    for (std::size_t r = 0; r < names.size(); ++r) {
+        if (ep.off[r] > ep.off[r + 1])
+            return {ErrorCode::BadFaultTrace,
+                    "rate-epoch offsets are not monotone at resource " +
+                        names[r]};
+        for (std::uint32_t j = ep.off[r]; j < ep.off[r + 1]; ++j) {
+            if (!(std::isfinite(ep.at[j]) && ep.at[j] >= 0.0))
+                return {ErrorCode::BadFaultTrace,
+                        "resource " + names[r] + " epoch at t=" +
+                            std::to_string(ep.at[j]) +
+                            " is not finite and non-negative"};
+            if (j > ep.off[r] && ep.at[j] <= ep.at[j - 1])
+                return {ErrorCode::BadFaultTrace,
+                        "resource " + names[r] +
+                            " epoch times are not strictly increasing"};
+            if (!(std::isfinite(ep.mult[j]) && ep.mult[j] > 0.0))
+                return {ErrorCode::BadFaultTrace,
+                        "resource " + names[r] + " epoch multiplier " +
+                            std::to_string(ep.mult[j]) +
+                            " is not finite and positive"};
+        }
+    }
+    return {};
+}
+
 void
 CompiledSchedule::checkRates(const ReplayRates &rates) const
 {
-    if (rates.bytesPerSec.size() == names.size())
-        return;
-    panic("replay rates cover a different resource count: rates have " +
-          std::to_string(rates.bytesPerSec.size()) +
-          " resources, schedule (layout tag " +
-          std::to_string(layoutTag()) + ") has " +
-          std::to_string(names.size()));
+    if (Error e = checkReplay(rates))
+        panic(e.message());
+}
+
+std::string
+CompiledSchedule::nonFiniteOpReport(const ReplayRates &rates) const
+{
+    // Cold path, called at most once per process (right before a
+    // panic) — re-walk the recurrence with throwaway buffers and name
+    // the first op whose duration or finish leaves the finite range.
+    const std::size_t nt = taskCount();
+    std::vector<double> finish(nt, 0.0);
+    std::vector<double> freeAt(names.size(), 0.0);
+    const double *bps = rates.bytesPerSec.data();
+    const double w0 = rates.workPerSec[0];
+    const double w1 = rates.workPerSec[1];
+    for (std::size_t t = 0; t < nt; ++t) {
+        double ready = 0.0;
+        for (std::uint32_t i = depOff[t]; i < depOff[t + 1]; ++i)
+            ready = finish[depIds[i]] > ready ? finish[depIds[i]]
+                                              : ready;
+        double task_fin = 0.0;
+        for (std::uint32_t i = opOff[t]; i < opOff[t + 1]; ++i) {
+            const ResourceId res = opRes[i];
+            double dur = opSec[i];
+            if (opWork0[i] != 0.0)
+                dur = std::max(dur, opWork0[i] / w0);
+            if (opWork1[i] != 0.0)
+                dur = std::max(dur, opWork1[i] / w1);
+            if (opBytes[i] != 0.0)
+                dur = std::max(dur, opBytes[i] / bps[res]);
+            const double start =
+                freeAt[res] > ready ? freeAt[res] : ready;
+            const double fin = start + dur;
+            const double vis = fin + opPost[i];
+            if (!std::isfinite(vis))
+                return "op " + std::to_string(i) + " of task " +
+                       std::to_string(t) + " (resource " + names[res] +
+                       ")";
+            freeAt[res] = fin;
+            task_fin = vis > task_fin ? vis : task_fin;
+        }
+        finish[t] = task_fin;
+    }
+    return "no offending op found on rescan";
 }
 
 double
-CompiledSchedule::replay(const ReplayRates &rates,
-                         ReplayScratch &s) const
+CompiledSchedule::replayCore(const ReplayRates &rates,
+                             ReplayScratch &s) const
 {
     const std::size_t nt = taskCount();
     const std::size_t nr = names.size();
-    checkRates(rates);
 
     // finish[t] is written before any read (deps point backward), so a
     // plain resize suffices; the per-resource accumulators need zeroing.
@@ -198,6 +326,189 @@ CompiledSchedule::replay(const ReplayRates &rates,
         if (task_fin > makespan)
             makespan = task_fin;
     }
+    return makespan;
+}
+
+double
+CompiledSchedule::replay(const ReplayRates &rates,
+                         ReplayScratch &s) const
+{
+    checkRates(rates);
+    const double makespan = replayCore(rates, s);
+    // With rates validated finite-positive and numerators validated at
+    // addTask, the only way here is overflow to +inf — still garbage,
+    // still reported deterministically.
+    if (!std::isfinite(makespan))
+        panic("replay produced a non-finite makespan: " +
+              nonFiniteOpReport(rates));
+    return makespan;
+}
+
+Error
+CompiledSchedule::tryReplay(const ReplayRates &rates, ReplayScratch &s,
+                            double &out) const
+{
+    if (Error e = checkReplay(rates))
+        return e;
+    const double makespan = replayCore(rates, s);
+    if (!std::isfinite(makespan))
+        return {ErrorCode::NonFiniteDuration,
+                "replay produced a non-finite makespan: " +
+                    nonFiniteOpReport(rates)};
+    out = makespan;
+    return {};
+}
+
+double
+CompiledSchedule::replayPiecewise(const ReplayRates &rates,
+                                  const RateEpochs &ep,
+                                  const std::uint8_t *done,
+                                  ReplayScratch &s) const
+{
+    // The zero-fault path must be *the* replay, not a twin of it: with
+    // no epochs and no done mask there is nothing piecewise to do, so
+    // delegate and inherit bit-identity by construction.
+    if (ep.empty() && done == nullptr)
+        return replay(rates, s);
+
+    checkRates(rates);
+    if (Error e = checkEpochs(ep))
+        panic(e.message());
+
+    const std::size_t nt = taskCount();
+    const std::size_t nr = names.size();
+    if (s.finish.size() < nt)
+        s.finish.resize(nt);
+    s.freeAt.assign(nr, 0.0);
+    s.busy.assign(nr, 0.0);
+    s.jobs.assign(nr, 0);
+    const bool hasEp = !ep.off.empty();
+    if (hasEp) {
+        // Per-resource epoch cursors. Op starts on one resource are
+        // non-decreasing (start = max(freeAt, ready) >= the previous
+        // op's finish there), so cursors only ever move forward — the
+        // whole replay advances each resource's epoch list once.
+        s.epoch.assign(nr, 0);
+        for (std::size_t r = 0; r < nr; ++r)
+            s.epoch[r] = ep.off[r];
+    }
+
+    const double *bps = rates.bytesPerSec.data();
+    const double w0 = rates.workPerSec[0];
+    const double w1 = rates.workPerSec[1];
+    const double inf = std::numeric_limits<double>::infinity();
+
+    // Duration of op i when its resource serves at m times its rate:
+    // the same component divides as replayCore with each rate
+    // multiplied once by m (component / (rate * m)). At m == 1 every
+    // product is exact (x * 1.0 == x), so the duration is bit-identical
+    // to the unfaulted one. The fixed seconds component is wall-clock
+    // (issue overhead, link propagation), not service on the degraded
+    // resource, and is deliberately not scaled.
+    const auto durAt = [&](std::uint32_t i, ResourceId res, double m) {
+        double dur = opSec[i];
+        if (opWork0[i] != 0.0) {
+            const double da = opWork0[i] / (w0 * m);
+            if (da > dur)
+                dur = da;
+        }
+        if (opWork1[i] != 0.0) {
+            const double ds = opWork1[i] / (w1 * m);
+            if (ds > dur)
+                dur = ds;
+        }
+        if (opBytes[i] != 0.0) {
+            const double db = opBytes[i] / (bps[res] * m);
+            if (db > dur)
+                dur = db;
+        }
+        return dur;
+    };
+
+    double makespan = 0.0;
+    for (std::size_t t = 0; t < nt; ++t) {
+        if (done != nullptr && done[t] != 0) {
+            // Completed before this (re)play began: dependents see it
+            // immediately and it occupies no resource time. The
+            // failover path uses this to charge only surviving work.
+            s.finish[t] = 0.0;
+            continue;
+        }
+        double ready = 0.0;
+        for (std::uint32_t i = depOff[t]; i < depOff[t + 1]; ++i) {
+            const double f = s.finish[depIds[i]];
+            if (f > ready)
+                ready = f;
+        }
+        double task_fin = 0.0;
+        for (std::uint32_t i = opOff[t]; i < opOff[t + 1]; ++i) {
+            const ResourceId res = opRes[i];
+            const double start =
+                s.freeAt[res] > ready ? s.freeAt[res] : ready;
+            double fin;
+            if (!hasEp || ep.off[res] == ep.off[res + 1]) {
+                // No epochs on this resource: the plain replayCore op
+                // body (m == 1 products are exact).
+                const double dur = durAt(i, res, 1.0);
+                fin = start + dur;
+                s.busy[res] += dur;
+            } else {
+                const std::uint32_t lo = ep.off[res];
+                const std::uint32_t hi = ep.off[res + 1];
+                std::uint32_t c = s.epoch[res];
+                while (c < hi && ep.at[c] <= start)
+                    ++c;
+                double m = c > lo ? ep.mult[c - 1] : 1.0;
+                double dur = durAt(i, res, m);
+                double nextAt = c < hi ? ep.at[c] : inf;
+                fin = start + dur;
+                if (fin <= nextAt) {
+                    // Entirely inside one epoch: a single divide
+                    // chain; at m == 1 exactly the unfaulted op.
+                    s.busy[res] += dur;
+                } else {
+                    // The op spans epoch boundaries. Fractional
+                    // progress: the share of service not yet done when
+                    // the rate changes is re-timed at the new rate, so
+                    // degradation applies mid-op instead of snapping
+                    // to op boundaries.
+                    double tcur = start;
+                    double frac = 1.0;
+                    while (true) {
+                        const double rem = frac * dur;
+                        if (c >= hi || tcur + rem <= nextAt) {
+                            fin = tcur + rem;
+                            break;
+                        }
+                        frac -= (nextAt - tcur) / dur;
+                        // Rounding can push the remaining share a hair
+                        // below zero; clamp so finish never precedes
+                        // the boundary just crossed.
+                        if (frac < 0.0)
+                            frac = 0.0;
+                        tcur = nextAt;
+                        m = ep.mult[c];
+                        ++c;
+                        dur = durAt(i, res, m);
+                        nextAt = c < hi ? ep.at[c] : inf;
+                    }
+                    s.busy[res] += fin - start;
+                }
+                s.epoch[res] = c;
+            }
+            s.freeAt[res] = fin;
+            ++s.jobs[res];
+            const double vis = fin + opPost[i];
+            if (vis > task_fin)
+                task_fin = vis;
+        }
+        s.finish[t] = task_fin;
+        if (task_fin > makespan)
+            makespan = task_fin;
+    }
+    if (!std::isfinite(makespan))
+        panic("piecewise replay produced a non-finite makespan: " +
+              nonFiniteOpReport(rates));
     return makespan;
 }
 
@@ -469,6 +780,14 @@ CompiledSchedule::replayMany(const ReplayRates *points, std::size_t n,
             n - base < kBatchLanes ? n - base : kBatchLanes;
         replayBlock(points + base, lanes, s, s.makespan.data() + base);
     }
+    // Watchdog: lanes are bit-identical to scalar replays, so a
+    // non-finite lane is the same overflow replay() would panic on —
+    // report it with the same rescan.
+    for (std::size_t i = 0; i < n; ++i)
+        if (!std::isfinite(s.makespan[i]))
+            panic("replay produced a non-finite makespan at point " +
+                  std::to_string(i) + ": " +
+                  nonFiniteOpReport(points[i]));
 }
 
 SimResult

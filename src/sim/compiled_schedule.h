@@ -56,6 +56,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/error.h"
 #include "sim/event_queue.h"
 
 namespace ciflow::sim
@@ -122,6 +123,36 @@ struct ReplayRates
 };
 
 /**
+ * Piecewise service-rate changes for faulted replay: per-resource
+ * epochs at which the resource's effective speed changes. Resource
+ * r's epochs are index range [off[r], off[r+1]) into the parallel
+ * (at, mult) arrays; before its first epoch a resource serves at full
+ * speed (multiplier 1), and from `at[j]` (inclusive) until the next
+ * epoch it serves every rate-scaled cost component at `mult[j]` times
+ * its ReplayRates rate. Epoch starts must be strictly increasing per
+ * resource and multipliers finite and positive — chip *failures* are
+ * not epochs (a dead chip is handled by failover re-placement, not by
+ * an infinite duration). An empty table (no epochs at all) makes
+ * replayPiecewise() delegate to replay() bit-identically.
+ *
+ * Built by fault::buildEpochs from a FaultTrace; kept as a plain CSR
+ * struct so the sim layer stays independent of the fault model.
+ */
+struct RateEpochs
+{
+    /** Per-resource offsets into at/mult (resourceCount + 1 entries,
+     * or empty when there are no epochs at all). */
+    std::vector<std::uint32_t> off;
+    /** Epoch start times (seconds, replay-local). */
+    std::vector<double> at;
+    /** Speed multiplier in effect from the matching `at` onward. */
+    std::vector<double> mult;
+
+    /** True when no resource has any epoch. */
+    bool empty() const { return mult.empty(); }
+};
+
+/**
  * Reusable replay state. All buffers are resized (never shrunk) by
  * replay(); after the first call on a given schedule no allocation
  * happens. One instance per thread makes parallel sweeps allocation
@@ -137,6 +168,8 @@ struct ReplayScratch
     std::vector<double> busy;
     /** Jobs served per resource (valid after replay). */
     std::vector<std::size_t> jobs;
+    /** Per-resource epoch cursor (replayPiecewise only). */
+    std::vector<std::uint32_t> epoch;
 };
 
 /**
@@ -216,7 +249,10 @@ class CompiledSchedule
     /**
      * Append a task of `ops` (at least one) depending on the earlier
      * tasks `deps`. Panics on forward/self dependencies, empty ops, or
-     * an unknown resource id — the same contract as EventQueue.
+     * an unknown resource id — the same contract as EventQueue — and,
+     * as the compile-time half of the replay watchdog, on any cost
+     * numerator that is negative or non-finite (such an op could only
+     * produce a garbage makespan).
      */
     TaskId addTask(const std::vector<TaskId> &deps,
                    const std::vector<CompiledOp> &ops);
@@ -228,6 +264,35 @@ class CompiledSchedule
      */
     TaskId addTask(const TaskId *deps, std::size_t ndeps,
                    const CompiledOp *ops_in, std::size_t nops);
+
+    /**
+     * addTask without the per-op cost validation or the forward-dep
+     * check, inline so the append is just the CSR pushes. Only for
+     * re-appending op templates a prior addTask() of this process
+     * already validated (the shard engine's partition repatch replays
+     * its cached lowering through here) with dep ids the caller
+     * guarantees precede the new task; patchCommit() still bounds-
+     * checks every op's resource id. The validated addTask() is the
+     * front door for anything lowered from fresh input.
+     */
+    TaskId addTaskTrusted(const TaskId *deps, std::size_t ndeps,
+                          const CompiledOp *ops_in, std::size_t nops)
+    {
+        const TaskId id = static_cast<TaskId>(taskCount());
+        depIds.insert(depIds.end(), deps, deps + ndeps);
+        depOff.push_back(static_cast<std::uint32_t>(depIds.size()));
+        for (std::size_t i = 0; i < nops; ++i) {
+            const CompiledOp &op = ops_in[i];
+            opRes.push_back(op.resource);
+            opBytes.push_back(op.bytes);
+            opWork0.push_back(op.work[0]);
+            opWork1.push_back(op.work[1]);
+            opSec.push_back(op.seconds);
+            opPost.push_back(op.postSeconds);
+        }
+        opOff.push_back(static_cast<std::uint32_t>(opRes.size()));
+        return id;
+    }
 
     std::size_t taskCount() const { return opOff.size() - 1; }
     std::size_t opCount() const { return opRes.size(); }
@@ -301,6 +366,59 @@ class CompiledSchedule
     double replay(const ReplayRates &rates, ReplayScratch &scratch) const;
 
     /**
+     * replay() with piecewise service rates: resource r serves at
+     * `rates` scaled by the multiplier of its current RateEpochs epoch,
+     * advancing epochs as simulated time passes. An op that spans an
+     * epoch boundary progresses fractionally — the fraction of its
+     * service remaining when the rate changes is re-timed at the new
+     * rate — so degradation mid-op is modeled, not snapped to op
+     * boundaries. `done`, when non-null, is a taskCount()-byte mask:
+     * tasks with done[t] != 0 are already complete (finish 0, no
+     * resource occupancy) — the failover path uses it to replay only
+     * the tasks that survive a mid-run re-placement. With an empty
+     * epoch table and a null mask this delegates to replay() and is
+     * bit-identical to it; with every multiplier 1.0 the piecewise
+     * arithmetic itself is exact (x * 1.0 == x), so a trivial trace
+     * also reproduces replay() bit-for-bit. Thread-safe for concurrent
+     * calls with distinct scratch.
+     */
+    double replayPiecewise(const ReplayRates &rates, const RateEpochs &ep,
+                           const std::uint8_t *done,
+                           ReplayScratch &scratch) const;
+
+    /**
+     * Non-aborting validation of a replay point against this schedule:
+     * RateMismatch when `rates` covers a different resource count than
+     * the binding (same message the aborting path panics with), and
+     * NonFiniteRate when any byte or work rate is NaN, infinite, or
+     * non-positive — the run-time half of the replay watchdog (the
+     * compile-time half lives in addTask). Ok means replay() on these
+     * rates cannot produce NaN (only +inf on overflow, which the
+     * post-replay finite check reports with the offending op).
+     */
+    Error checkReplay(const ReplayRates &rates) const;
+
+    /**
+     * Non-aborting validation of an epoch table against this schedule:
+     * BadFaultTrace on a malformed CSR (off size != resourceCount + 1,
+     * offsets not monotone or not spanning at/mult), non-increasing
+     * epoch times within a resource, or a multiplier/time that is not
+     * finite and positive (times must be >= 0).
+     */
+    Error checkEpochs(const RateEpochs &ep) const;
+
+    /**
+     * replay() that reports instead of panicking: validates the rates
+     * (checkReplay) and the resulting makespan, writing it to `out` on
+     * success. A non-finite makespan — only possible via overflow to
+     * +inf, given validated rates — is reported as NonFiniteDuration
+     * with the first offending op id and resource name. The aborting
+     * replay() path stays panic-on-mismatch for internal callers.
+     */
+    Error tryReplay(const ReplayRates &rates, ReplayScratch &scratch,
+                    double &out) const;
+
+    /**
      * Simulate the schedule at `n` replay points with one walk of the
      * compiled arrays per kBatchLanes-point block, instead of n
      * independent walks: op costs are read once per block and
@@ -323,8 +441,23 @@ class CompiledSchedule
     void replayBlock(const ReplayRates *points, std::size_t lanes,
                      BatchScratch &s, double *makespans) const;
 
+    /**
+     * The replay() recurrence without rate validation or the finite
+     * watchdog — shared by the aborting replay() and the reporting
+     * tryReplay().
+     */
+    double replayCore(const ReplayRates &rates,
+                      ReplayScratch &scratch) const;
+
     /** Panic unless `rates` covers this schedule's resources. */
     void checkRates(const ReplayRates &rates) const;
+
+    /**
+     * Cold-path rescan after a non-finite makespan: find the first op
+     * whose duration (or finish) went non-finite at `rates` and format
+     * "op <i> (resource <name>)" for the watchdog report.
+     */
+    std::string nonFiniteOpReport(const ReplayRates &rates) const;
 
     // --- binding: rewritten in place by the patch API ---
     std::vector<std::string> names;

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <functional>
+#include <limits>
 #include <map>
 #include <mutex>
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "fault/monte_carlo.h"
 #include "shard/placement_search.h"
 
 namespace ciflow::tune
@@ -60,6 +62,16 @@ Tuner::Tuner(ExperimentRunner &runner_, const HksParams &par_,
     : runner(runner_), par(par_), sp(std::move(space))
 {
     sp.validate();
+}
+
+Tuner::Tuner(ExperimentRunner &runner_, const HksParams &par_,
+             TuneSpace space, const FaultObjective &objective)
+    : runner(runner_), par(par_), sp(std::move(space)),
+      fobj(objective)
+{
+    sp.validate();
+    panicIf(fobj->scenarios == 0,
+            "fault objective needs at least one scenario");
 }
 
 EvalKey
@@ -122,7 +134,10 @@ Tuner::evaluateAll(const std::vector<std::vector<std::size_t>> &pts)
         owner[i] = it->second;
         if (!inserted)
             continue;
-        if (p.shards > 1) {
+        // Fault-objective points always go scalar: their score is a
+        // Monte Carlo scenario sweep, not one replay a batch could
+        // serve.
+        if (p.shards > 1 || fobj) {
             scalar.push_back(i);
             continue;
         }
@@ -240,6 +255,36 @@ Tuner::evaluateUncached(const TunePoint &p)
     m.aggregateGBps = p.bandwidthGBps * static_cast<double>(p.shards);
     m.capacityBytes = static_cast<double>(p.dataMemBytes) *
                       static_cast<double>(p.shards);
+
+    if (fobj) {
+        // Fault-aware objective: partition for the point's shard
+        // count (K=1 is the trivial one-shard cut), then score the
+        // expected Monte Carlo makespan under the model, penalized by
+        // survivability — a K that cannot survive its chip failures
+        // scores +inf and loses to any graceful-degradation point.
+        const std::vector<double> w =
+            shard::taskWeights(exp->graph(), cfg);
+        const shard::ShardSpec sspec = shard::placementShardSpec(
+            par, p.shards, p.strategy, sp.imbalanceTol);
+        const shard::Partition part =
+            shard::partitionGraph(exp->graph(), sspec, w);
+        shard::InterconnectConfig net = sp.interconnect;
+        net.topology = p.topology;
+        fault::FaultSim fs(exp->graph(), sspec, w, part, cfg, net);
+        fault::McSpec mc;
+        mc.model = fobj->model;
+        mc.scenarios = fobj->scenarios;
+        mc.seed = fobj->seed;
+        const fault::McStats st = fault::monteCarlo(fs, mc);
+        m.runtime =
+            st.survivability > 0.0
+                ? st.expectedMakespan / st.survivability
+                : std::numeric_limits<double>::infinity();
+        m.cutBytes = part.cutBytes;
+        m.transferTasks = part.cutEdges.size();
+        return m;
+    }
+
     if (p.shards <= 1) {
         m.runtime = exp->simulate(cfg).runtime;
         return m;

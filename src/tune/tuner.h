@@ -36,8 +36,10 @@
 #define CIFLOW_TUNE_TUNER_H
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
+#include "fault/fault_trace.h"
 #include "rpu/runner.h"
 #include "tune/eval_cache.h"
 #include "tune/tune_space.h"
@@ -68,6 +70,30 @@ struct TuneOptions
     /** RandomRestartHillClimb: RNG seed (results are a pure function
      * of it). */
     std::uint64_t seed = 0x7005eedULL;
+};
+
+/**
+ * Fault-aware tuning objective: score every point by its expected
+ * Monte Carlo makespan under a fault model instead of the healthy
+ * replay runtime. A Tuner constructed with one scores
+ *
+ *     E[makespan | completed] / survivability
+ *
+ * (+inf when no scenario completes), so configurations that cannot
+ * survive the model — e.g. K=1 under chip failures — lose to ones
+ * that degrade gracefully even when their healthy runtime is better.
+ * The objective is fixed for the Tuner's lifetime: the evaluation
+ * cache is per-Tuner, so cached Measurements always belong to one
+ * objective and EvalKey needs no fault fields.
+ */
+struct FaultObjective
+{
+    /** The MTBF fault model scenarios are sampled from. */
+    fault::FaultModel model;
+    /** Seeded Monte Carlo scenarios per point. */
+    std::size_t scenarios = 32;
+    /** Base seed of the scenario stream (deriveSeed fans it out). */
+    std::uint64_t seed = 1;
 };
 
 /** One evaluated point: where it sits in the space and what it cost. */
@@ -122,6 +148,17 @@ class Tuner
     Tuner(ExperimentRunner &runner, const HksParams &par,
           TuneSpace space);
 
+    /**
+     * A Tuner whose every evaluation scores the fault-aware objective
+     * (see FaultObjective) instead of the healthy runtime. Strategies,
+     * caching and determinism are unchanged — the objective is still a
+     * pure function of the point, the Monte Carlo scenario stream is
+     * seeded — but fault points skip the batched-replay grouping:
+     * each one runs its own degraded-mode scenario sweep.
+     */
+    Tuner(ExperimentRunner &runner, const HksParams &par,
+          TuneSpace space, const FaultObjective &objective);
+
     /** Run one search; see TuneOptions. Safe to call repeatedly. */
     TuneResult tune(const TuneOptions &opts = {});
 
@@ -155,6 +192,11 @@ class Tuner
 
     const TuneSpace &space() const { return sp; }
     const HksParams &params() const { return par; }
+    /** The fault-aware objective, or nullptr for the runtime one. */
+    const FaultObjective *faultObjective() const
+    {
+        return fobj ? &*fobj : nullptr;
+    }
     /** Fresh evaluations since construction (cache misses). */
     std::size_t evaluations() const { return cache.misses(); }
     /** Cache hits since construction. */
@@ -185,6 +227,7 @@ class Tuner
     HksParams par;
     TuneSpace sp;
     EvalCache cache;
+    std::optional<FaultObjective> fobj;
 };
 
 /**
