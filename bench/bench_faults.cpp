@@ -29,6 +29,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -209,6 +210,10 @@ main()
     benchutil::header("Fault injection: degraded-mode replay, "
                       "failover cost, Monte Carlo survivability");
 
+    // Scenario-outcome counters for the artifact's metrics block,
+    // accumulated from every FaultSim the sections below run.
+    obs::MetricsRegistry metrics;
+
     // 1. Zero-fault identity, asserted before any timing.
     bool zero_fault_identical = true;
     for (std::size_t k : {2, 4}) {
@@ -225,6 +230,7 @@ main()
                          k);
             zero_fault_identical = false;
         }
+        fs.exportMetrics(metrics);
     }
     std::printf("zero-fault identity: %s\n\n",
                 zero_fault_identical ? "bit-identical" : "BROKEN");
@@ -303,43 +309,45 @@ main()
                     "replayMany lanes are %s the per-scenario "
                     "piecewise path\n",
                     benchutil::times(static_batch_speedup).c_str());
+        fs.exportMetrics(metrics);
     }
 
-    std::FILE *json = std::fopen("BENCH_fault.json", "w");
-    if (json != nullptr) {
-        std::fprintf(json,
-                     "{\n  \"bench\": \"faults\",\n"
-                     "  \"zero_fault_identical\": %s,\n"
-                     "  \"failover_speedup\": %.3f,\n"
-                     "  \"failover_patch_per_sec\": %.1f,\n"
-                     "  \"failover_full_per_sec\": %.1f,\n"
-                     "  \"static_batch_speedup\": %.3f,\n"
-                     "  \"scenarios_per_point\": %zu,\n"
-                     "  \"rows\": [\n",
-                     zero_fault_identical ? "true" : "false",
-                     cost.speedup(), cost.patchPerSec,
-                     cost.fullPerSec, static_batch_speedup,
-                     mc.scenarios);
-        for (std::size_t i = 0; i < rows.size(); ++i) {
-            const Row &r = rows[i];
-            std::fprintf(
-                json,
-                "    {\"benchmark\": \"%s\", \"shards\": %zu, "
-                "\"topology\": \"%s\", \"healthy_ms\": %.4f, "
-                "\"expected_ms\": %.4f, \"p50_degradation\": %.4f, "
-                "\"p99_degradation\": %.4f, \"survivability\": %.4f, "
-                "\"failovers\": %zu, "
-                "\"expected_migrated_bytes\": %.1f}%s\n",
-                r.benchmark.c_str(), r.shards,
-                topologyName(r.topology),
-                r.st.healthyMakespan * 1e3,
-                r.st.expectedMakespan * 1e3, r.st.p50Degradation,
-                r.st.p99Degradation, r.st.survivability,
-                r.st.totalFailovers, r.st.expectedMigratedBytes,
-                i + 1 < rows.size() ? "," : "");
+    // Monte Carlo totals (the per-point sims run on monteCarlo's own
+    // worker clones, so they fold in here from the aggregate stats).
+    metrics.count("mc.scenarios", mc.scenarios * rows.size());
+    for (const Row &r : rows)
+        metrics.count("mc.failovers", r.st.totalFailovers);
+
+    std::ofstream jf("BENCH_fault.json");
+    if (jf) {
+        benchutil::JsonWriter w(jf);
+        w.field("bench", "faults");
+        w.field("zero_fault_identical", zero_fault_identical);
+        w.field("failover_speedup", cost.speedup());
+        w.field("failover_patch_per_sec", cost.patchPerSec);
+        w.field("failover_full_per_sec", cost.fullPerSec);
+        w.field("static_batch_speedup", static_batch_speedup);
+        w.field("scenarios_per_point", mc.scenarios);
+        w.beginArray("rows");
+        for (const Row &r : rows) {
+            w.beginObject();
+            w.field("benchmark", r.benchmark);
+            w.field("shards", r.shards);
+            w.field("topology", topologyName(r.topology));
+            w.field("healthy_ms", r.st.healthyMakespan * 1e3);
+            w.field("expected_ms", r.st.expectedMakespan * 1e3);
+            w.field("p50_degradation", r.st.p50Degradation);
+            w.field("p99_degradation", r.st.p99Degradation);
+            w.field("survivability", r.st.survivability);
+            w.field("failovers", r.st.totalFailovers);
+            w.field("expected_migrated_bytes",
+                    r.st.expectedMigratedBytes);
+            w.endObject();
         }
-        std::fprintf(json, "  ]\n}\n");
-        std::fclose(json);
+        w.endArray();
+        w.metrics("metrics", metrics);
+        w.finish();
+        jf.close();
         std::printf("wrote BENCH_fault.json\n");
     }
 

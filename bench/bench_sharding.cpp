@@ -16,6 +16,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -127,36 +128,40 @@ main()
                     topologyName(best_row->r.topology),
                     strategyName(best_row->r.strategy), best);
 
-    std::FILE *json = std::fopen("BENCH_shard.json", "w");
-    if (json != nullptr) {
-        std::fprintf(json,
-                     "{\n  \"bench\": \"sharding\",\n"
-                     "  \"chip_gbps\": %.1f,\n"
-                     "  \"link_gbps\": %.1f,\n"
-                     "  \"link_latency_us\": %.2f,\n"
-                     "  \"best_speedup\": %.3f,\n  \"rows\": [\n",
-                     spec.chip.bandwidthGBps,
-                     spec.interconnect.linkGBps,
-                     spec.interconnect.latencySec * 1e6, best);
-        for (std::size_t i = 0; i < rows.size(); ++i) {
-            const StudyRow &row = rows[i];
-            std::fprintf(
-                json,
-                "    {\"benchmark\": \"%s\", \"dataflow\": \"%s\", "
-                "\"shards\": %zu, \"topology\": \"%s\", "
-                "\"strategy\": \"%s\", \"runtime_ms\": %.4f, "
-                "\"speedup\": %.3f, \"cut_bytes\": %llu, "
-                "\"transfer_tasks\": %zu, \"imbalance\": %.4f}%s\n",
-                row.benchmark.c_str(), dataflowName(row.dataflow),
-                row.r.shards, topoLabel(row.r), strategyLabel(row.r),
-                row.r.runtime * 1e3,
-                row.r.speedup(),
-                static_cast<unsigned long long>(row.r.cutBytes),
-                row.r.transferTasks, row.r.imbalance,
-                i + 1 < rows.size() ? "," : "");
+    // The artifact's metrics block: the runner's graph-cache traffic —
+    // the placement search hits the same (benchmark, dataflow, mem)
+    // graphs across every (K, topology, strategy) point.
+    obs::MetricsRegistry metrics;
+    runner.exportMetrics(metrics);
+
+    std::ofstream jf("BENCH_shard.json");
+    if (jf) {
+        benchutil::JsonWriter w(jf);
+        w.field("bench", "sharding");
+        w.field("chip_gbps", spec.chip.bandwidthGBps);
+        w.field("link_gbps", spec.interconnect.linkGBps);
+        w.field("link_latency_us", spec.interconnect.latencySec * 1e6);
+        w.field("best_speedup", best);
+        w.beginArray("rows");
+        for (const StudyRow &row : rows) {
+            w.beginObject();
+            w.field("benchmark", row.benchmark);
+            w.field("dataflow", dataflowName(row.dataflow));
+            w.field("shards", row.r.shards);
+            w.field("topology", topoLabel(row.r));
+            w.field("strategy", strategyLabel(row.r));
+            w.field("runtime_ms", row.r.runtime * 1e3);
+            w.field("speedup", row.r.speedup());
+            w.field("cut_bytes",
+                    static_cast<std::uint64_t>(row.r.cutBytes));
+            w.field("transfer_tasks", row.r.transferTasks);
+            w.field("imbalance", row.r.imbalance);
+            w.endObject();
         }
-        std::fprintf(json, "  ]\n}\n");
-        std::fclose(json);
+        w.endArray();
+        w.metrics("metrics", metrics);
+        w.finish();
+        jf.close();
         std::printf("wrote BENCH_shard.json\n");
     }
 

@@ -33,7 +33,9 @@
 
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -200,11 +202,19 @@ main()
     const std::vector<HksParams> &benches = paperBenchmarks();
     std::vector<Row> rows(benches.size());
 
+    // The cd+hc tuners outlive the jobs: their counters feed the
+    // artifact's metrics block after the pool drains (per-benchmark
+    // prefixes, exported serially so the block is deterministic).
+    std::vector<std::unique_ptr<Tuner>> searches(benches.size());
+    for (std::size_t i = 0; i < benches.size(); ++i)
+        searches[i] = std::make_unique<Tuner>(
+            runner, benches[i], paperJointSpace(benches[i]));
+
     // One tuner pipeline per benchmark, fanned out on the pool; each
     // strategy inside fans out its own sweeps (nested runAll).
     std::vector<std::function<void()>> jobs;
     for (std::size_t i = 0; i < benches.size(); ++i)
-        jobs.push_back([&runner, &benches, &rows, i] {
+        jobs.push_back([&runner, &benches, &rows, &searches, i] {
             const HksParams &par = benches[i];
             Row &r = rows[i];
             r.benchmark = par.name;
@@ -218,7 +228,7 @@ main()
             r.bestConfig = ex.best.point.describe();
 
             // Fresh cache: the descent pays its own evaluations.
-            Tuner search(runner, par, paperJointSpace(par));
+            Tuner &search = *searches[i];
             const TuneResult cd = search.tune(
                 {.strategy = Strategy::CoordinateDescent});
             r.cdBestMs = cd.best.m.runtime * 1e3;
@@ -306,42 +316,51 @@ main()
                      "warning: layout-axis speedup below the 10x CI "
                      "gate on this machine\n");
 
-    std::FILE *json = std::fopen("BENCH_tune.json", "w");
-    if (json != nullptr) {
-        std::fprintf(json, "{\n  \"bench\": \"tuner\",\n"
-                           "  \"rows\": [\n");
-        for (std::size_t i = 0; i < rows.size(); ++i) {
-            const Row &r = rows[i];
-            std::fprintf(
-                json,
-                "    {\"benchmark\": \"%s\", \"space_points\": %zu, "
-                "\"exhaustive_best_ms\": %.6f, \"cd_best_ms\": %.6f, "
-                "\"cd_evals\": %zu, \"cd_eval_frac\": %.4f, "
-                "\"hc_best_ms\": %.6f, \"hc_evals\": %zu, "
-                "\"hc_cache_hits\": %zu, "
-                "\"eval_cache_hits\": %zu, "
-                "\"eval_cache_misses\": %zu, "
-                "\"eval_cache_hit_rate\": %.4f, "
-                "\"pareto_points\": %zu, "
-                "\"patched_evals\": %zu, "
-                "\"layout_points\": %zu, "
-                "\"layout_fresh_evals_per_sec\": %.1f, "
-                "\"layout_patched_evals_per_sec\": %.1f, "
-                "\"layout_axis_speedup\": %.2f, "
-                "\"ocbase_gbps\": %.1f, \"ocbase_ref_gbps\": %.1f, "
-                "\"best_config\": \"%s\", \"pass\": %s}%s\n",
-                r.benchmark.c_str(), r.spacePoints,
-                r.exhaustiveBestMs, r.cdBestMs, r.cdEvals, r.cdFrac,
-                r.hcBestMs, r.hcEvals, r.hcHits, r.cacheHits,
-                r.cacheMisses, r.cacheHitRate(), r.paretoPoints,
-                r.patchedEvals, r.layoutPoints, r.layoutFreshPerSec,
-                r.layoutPatchedPerSec, r.layoutAxisSpeedup(),
-                r.ocbaseGbps, r.ocbaseRefGbps, r.bestConfig.c_str(),
-                r.pass ? "true" : "false",
-                i + 1 < rows.size() ? "," : "");
+    // Metrics block: the runner's graph cache plus each benchmark's
+    // cd+hc tuner (evaluations, cache hits, patched evals, batch-lane
+    // occupancy), exported serially for a deterministic artifact.
+    obs::MetricsRegistry metrics;
+    runner.exportMetrics(metrics);
+    for (std::size_t i = 0; i < benches.size(); ++i)
+        searches[i]->exportMetrics(
+            metrics, "tuner." + rows[i].benchmark + ".");
+
+    std::ofstream jf("BENCH_tune.json");
+    if (jf) {
+        benchutil::JsonWriter w(jf);
+        w.field("bench", "tuner");
+        w.beginArray("rows");
+        for (const Row &r : rows) {
+            w.beginObject();
+            w.field("benchmark", r.benchmark);
+            w.field("space_points", r.spacePoints);
+            w.field("exhaustive_best_ms", r.exhaustiveBestMs);
+            w.field("cd_best_ms", r.cdBestMs);
+            w.field("cd_evals", r.cdEvals);
+            w.field("cd_eval_frac", r.cdFrac);
+            w.field("hc_best_ms", r.hcBestMs);
+            w.field("hc_evals", r.hcEvals);
+            w.field("hc_cache_hits", r.hcHits);
+            w.field("eval_cache_hits", r.cacheHits);
+            w.field("eval_cache_misses", r.cacheMisses);
+            w.field("eval_cache_hit_rate", r.cacheHitRate());
+            w.field("pareto_points", r.paretoPoints);
+            w.field("patched_evals", r.patchedEvals);
+            w.field("layout_points", r.layoutPoints);
+            w.field("layout_fresh_evals_per_sec", r.layoutFreshPerSec);
+            w.field("layout_patched_evals_per_sec",
+                    r.layoutPatchedPerSec);
+            w.field("layout_axis_speedup", r.layoutAxisSpeedup());
+            w.field("ocbase_gbps", r.ocbaseGbps);
+            w.field("ocbase_ref_gbps", r.ocbaseRefGbps);
+            w.field("best_config", r.bestConfig);
+            w.field("pass", r.pass);
+            w.endObject();
         }
-        std::fprintf(json, "  ]\n}\n");
-        std::fclose(json);
+        w.endArray();
+        w.metrics("metrics", metrics);
+        w.finish();
+        jf.close();
         std::printf("wrote BENCH_tune.json\n");
     }
 

@@ -1,16 +1,20 @@
 /**
  * @file
- * Shared helpers for the benchmark harnesses: formatted table printing
- * and paper reference values for side-by-side comparison.
+ * Shared helpers for the benchmark harnesses: formatted table printing,
+ * paper reference values for side-by-side comparison, and the one JSON
+ * writer every BENCH_*.json artifact is produced through.
  */
 
 #ifndef CIFLOW_BENCH_BENCH_UTIL_H
 #define CIFLOW_BENCH_BENCH_UTIL_H
 
+#include <cstdint>
 #include <cstdio>
+#include <ostream>
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "rpu/runner.h"
 
 namespace ciflow::benchutil
@@ -70,6 +74,157 @@ printStreamVsOnchipCsv(ExperimentRunner &runner, const HksParams &b,
         std::printf("\n");
     }
 }
+
+/**
+ * Minimal streaming JSON writer: the single code path every
+ * BENCH_*.json artifact goes through (the four harnesses used to
+ * hand-roll fprintf blocks with four diverging comma/precision
+ * conventions). Field order is emission order; commas and nesting are
+ * tracked internally, so a harness just declares its fields. Doubles
+ * print at %.9g — more precision than any CI gate compares — and
+ * every writer finishes with finish(), which closes the root object.
+ *
+ * The metrics() method embeds an obs::MetricsRegistry as a named
+ * sub-object, which is how every artifact gains its machine-readable
+ * metrics block.
+ */
+class JsonWriter
+{
+  public:
+    /** Open the root object on `os` (the artifact file). */
+    explicit JsonWriter(std::ostream &os) : os(os)
+    {
+        os << "{";
+        first.push_back(true);
+    }
+
+    /** Close the root object; call exactly once, last. */
+    void
+    finish()
+    {
+        first.pop_back();
+        os << "\n}\n";
+    }
+
+    void
+    field(const char *name, const char *v)
+    {
+        key(name);
+        os << '"' << escaped(v) << '"';
+    }
+
+    void
+    field(const char *name, const std::string &v)
+    {
+        field(name, v.c_str());
+    }
+
+    void
+    field(const char *name, double v)
+    {
+        key(name);
+        char b[40];
+        std::snprintf(b, sizeof b, "%.9g", v);
+        os << b;
+    }
+
+    void
+    field(const char *name, bool v)
+    {
+        key(name);
+        os << (v ? "true" : "false");
+    }
+
+    void
+    field(const char *name, std::uint64_t v)
+    {
+        key(name);
+        os << v;
+    }
+
+    void
+    field(const char *name, int v)
+    {
+        field(name, static_cast<std::uint64_t>(v));
+    }
+
+    void
+    beginArray(const char *name)
+    {
+        key(name);
+        os << "[";
+        first.push_back(true);
+    }
+
+    void
+    endArray()
+    {
+        first.pop_back();
+        os << "\n" << indent() << "]";
+    }
+
+    /** Begin an anonymous object (an array element). */
+    void
+    beginObject()
+    {
+        sep();
+        os << "\n" << indent();
+        first.push_back(true);
+        os << "{";
+    }
+
+    void
+    endObject()
+    {
+        first.pop_back();
+        os << "}";
+    }
+
+    /** Embed `m` as the sub-object field `name`. */
+    void
+    metrics(const char *name, const obs::MetricsRegistry &m)
+    {
+        key(name);
+        m.writeJson(os);
+    }
+
+  private:
+    static std::string
+    escaped(const char *v)
+    {
+        std::string out;
+        for (; *v != '\0'; ++v) {
+            if (*v == '"' || *v == '\\')
+                out += '\\';
+            out += *v;
+        }
+        return out;
+    }
+
+    std::string
+    indent() const
+    {
+        return std::string(2 * (first.size() - 1), ' ');
+    }
+
+    void
+    sep()
+    {
+        if (!first.back())
+            os << ",";
+        first.back() = false;
+    }
+
+    void
+    key(const char *name)
+    {
+        sep();
+        os << "\n" << indent() << "\"" << name << "\": ";
+    }
+
+    std::ostream &os;
+    std::vector<char> first;
+};
 
 } // namespace ciflow::benchutil
 

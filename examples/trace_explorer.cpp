@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Trace explorer: replay a workload with the observer attached and
+ * write a Chrome trace-event file openable in Perfetto or
+ * chrome://tracing.
+ *
+ * Usage:
+ *   trace_explorer [benchmark] [dataflow] [shards] [chip_gbps] [out]
+ *                  [fault ...]
+ *
+ * Defaults: ARK OC 1 64 replay.trace.json. With shards == 1 the
+ * single-RPU compiled schedule replays through obs::replayTraced;
+ * with shards > 1 the workload is partitioned and replayed through
+ * fault::FaultSim with the scenario observer, so fault args can
+ * script a degraded run:
+ *
+ *   fail <shard> <at_ms>
+ *   degrade <shard> <channel> <factor> <at_ms>
+ *   stall <shard> <factor> <at_ms> <dur_ms>
+ *
+ * e.g.  trace_explorer BTS3 OC 4 16 bts3.trace.json fail 1 2.0
+ *
+ * Besides the trace file, prints the derived analyses: per-resource
+ * utilization and queue wait, the top bottleneck tasks, and the
+ * critical path (whose length equals the makespan exactly).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "fault/fault_replay.h"
+#include "obs/analysis.h"
+#include "obs/chrome_trace.h"
+#include "obs/traced_replay.h"
+#include "rpu/experiment.h"
+#include "shard/placement_search.h"
+
+using namespace ciflow;
+
+namespace
+{
+
+/** Parse the trailing fault-event specs into a normalized trace. */
+fault::FaultTrace
+parseFaults(int argc, char **argv, int i)
+{
+    fault::FaultTrace trace;
+    const auto need = [&](int n) {
+        if (i + n > argc) {
+            std::fprintf(stderr, "missing fault arguments\n");
+            std::exit(2);
+        }
+    };
+    while (i < argc) {
+        const std::string kind = argv[i++];
+        fault::FaultEvent e;
+        if (kind == "fail") {
+            need(2);
+            e.kind = fault::FaultKind::ChipFail;
+            e.shard = static_cast<std::uint32_t>(std::atoi(argv[i]));
+            e.atSec = std::atof(argv[i + 1]) * 1e-3;
+            i += 2;
+        } else if (kind == "degrade") {
+            need(4);
+            e.kind = fault::FaultKind::ChannelDegrade;
+            e.shard = static_cast<std::uint32_t>(std::atoi(argv[i]));
+            e.channel =
+                static_cast<std::uint32_t>(std::atoi(argv[i + 1]));
+            e.factor = std::atof(argv[i + 2]);
+            e.atSec = std::atof(argv[i + 3]) * 1e-3;
+            i += 4;
+        } else if (kind == "stall") {
+            need(4);
+            e.kind = fault::FaultKind::TransientStall;
+            e.shard = static_cast<std::uint32_t>(std::atoi(argv[i]));
+            e.factor = std::atof(argv[i + 1]);
+            e.atSec = std::atof(argv[i + 2]) * 1e-3;
+            e.durSec = std::atof(argv[i + 3]) * 1e-3;
+            i += 4;
+        } else {
+            std::fprintf(stderr, "unknown fault kind '%s'\n",
+                         kind.c_str());
+            std::exit(2);
+        }
+        trace.events.push_back(e);
+    }
+    trace.normalize();
+    return trace;
+}
+
+/** Print the derived analyses of one traced replay. */
+void
+printAnalyses(const sim::CompiledSchedule &cs,
+              const obs::TraceBuffer &buf)
+{
+    std::printf("\nResource utilization (makespan %.3f ms):\n",
+                buf.makespan * 1e3);
+    const auto util =
+        obs::resourceUtilization(buf, cs.resourceCount());
+    for (const obs::ResourceUtilization &u : util)
+        if (u.jobs > 0)
+            std::printf("  %-14s busy %8.3f ms (%5.1f%%)  queue wait "
+                        "%8.3f ms  (%6zu ops)\n",
+                        cs.resourceName(u.resource).c_str(),
+                        u.busySeconds * 1e3, u.busyFraction * 100.0,
+                        u.queueWaitSeconds * 1e3, u.jobs);
+
+    std::printf("\nTop bottleneck tasks (by service time):\n");
+    for (const obs::TaskCost &c : obs::topBottlenecks(buf, 5))
+        std::printf("  task %-7u service %8.3f ms  queue wait %8.3f "
+                    "ms  finish %8.3f ms\n",
+                    c.task, c.serviceSeconds * 1e3,
+                    c.queueWaitSeconds * 1e3, c.finish * 1e3);
+
+    const obs::CriticalPath cp = obs::criticalPath(cs, buf);
+    std::printf("\nCritical path: %zu hops, length %.6f ms "
+                "(== makespan exactly)\n",
+                cp.steps.size(), cp.length * 1e3);
+    // Attribute the hops: which resources the tight chain runs over.
+    std::vector<std::size_t> hops(cs.resourceCount(), 0);
+    std::size_t queueEdges = 0;
+    for (const obs::CriticalStep &s : cp.steps) {
+        ++hops[s.resource];
+        queueEdges += s.tightViaResource ? 1 : 0;
+    }
+    for (std::size_t r = 0; r < hops.size(); ++r)
+        if (hops[r] > 0)
+            std::printf("  %-14s %6zu hops  (dependency slack min "
+                        "%.3g ms)\n",
+                        cs.resourceName(static_cast<sim::ResourceId>(r))
+                            .c_str(),
+                        hops[r], cp.resourceSlack[r] * 1e3);
+    std::printf("  %zu of %zu edges tight via resource queueing, the "
+                "rest via dependencies\n",
+                queueEdges, cp.steps.size());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string bench = argc > 1 ? argv[1] : "ARK";
+    const std::string flow = argc > 2 ? argv[2] : "OC";
+    const std::size_t shards =
+        argc > 3 ? static_cast<std::size_t>(std::atoi(argv[3])) : 1;
+    const double chip_gbps = argc > 4 ? std::atof(argv[4]) : 64.0;
+    const std::string out =
+        argc > 5 ? argv[5] : "replay.trace.json";
+    const fault::FaultTrace trace = parseFaults(argc, argv, 6);
+
+    const HksParams &par = benchmarkByName(bench);
+    Dataflow d = Dataflow::OC;
+    for (Dataflow cand : allDataflows())
+        if (flow == dataflowName(cand))
+            d = cand;
+    const MemoryConfig mem{32ull << 20, false};
+
+    RpuConfig chip;
+    chip.bandwidthGBps = chip_gbps;
+    chip.dataMemBytes = mem.dataCapacityBytes;
+    chip.evkOnChip = mem.evkOnChip;
+
+    std::printf("%s\n", par.describe().c_str());
+    std::printf("dataflow=%s shards=%zu chip=%.0f GB/s (evk "
+                "streamed)\n",
+                dataflowName(d), shards, chip_gbps);
+
+    HksExperiment exp(par, d, mem);
+
+    if (shards <= 1) {
+        if (!trace.empty()) {
+            std::fprintf(stderr, "fault events need shards > 1\n");
+            return 2;
+        }
+        const RpuEngine eng(chip);
+        const sim::CompiledSchedule cs = eng.compile(exp.graph());
+        sim::ReplayRates rates;
+        eng.rates(cs, rates);
+        sim::ReplayScratch scratch;
+        obs::TraceBuffer buf;
+        const double mk = obs::replayTraced(cs, rates, scratch, buf);
+        std::printf("traced replay: %zu tasks, %zu ops, makespan "
+                    "%.3f ms\n",
+                    cs.taskCount(), buf.ops.size(), mk * 1e3);
+        printAnalyses(cs, buf);
+
+        const obs::ScenarioTrace t =
+            obs::singleReplayTrace(cs, std::move(buf));
+        std::ofstream os(out);
+        obs::writeChromeTrace(os, t);
+    } else {
+        const TaskGraph &g = exp.graph();
+        const shard::ShardSpec spec = shard::placementShardSpec(
+            par, shards, shard::PartitionStrategy::MinCutGreedy, 0.10);
+        const std::vector<double> w = shard::taskWeights(g, chip);
+        const shard::Partition part = shard::partitionGraph(g, spec, w);
+        shard::InterconnectConfig net;
+        net.linkGBps = 256.0;
+        net.latencySec = 2e-6;
+
+        fault::FaultSim fs(g, spec, w, part, chip, net);
+        if (sim::Error e = fault::checkTrace(trace, fs.shape()))
+            fatal(e.message());
+
+        // Before run(): healthyMakespan() rebinds to the base
+        // partition, which would invalidate the final segment's
+        // binding (and the analyses below) after a failover.
+        const double healthy = fs.healthyMakespan();
+        obs::ScenarioTrace viz;
+        const fault::DegradedOutcome o = fs.run(trace, &viz);
+        std::printf("scenario: %zu fault events, %zu replay "
+                    "segments\n",
+                    trace.events.size(), viz.segments.size());
+        if (!o.completed) {
+            std::printf("scenario killed every chip before "
+                        "completion\n");
+        } else {
+            std::printf("makespan %.3f ms (healthy %.3f ms), %zu "
+                        "failovers, %llu bytes migrated (%.3f ms "
+                        "pause)\n",
+                        o.makespan * 1e3, healthy * 1e3, o.failovers,
+                        static_cast<unsigned long long>(
+                            o.migratedBytes),
+                        o.migrationSec * 1e3);
+            // The final segment ran on the current binding, so the
+            // derived analyses line up with fs.compiled() (earlier
+            // segments' bindings were patched away by failovers).
+            if (!viz.segments.empty())
+                printAnalyses(fs.compiled().schedule,
+                              viz.segments.back().buf);
+        }
+        std::ofstream os(out);
+        obs::writeChromeTrace(os, viz);
+    }
+    std::printf("\nwrote %s (open in https://ui.perfetto.dev or "
+                "chrome://tracing)\n",
+                out.c_str());
+    return 0;
+}

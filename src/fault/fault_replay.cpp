@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "obs/traced_replay.h"
 
 namespace ciflow::fault
 {
@@ -139,11 +140,22 @@ FaultSim::healthyMakespan()
 }
 
 DegradedOutcome
-FaultSim::run(const FaultTrace &trace)
+FaultSim::run(const FaultTrace &trace, obs::ScenarioTrace *viz)
 {
     if (sim::Error e = checkTrace(trace, shape()))
         panic(e.message());
     resetBinding();
+    ++statScenarios;
+    if (viz != nullptr) {
+        viz->segments.clear();
+        viz->marks.clear();
+        viz->resourceNames.clear();
+        const sim::CompiledSchedule &sched = ps.compiled.schedule;
+        viz->resourceNames.reserve(sched.resourceCount());
+        for (std::size_t r = 0; r < sched.resourceCount(); ++r)
+            viz->resourceNames.push_back(
+                sched.resourceName(static_cast<sim::ResourceId>(r)));
+    }
 
     // Earliest failure per chip, in time order; later failures of an
     // already-dead chip are no-ops.
@@ -185,17 +197,39 @@ FaultSim::run(const FaultTrace &trace)
         return doneSched.data();
     };
 
+    // One replay segment, observed or not: the traced twin is
+    // bit-identical to replayPiecewise, so control flow (and the
+    // outcome) cannot depend on whether a viz is attached.
+    const auto segment = [&](const sim::RateEpochs &ep) {
+        if (viz == nullptr)
+            return ps.compiled.schedule.replayPiecewise(
+                baseRates, ep, schedMask(), scratch);
+        obs::TraceSegment seg;
+        seg.baseSec = tBase;
+        seg.epochs = ep;
+        const double m = obs::replayPiecewiseTraced(
+            ps.compiled.schedule, baseRates, ep, schedMask(), scratch,
+            seg.buf);
+        viz->segments.push_back(std::move(seg));
+        return m;
+    };
+    const auto account = [&](const DegradedOutcome &o) {
+        statCompleted += o.completed ? 1 : 0;
+        statFailovers += o.failovers;
+        statMigratedBytes += o.migratedBytes;
+    };
+
     for (const Fail &f : fails) {
         if (!alive[f.shard])
             continue;
         const sim::RateEpochs ep =
             buildEpochs(trace, ps.compiled, tBase);
-        const double m = ps.compiled.schedule.replayPiecewise(
-            baseRates, ep, schedMask(), scratch);
+        const double m = segment(ep);
         const double tfRel = f.at - tBase;
         if (m <= tfRel) {
             // The run finished before this chip died.
             out.makespan = tBase + m;
+            account(out);
             return out;
         }
         // Salvage: everything that finished before the failure stays
@@ -207,6 +241,15 @@ FaultSim::run(const FaultTrace &trace)
                     doneGraph[t] = 1;
             anyDone = true;
         }
+        if (viz != nullptr) {
+            // The plan from the cut on is void — the next segment
+            // re-schedules it. A negative cut (death mid-pause)
+            // voids the whole segment.
+            viz->segments.back().cutSec = tfRel >= 0.0 ? tfRel : 0.0;
+            viz->marks.push_back(
+                {"chip " + std::to_string(f.shard) + " failed", f.at,
+                 0.0});
+        }
         alive[f.shard] = 0;
         std::size_t survivors = 0;
         for (char a : alive)
@@ -214,6 +257,7 @@ FaultSim::run(const FaultTrace &trace)
         if (survivors == 0) {
             out.completed = false;
             out.makespan = std::numeric_limits<double>::infinity();
+            account(out);
             return out;
         }
         sim::Error err = planFailover(graph, spec, cur, f.shard, alive,
@@ -228,14 +272,19 @@ FaultSim::run(const FaultTrace &trace)
         ++out.failovers;
         out.migratedBytes += plan.migrationBytes;
         out.migrationSec += mig;
+        if (viz != nullptr && mig > 0.0)
+            viz->marks.push_back(
+                {"migrate " + std::to_string(plan.migrationBytes) +
+                     " B off chip " + std::to_string(f.shard),
+                 std::max(tBase, f.at), mig});
         tBase = std::max(tBase, f.at) + mig;
     }
 
     const sim::RateEpochs ep =
         buildEpochs(trace, ps.compiled, tBase);
-    const double m = ps.compiled.schedule.replayPiecewise(
-        baseRates, ep, schedMask(), scratch);
+    const double m = segment(ep);
     out.makespan = tBase + m;
+    account(out);
     return out;
 }
 
@@ -289,6 +338,19 @@ FaultSim::staticDegradedMakespans(const FaultTrace *traces,
     ps.compiled.schedule.replayMany(staticRates.data(), n, batch);
     for (std::size_t i = 0; i < n; ++i)
         out[i] = batch.makespan[i];
+    // Degrade-only scenarios always complete (no chip ever dies).
+    statScenarios += n;
+    statCompleted += n;
+}
+
+void
+FaultSim::exportMetrics(obs::MetricsRegistry &m,
+                        const std::string &prefix) const
+{
+    m.count(prefix + "scenarios_run", statScenarios);
+    m.count(prefix + "scenarios_completed", statCompleted);
+    m.count(prefix + "failovers", statFailovers);
+    m.count(prefix + "migrated_bytes", statMigratedBytes);
 }
 
 } // namespace ciflow::fault

@@ -33,6 +33,8 @@
 
 #include "fault/failover.h"
 #include "fault/fault_trace.h"
+#include "obs/chrome_trace.h"
+#include "obs/metrics.h"
 #include "shard/sharded_engine.h"
 
 namespace ciflow::fault
@@ -95,8 +97,18 @@ class FaultSim
      * it first when the trace is untrusted input). Equal traces give
      * equal outcomes, independent of evaluation order, because the
      * binding is reset to the base partition before every run.
+     *
+     * When `viz` is non-null, the run additionally assembles the
+     * scenario as an obs::ScenarioTrace: each replay segment records
+     * its per-op timeline (obs::replayPiecewiseTraced — bit-identical
+     * to the plain segment replay, so the outcome is unaffected by
+     * observation), segments superseded by a failure are cut at the
+     * failure time, and chip deaths / migration pauses become marks.
+     * Feed it to obs::writeChromeTrace for a Perfetto-openable view
+     * of exactly this outcome.
      */
-    DegradedOutcome run(const FaultTrace &trace);
+    DegradedOutcome run(const FaultTrace &trace,
+                        obs::ScenarioTrace *viz = nullptr);
 
     /**
      * Makespans of `n` degrade-only scenarios (every event a
@@ -131,6 +143,16 @@ class FaultSim
     /** The healthy placement scenarios start from. */
     const shard::Partition &basePartition() const { return basePart; }
 
+    /**
+     * Export scenario-outcome counters into `m` under `prefix`:
+     * scenarios_run / scenarios_completed (run() and
+     * staticDegradedMakespans, which always completes), failovers and
+     * migrated_bytes (run() only). Totals since construction — export
+     * once per registry, at harness-dump time.
+     */
+    void exportMetrics(obs::MetricsRegistry &m,
+                       const std::string &prefix = "faults.") const;
+
   private:
     /** Rebind to the base partition if a failover moved it. */
     void resetBinding();
@@ -150,6 +172,12 @@ class FaultSim
     std::vector<std::uint8_t> doneSched;
     std::vector<sim::ReplayRates> staticRates;
     FailoverPlan plan;
+
+    // Scenario-outcome counters (exportMetrics).
+    std::size_t statScenarios = 0;
+    std::size_t statCompleted = 0;
+    std::size_t statFailovers = 0;
+    std::uint64_t statMigratedBytes = 0;
 };
 
 } // namespace ciflow::fault

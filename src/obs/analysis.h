@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Derived analyses over a replay trace: where the time actually went.
+ *
+ * Three consumers of one TraceBuffer, all pure functions of recorded
+ * data (no re-simulation):
+ *
+ *  - resourceUtilization(): per-resource busy fraction and queue-wait
+ *    — "the DRAM channels are 92% busy and tasks waited 1.8s in their
+ *    queues" is the sentence a bandwidth-bound claim needs.
+ *  - topBottlenecks(): the K tasks with the most service seconds,
+ *    with their queue wait — the first place to look when a dataflow
+ *    underperforms.
+ *  - criticalPath(): the backward-extracted chain of tight edges from
+ *    the makespan-defining op to t=0, plus per-task and per-resource
+ *    dependency slack. Because every trace time was copied bit-exactly
+ *    from the replay recurrence, each backward hop follows an *exact*
+ *    floating-point equality (start == predecessor finish on the
+ *    resource, or start == a dependency's visible time), and the
+ *    extracted path's length equals the makespan exactly — not within
+ *    an epsilon. tests/test_obs.cpp gates that equality.
+ */
+
+#ifndef CIFLOW_OBS_ANALYSIS_H
+#define CIFLOW_OBS_ANALYSIS_H
+
+#include <vector>
+
+#include "obs/trace_buffer.h"
+#include "sim/compiled_schedule.h"
+
+namespace ciflow::obs
+{
+
+/** Busy/wait accounting of one resource over a traced replay. */
+struct ResourceUtilization
+{
+    sim::ResourceId resource = 0;
+    /** Seconds the resource served ops: sum of (finish - start). */
+    double busySeconds = 0.0;
+    /**
+     * Seconds ops sat dependency-ready but queued behind earlier work
+     * on this resource: sum of (start - ready).
+     */
+    double queueWaitSeconds = 0.0;
+    /** Ops served. */
+    std::size_t jobs = 0;
+    /** busySeconds / makespan (0 when the trace is empty). */
+    double busyFraction = 0.0;
+};
+
+/**
+ * Per-resource utilization of a traced replay, indexed by ResourceId
+ * (`resourceCount` entries; resources that served nothing report
+ * zeros). Busy seconds are summed from the recorded service windows,
+ * so on a piecewise trace they equal occupied wall-clock time, epoch
+ * stretching included.
+ */
+std::vector<ResourceUtilization>
+resourceUtilization(const TraceBuffer &buf, std::size_t resourceCount);
+
+/** Service/wait attribution of one task over a traced replay. */
+struct TaskCost
+{
+    sim::TaskId task = 0;
+    /** Total service seconds across the task's ops. */
+    double serviceSeconds = 0.0;
+    /** Total queue-wait seconds across the task's ops. */
+    double queueWaitSeconds = 0.0;
+    /** The task's finish time (latest op visible time). */
+    double finish = 0.0;
+};
+
+/**
+ * The `k` tasks holding the most service seconds, descending (ties
+ * broken by task id for determinism). Fewer than `k` entries when the
+ * trace has fewer tasks.
+ */
+std::vector<TaskCost> topBottlenecks(const TraceBuffer &buf,
+                                     std::size_t k);
+
+/** One hop of the extracted critical path, in forward time order. */
+struct CriticalStep
+{
+    sim::TaskId task = 0;
+    /** Global op index of the tight op. */
+    std::uint32_t op = 0;
+    sim::ResourceId resource = 0;
+    double start = 0.0;
+    double finish = 0.0;
+    /** finish + post latency; the next hop is tight against this or
+     * against `finish`, depending on the edge kind. */
+    double visible = 0.0;
+    /**
+     * True when this step's successor started the instant this op
+     * freed the resource (queue edge); false when the successor
+     * started the instant this op's result became visible (dependency
+     * edge). The final step's value is false.
+     */
+    bool tightViaResource = false;
+};
+
+/** The critical path of a traced replay, plus slack attribution. */
+struct CriticalPath
+{
+    /** Tight chain from t=0 to the makespan-defining op. */
+    std::vector<CriticalStep> steps;
+    /**
+     * End-to-end length of the chain: the last step's visible time,
+     * with the first step starting at exactly 0. Equal to the trace
+     * makespan bit-for-bit — the extraction panics otherwise.
+     */
+    double length = 0.0;
+    /**
+     * Dependency slack per task: how far the task's finish could slip
+     * before some transitive dependent would have to finish after the
+     * makespan, ignoring resource requeueing (a classic CPM backward
+     * pass over the dependency CSR). Tasks on the critical dependency
+     * chain show ~0; resource-critical tasks can show positive slack
+     * — the gap between the two is precisely the queueing pressure
+     * the utilization analysis reports.
+     */
+    std::vector<double> taskSlack;
+    /**
+     * Min dependency slack over the ops each resource served,
+     * indexed by ResourceId; +inf for resources that served nothing.
+     * A near-zero entry marks the resource the makespan is actually
+     * gated on.
+     */
+    std::vector<double> resourceSlack;
+};
+
+/**
+ * Backward critical-path extraction over the dependency CSR and the
+ * trace: starting from the op whose visible time is the makespan,
+ * repeatedly follow the tight edge — the previous op on the same
+ * resource when its finish equals this start (queue edge), else the
+ * dependency whose visible time equals this start (dependency edge) —
+ * until an op starting at exactly 0. Panics if no tight edge exists
+ * (impossible on a buffer recorded by the traced replays: every start
+ * is the max of recorded times) or on an empty trace.
+ */
+CriticalPath criticalPath(const sim::CompiledSchedule &cs,
+                          const TraceBuffer &buf);
+
+} // namespace ciflow::obs
+
+#endif // CIFLOW_OBS_ANALYSIS_H

@@ -1,0 +1,197 @@
+#include "obs/chrome_trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace ciflow::obs
+{
+
+ScenarioTrace
+singleReplayTrace(const sim::CompiledSchedule &cs, TraceBuffer buf)
+{
+    ScenarioTrace t;
+    t.resourceNames.reserve(cs.resourceCount());
+    for (std::size_t r = 0; r < cs.resourceCount(); ++r)
+        t.resourceNames.push_back(
+            cs.resourceName(static_cast<sim::ResourceId>(r)));
+    t.segments.push_back({});
+    t.segments.back().buf = std::move(buf);
+    return t;
+}
+
+namespace
+{
+
+/** The scenario track; resource r renders as tid r + 1. */
+constexpr int kScenarioTid = 0;
+
+/** Escape a string for a JSON literal (quotes, backslashes, ctrl). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char hex[8];
+                std::snprintf(hex, sizeof hex, "\\u%04x", c);
+                out += hex;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/**
+ * Serialize the events into `os`. Written by hand rather than through
+ * a JSON library for the same reason the bench writers are: the
+ * format is flat and the container ships no JSON dependency. Doubles
+ * are printed with %.9f (nanosecond precision at microsecond unit),
+ * which every trace viewer parses; bit-exactness lives in the C++
+ * structs, not the export.
+ */
+class EventWriter
+{
+  public:
+    explicit EventWriter(std::ostream &os) : os(os)
+    {
+        os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    }
+
+    void
+    meta(const char *name, int tid, const std::string &value)
+    {
+        open("M", name, 0.0, tid);
+        os << ",\"args\":{\"name\":\"" << jsonEscape(value) << "\"}}";
+    }
+
+    void
+    complete(const std::string &name, int tid, double tsSec,
+             double durSec, const std::string &args)
+    {
+        open("X", name.c_str(), tsSec, tid);
+        os << ",\"dur\":" << us(durSec) << ",\"args\":{" << args
+           << "}}";
+    }
+
+    void
+    instant(const std::string &name, int tid, double tsSec)
+    {
+        open("i", name.c_str(), tsSec, tid);
+        os << ",\"s\":\"t\"}";
+    }
+
+    void
+    flow(bool start, std::uint64_t id, int tid, double tsSec)
+    {
+        open(start ? "s" : "f", "scenario-flow", tsSec, tid);
+        os << ",\"id\":" << id;
+        if (!start)
+            os << ",\"bp\":\"e\"";
+        os << "}";
+    }
+
+    void finish() { os << "]}\n"; }
+
+  private:
+    std::string
+    us(double sec)
+    {
+        char b[40];
+        std::snprintf(b, sizeof b, "%.9f", sec * 1e6);
+        return b;
+    }
+
+    void
+    open(const char *ph, const char *name, double tsSec, int tid)
+    {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n{\"ph\":\"" << ph << "\",\"name\":\""
+           << jsonEscape(name) << "\",\"pid\":1,\"tid\":" << tid
+           << ",\"ts\":" << us(tsSec);
+    }
+
+    std::ostream &os;
+    bool first = true;
+};
+
+} // namespace
+
+void
+writeChromeTrace(std::ostream &os, const ScenarioTrace &t)
+{
+    EventWriter w(os);
+    w.meta("process_name", kScenarioTid, "ciflow replay");
+    w.meta("thread_name", kScenarioTid, "scenario");
+    for (std::size_t r = 0; r < t.resourceNames.size(); ++r)
+        w.meta("thread_name", static_cast<int>(r) + 1,
+               t.resourceNames[r]);
+
+    for (const TraceSegment &seg : t.segments) {
+        for (const TraceOp &rec : seg.buf.ops) {
+            if (rec.start >= seg.cutSec)
+                continue;
+            char args[192];
+            std::snprintf(args, sizeof args,
+                          "\"task\":%u,\"op\":%u,\"bytes\":%.0f,"
+                          "\"epoch\":%u,\"wait\":%.9g,\"post\":%.9g",
+                          rec.task, rec.op, rec.bytes, rec.epoch,
+                          rec.start - rec.ready,
+                          rec.visible - rec.finish);
+            w.complete("task " + std::to_string(rec.task),
+                       static_cast<int>(rec.resource) + 1,
+                       seg.baseSec + rec.start,
+                       rec.finish - rec.start, args);
+        }
+        // Rate-change instants on the degraded resource's own track,
+        // so a bandwidth fault lines up visually with the ops it
+        // stretched.
+        for (std::size_t r = 0; r + 1 < seg.epochs.off.size(); ++r)
+            for (std::uint32_t j = seg.epochs.off[r];
+                 j < seg.epochs.off[r + 1]; ++j) {
+                if (seg.epochs.at[j] >= seg.cutSec)
+                    continue;
+                char label[48];
+                std::snprintf(label, sizeof label, "rate x%g",
+                              seg.epochs.mult[j]);
+                w.instant(label, static_cast<int>(r) + 1,
+                          seg.baseSec + seg.epochs.at[j]);
+            }
+    }
+
+    std::uint64_t flowId = 1;
+    for (const TraceMark &m : t.marks) {
+        if (m.durSec > 0.0) {
+            w.complete(m.label, kScenarioTid, m.atSec, m.durSec, "");
+            // A flow arrow across the pause makes the causal gap —
+            // failover decided here, replay resumes there — explicit
+            // when tracks are collapsed.
+            w.flow(true, flowId, kScenarioTid, m.atSec);
+            w.flow(false, flowId, kScenarioTid, m.atSec + m.durSec);
+            ++flowId;
+        } else {
+            w.instant(m.label, kScenarioTid, m.atSec);
+        }
+    }
+    w.finish();
+}
+
+} // namespace ciflow::obs

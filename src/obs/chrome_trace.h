@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Chrome trace-event JSON export of traced replays.
+ *
+ * Perfetto and chrome://tracing speak the trace-event format: a JSON
+ * object with a traceEvents array of "X" (complete), "i" (instant)
+ * and "s"/"f" (flow) events on (pid, tid) tracks. This exporter maps
+ * a replay onto it — one track per resource (channel, pipe, link,
+ * shard queue), one complete event per executed op, rate-epoch
+ * changes as instant events on the degraded resource's track, and
+ * scenario marks (chip failures, failover/migration pauses) as
+ * instants and flow arrows on a dedicated scenario track — so a
+ * bench_faults scenario can be scrubbed visually instead of read as a
+ * makespan delta.
+ *
+ * A ScenarioTrace holds one or more segments because that is how the
+ * fault layer simulates: each failure cuts the current replay at the
+ * failure time and restarts a patched schedule at a new time base.
+ * Each segment's records are shifted by its baseSec and truncated at
+ * its cutSec (the part of the plan the failure voided), which
+ * reassembles the segmented simulation into one wall-clock timeline.
+ */
+
+#ifndef CIFLOW_OBS_CHROME_TRACE_H
+#define CIFLOW_OBS_CHROME_TRACE_H
+
+#include <limits>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/trace_buffer.h"
+#include "sim/compiled_schedule.h"
+
+namespace ciflow::obs
+{
+
+/**
+ * One replay's worth of timeline inside a scenario: a traced buffer
+ * plus its placement on the scenario's wall clock. Records and epoch
+ * times are replay-local; the exporter adds baseSec and drops
+ * anything at or after cutSec (work the next segment re-plans).
+ */
+struct TraceSegment
+{
+    /** Wall-clock seconds of this segment's replay-local t=0. */
+    double baseSec = 0.0;
+    /** Replay-local cutoff; records starting at or after it are
+     * superseded by the next segment (+inf = keep everything). */
+    double cutSec = std::numeric_limits<double>::infinity();
+    /** The traced replay of this segment. */
+    TraceBuffer buf;
+    /** Rate epochs the segment replayed under (may be empty). */
+    sim::RateEpochs epochs;
+};
+
+/**
+ * A labeled scenario event: an instant when durSec is 0, else a span
+ * (a migration pause) drawn on the scenario track with a flow arrow
+ * from its start to its end.
+ */
+struct TraceMark
+{
+    std::string label;
+    /** Wall-clock seconds of the event. */
+    double atSec = 0.0;
+    /** Span length; 0 renders as an instant. */
+    double durSec = 0.0;
+};
+
+/**
+ * Everything the exporter needs for one .trace.json: the resource
+ * name table (track names), the segments in wall-clock order, and
+ * the scenario marks. A plain single replay is the one-segment case
+ * with no marks.
+ */
+struct ScenarioTrace
+{
+    /** Track name per ResourceId. */
+    std::vector<std::string> resourceNames;
+    std::vector<TraceSegment> segments;
+    std::vector<TraceMark> marks;
+};
+
+/**
+ * Convenience assembly of the one-segment scenario: the schedule's
+ * resource names plus `buf` at time base 0 with no epochs or marks.
+ */
+ScenarioTrace singleReplayTrace(const sim::CompiledSchedule &cs,
+                                TraceBuffer buf);
+
+/**
+ * Write `t` as Chrome trace-event JSON. Timestamps are emitted in
+ * microseconds (the format's unit) at nanosecond precision; track
+ * metadata names every resource and orders tracks by ResourceId.
+ * The output opens directly in Perfetto / chrome://tracing.
+ */
+void writeChromeTrace(std::ostream &os, const ScenarioTrace &t);
+
+} // namespace ciflow::obs
+
+#endif // CIFLOW_OBS_CHROME_TRACE_H

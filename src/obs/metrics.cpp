@@ -1,0 +1,68 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace ciflow::obs
+{
+
+Metric &
+MetricsRegistry::slot(const std::string &name, bool isCounter)
+{
+    auto it = index.find(name);
+    if (it == index.end()) {
+        index.emplace(name, metrics.size());
+        metrics.push_back({name, isCounter, 0, 0.0});
+        return metrics.back();
+    }
+    Metric &m = metrics[it->second];
+    panicIf(m.isCounter != isCounter,
+            "metric " + name + " used as both counter and gauge");
+    return m;
+}
+
+void
+MetricsRegistry::count(const std::string &name, std::uint64_t delta)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    slot(name, true).count += delta;
+}
+
+void
+MetricsRegistry::gauge(const std::string &name, double value)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    slot(name, false).value = value;
+}
+
+std::vector<Metric>
+MetricsRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return metrics;
+}
+
+void
+MetricsRegistry::writeJson(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    os << "{";
+    bool first = true;
+    for (const Metric &m : metrics) {
+        if (!first)
+            os << ", ";
+        first = false;
+        os << "\"" << m.name << "\": ";
+        if (m.isCounter) {
+            os << m.count;
+        } else {
+            char b[32];
+            std::snprintf(b, sizeof b, "%.6g", m.value);
+            os << b;
+        }
+    }
+    os << "}";
+}
+
+} // namespace ciflow::obs

@@ -162,6 +162,9 @@ HksExperiment::simulateRuntimeMany(const RpuConfig *cfgs, std::size_t n,
                                          tls.scratch);
             for (std::size_t k = 0; k < run; ++k)
                 out[i + k] = tls.scratch.makespan[k];
+            sweep.batchedPoints += run;
+            sweep.laneSlots += (run + sim::kBatchLanes - 1) /
+                               sim::kBatchLanes * sim::kBatchLanes;
         }
         if (sweep.ps.schedule.patchRevision() > 0)
             sweep.patchedEvals += run;

@@ -50,6 +50,17 @@ struct LayoutSweep
     std::size_t patches = 0;
     /** Points replayed on a patched (revision > 0) binding. */
     std::size_t patchedEvals = 0;
+    /** Points replayed through kBatchLanes-wide replayMany blocks
+     * (short same-layout runs fall back to scalar replay and are not
+     * counted). */
+    std::size_t batchedPoints = 0;
+    /**
+     * Lane slots those blocks provisioned: one compiled-array walk
+     * serves kBatchLanes slots whether or not every lane carries a
+     * point, so batchedPoints / laneSlots is the occupancy of the
+     * batched fast path — how much of each walk did useful work.
+     */
+    std::size_t laneSlots = 0;
 };
 
 /** One (benchmark, dataflow, memory) combination, simulated at will. */

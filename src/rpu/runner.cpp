@@ -141,6 +141,16 @@ ExperimentRunner::cacheMisses() const
 }
 
 void
+ExperimentRunner::exportMetrics(obs::MetricsRegistry &m,
+                                const std::string &prefix) const
+{
+    m.count(prefix + "cache_hits", cacheHits());
+    m.count(prefix + "cache_misses", cacheMisses());
+    m.count(prefix + "cached_experiments", cachedExperiments());
+    m.count(prefix + "threads", threadCount());
+}
+
+void
 ExperimentRunner::runAll(const std::vector<std::function<void()>> &jobs)
 {
     if (jobs.empty())

@@ -32,6 +32,7 @@
 
 #include "hksflow/dataflow.h"
 #include "hksflow/hks_params.h"
+#include "obs/metrics.h"
 #include "rpu/experiment.h"
 
 namespace ciflow
@@ -154,6 +155,15 @@ class ExperimentRunner
      * so misses >= cachedExperiments().
      */
     std::size_t cacheMisses() const;
+
+    /**
+     * Export the runner's counters into `m` under `prefix`:
+     * cache_hits, cache_misses, cached_experiments (graph cache) and
+     * threads (pool width). Totals since construction — export once
+     * per registry, at harness-dump time.
+     */
+    void exportMetrics(obs::MetricsRegistry &m,
+                       const std::string &prefix = "runner.") const;
 
   private:
     void workerLoop();

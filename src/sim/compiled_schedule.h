@@ -226,6 +226,32 @@ struct BindingView
     std::size_t opCount = 0;
 };
 
+/**
+ * Read-only snapshot of the compiled CSR arrays, handed out by
+ * CompiledSchedule::view() for consumers that walk the schedule
+ * without replaying it through the member functions — the obs layer's
+ * traced replay and critical-path extraction. Task t's deps are
+ * depIds[depOff[t]..depOff[t+1]) and its ops index the SoA component
+ * arrays over [opOff[t], opOff[t+1)), exactly as inside the class.
+ * Pointers are invalidated by anything that mutates the schedule
+ * (addTask, clearTasks, patchBegin); take the view per use, not once.
+ */
+struct ScheduleView
+{
+    const std::uint32_t *depOff = nullptr;
+    const TaskId *depIds = nullptr;
+    const std::uint32_t *opOff = nullptr;
+    const ResourceId *opRes = nullptr;
+    const double *opBytes = nullptr;
+    const double *opWork0 = nullptr;
+    const double *opWork1 = nullptr;
+    const double *opSec = nullptr;
+    const double *opPost = nullptr;
+    std::size_t taskCount = 0;
+    std::size_t opCount = 0;
+    std::size_t resourceCount = 0;
+};
+
 /** A task graph compiled to CSR arrays for scaled replay. */
 class CompiledSchedule
 {
@@ -435,6 +461,21 @@ class CompiledSchedule
 
     /** replay() plus SimResult packaging (allocates; for tests/tools). */
     SimResult run(const ReplayRates &rates) const;
+
+    /**
+     * Read-only view of the CSR arrays (see ScheduleView). Costs the
+     * pointer loads only; the replay paths never touch it.
+     */
+    ScheduleView
+    view() const
+    {
+        return ScheduleView{depOff.data(),  depIds.data(),
+                            opOff.data(),   opRes.data(),
+                            opBytes.data(), opWork0.data(),
+                            opWork1.data(), opSec.data(),
+                            opPost.data(),  taskCount(),
+                            opCount(),      names.size()};
+    }
 
   private:
     /** One <= kBatchLanes-wide block of replayMany. */

@@ -92,4 +92,26 @@ EvalCache::patchedEvals() const
     return npatched;
 }
 
+void
+EvalCache::noteBatchLanes(std::size_t points, std::size_t slots)
+{
+    std::lock_guard<std::mutex> lk(mu);
+    nbatched += points;
+    nslots += slots;
+}
+
+std::size_t
+EvalCache::batchedPoints() const
+{
+    std::lock_guard<std::mutex> lk(mu);
+    return nbatched;
+}
+
+std::size_t
+EvalCache::batchLaneSlots() const
+{
+    std::lock_guard<std::mutex> lk(mu);
+    return nslots;
+}
+
 } // namespace ciflow::tune

@@ -114,12 +114,27 @@ class EvalCache
     /** Evaluations served by the patch path since construction. */
     std::size_t patchedEvals() const;
 
+    /**
+     * Record a batched-replay dispatch: `points` evaluations rode
+     * kBatchLanes-wide replayMany blocks that provisioned `slots`
+     * lane slots in total (slots >= points; the gap is lanes a
+     * partially filled block walked for nothing). The ratio is the
+     * batch-lane occupancy the tuner exports.
+     */
+    void noteBatchLanes(std::size_t points, std::size_t slots);
+    /** Evaluations served by batched replay since construction. */
+    std::size_t batchedPoints() const;
+    /** Lane slots batched replay provisioned since construction. */
+    std::size_t batchLaneSlots() const;
+
   private:
     mutable std::mutex mu;
     std::unordered_map<EvalKey, Measurement, EvalKeyHash> map;
     std::size_t nhits = 0;
     std::size_t nmisses = 0;
     std::size_t npatched = 0;
+    std::size_t nbatched = 0;
+    std::size_t nslots = 0;
 };
 
 } // namespace ciflow::tune

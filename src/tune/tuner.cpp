@@ -225,9 +225,16 @@ Tuner::evaluateBatch(const std::vector<std::size_t> &members,
         exp->simulateRuntimeMany(cfgs.data(), cfgs.size(),
                                  runtimes.data(), sweep);
         cache.notePatched(sweep.patchedEvals);
+        cache.noteBatchLanes(sweep.batchedPoints, sweep.laneSlots);
     } else {
         exp->simulateRuntimeMany(cfgs.data(), cfgs.size(),
                                  runtimes.data());
+        // The plain batch path walks ceil(n / kBatchLanes) blocks of
+        // kBatchLanes slots each; record the dispatch so occupancy
+        // covers both batch routes.
+        cache.noteBatchLanes(cfgs.size(),
+                             (cfgs.size() + sim::kBatchLanes - 1) /
+                                 sim::kBatchLanes * sim::kBatchLanes);
     }
     for (std::size_t j = 0; j < fresh.size(); ++j) {
         const std::size_t i = fresh[j];
@@ -241,6 +248,23 @@ Tuner::evaluateBatch(const std::vector<std::size_t> &members,
         cache.insert(keyOf(p), m);
         res[i] = m;
     }
+}
+
+void
+Tuner::exportMetrics(obs::MetricsRegistry &m,
+                     const std::string &prefix) const
+{
+    m.count(prefix + "evaluations", cache.misses());
+    m.count(prefix + "cache_hits", cache.hits());
+    m.count(prefix + "patched_evals", cache.patchedEvals());
+    const std::size_t pts = cache.batchedPoints();
+    const std::size_t slots = cache.batchLaneSlots();
+    m.count(prefix + "batched_points", pts);
+    m.count(prefix + "batch_lane_slots", slots);
+    m.gauge(prefix + "batch_lane_occupancy",
+            slots == 0 ? 0.0
+                       : static_cast<double>(pts) /
+                             static_cast<double>(slots));
 }
 
 Measurement

@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "fault/fault_trace.h"
+#include "obs/metrics.h"
 #include "rpu/runner.h"
 #include "tune/eval_cache.h"
 #include "tune/tune_space.h"
@@ -207,6 +208,16 @@ class Tuner
      * much of the search ran without a fresh compile.
      */
     std::size_t patchedEvals() const { return cache.patchedEvals(); }
+
+    /**
+     * Export search counters into `m` under `prefix`: evaluations,
+     * cache_hits, patched_evals, batched_points, batch_lane_slots
+     * (counters) and batch_lane_occupancy (gauge, points per
+     * provisioned lane slot; 0 when nothing ran batched). The
+     * machine-readable half of the bench_tuner story.
+     */
+    void exportMetrics(obs::MetricsRegistry &m,
+                       const std::string &prefix = "tuner.") const;
 
   private:
     /** Canonical cache key of `p` (vacuous knobs pinned to defaults). */
