@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Request-level serving study: multi-tenant job streams against an
+ * RPU fleet, emitted to BENCH_serve.json for the CI artifact trail.
+ *
+ * Three sections, all deterministic (seeded arrival streams, pure
+ * arithmetic scheduling over compiled-replay prices):
+ *
+ *  1. Determinism: the same seeded Poisson stream served twice and
+ *     across estimator thread counts must produce byte-identical
+ *     serialized JobResults — asserted here before anything else and
+ *     gated in CI (.deterministic_identical == true).
+ *
+ *  2. Serving matrix: {open-loop Poisson, trace-driven} x {1 chip,
+ *     4 chips} rows with nearest-rank p50/p99/p999 latency, sustained
+ *     QPS, warm-start fraction and peak queue depth.
+ *
+ *  3. Admission batching at saturation: p4db-style target-8 batching
+ *     vs pure FIFO on a saturated alternating-class stream. One cold
+ *     leader warms the key cache for seven followers; CI gates
+ *     .batching_qps_win >= 1.5 (measured ~2.6x: ARK under OC at
+ *     4 GB/s has a >3x evk-miss/hit runtime ratio).
+ *
+ * Exits nonzero when a gate fails: a serving run that drifts across
+ * thread counts or a batching path that lost its win is a regression,
+ * not a warning.
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "serve/serving.h"
+
+using namespace ciflow;
+using namespace ciflow::serve;
+
+namespace
+{
+
+/**
+ * The two-class serving spec every section uses: ARK-shaped jobs
+ * under the OC dataflow on bandwidth-starved (4 GB/s) chips — the
+ * regime where evk streaming dominates and a warm key cache pays the
+ * most — with an 8-key per-chip cache.
+ */
+ServeSpec
+servingSpec(std::size_t chips, std::size_t targetBatch)
+{
+    const HksParams &par = benchmarkByName("ARK");
+    ServeSpec sp;
+    sp.classes.push_back(
+        {"reduce8", HeWorkload::reduction(8), par, Dataflow::OC, 1});
+    sp.classes.push_back(
+        {"matvec4", HeWorkload::matVec(4), par, Dataflow::OC, 1});
+    sp.fleet.chip.bandwidthGBps = 4.0;
+    sp.fleet.chips = chips;
+    sp.fleet.keyCacheBytes = par.evkBytes() * 8;
+    sp.batch.targetBatch = targetBatch;
+    return sp;
+}
+
+/** Three-tenant open-loop mix, load scaled with the fleet size. */
+ArrivalSpec
+poissonSpec(std::size_t chips)
+{
+    ArrivalSpec as;
+    as.tenants.push_back({1.2 * static_cast<double>(chips), {3.0, 1.0}});
+    as.tenants.push_back({1.2 * static_cast<double>(chips), {1.0, 3.0}});
+    as.tenants.push_back({1.2 * static_cast<double>(chips), {1.0, 1.0}});
+    as.horizonSec = 20.0;
+    return as;
+}
+
+/**
+ * Trace-driven stand-in for a replayed production stream: periodic
+ * bursts of mixed-class jobs from round-robin tenants.
+ */
+std::vector<JobArrival>
+burstTrace(std::size_t chips)
+{
+    std::vector<JobArrival> arr;
+    for (std::size_t b = 0; b < 16; ++b)
+        for (std::size_t j = 0; j < 3 * chips; ++j)
+            arr.push_back({0.4 * static_cast<double>(b),
+                           static_cast<std::uint32_t>(j % 2),
+                           static_cast<std::uint32_t>(j % 3)});
+    normalizeArrivals(arr);
+    return arr;
+}
+
+/** Saturated alternating-class stream: everything queued at t = 0. */
+std::vector<JobArrival>
+saturatedStream(std::size_t n)
+{
+    std::vector<JobArrival> arr;
+    for (std::size_t i = 0; i < n; ++i)
+        arr.push_back({0.0, static_cast<std::uint32_t>(i % 2),
+                       static_cast<std::uint32_t>(i)});
+    normalizeArrivals(arr);
+    return arr;
+}
+
+/**
+ * Canonical byte form of a serving outcome (hex-float times): equal
+ * runs serialize to equal bytes, the determinism comparison.
+ */
+std::string
+serializeResults(const std::vector<JobResult> &out)
+{
+    std::string s;
+    char line[160];
+    for (const JobResult &r : out) {
+        std::snprintf(line, sizeof line, "%a %a %a k%u t%u c%u b%u w%d\n",
+                      r.arriveSec, r.startSec, r.finishSec, r.klass,
+                      r.tenant, r.chip, r.batch,
+                      r.warmStart ? 1 : 0);
+        s += line;
+    }
+    return s;
+}
+
+/** One serving-matrix row. */
+struct Row
+{
+    std::string scenario;
+    std::size_t chips = 0;
+    ServeStats st;
+};
+
+void
+runRow(ExperimentRunner &runner, tune::EvalCache &cache,
+       const std::string &scenario, std::size_t chips,
+       const std::vector<JobArrival> &arr, std::vector<Row> &rows)
+{
+    ServingSim sim(servingSpec(chips, 4), runner, &cache);
+    std::vector<JobResult> out;
+    Row r;
+    r.scenario = scenario;
+    r.chips = chips;
+    const sim::Error err = sim.run(arr, out, r.st);
+    if (!err.ok()) {
+        std::fprintf(stderr, "FAIL: %s\n", err.message().c_str());
+        std::exit(1);
+    }
+    std::printf("  %-8s %5zu | %5zu %7zu | %7.1f %7.1f %7.1f | "
+                "%6.2f | %4.0f%% %5zu\n",
+                scenario.c_str(), chips, r.st.jobs, r.st.batches,
+                r.st.p50LatencySec * 1e3, r.st.p99LatencySec * 1e3,
+                r.st.p999LatencySec * 1e3, r.st.qps,
+                100.0 * static_cast<double>(r.st.warmJobs) /
+                    static_cast<double>(r.st.jobs),
+                r.st.maxQueueDepth);
+    rows.push_back(std::move(r));
+}
+
+} // namespace
+
+int
+main()
+{
+    benchutil::header("Request-level serving: multi-tenant streams, "
+                      "latency percentiles, admission batching");
+
+    // 1. Determinism, asserted before anything is reported: the same
+    // seeded stream, served by fresh simulators on 1-thread and
+    // 4-thread estimator pools (and twice on the same simulator),
+    // must serialize to identical bytes.
+    bool deterministic_identical = true;
+    {
+        const std::vector<JobArrival> arr =
+            poissonArrivals(poissonSpec(2), 2026);
+        std::vector<std::string> serialized;
+        for (std::size_t threads : {1ul, 4ul, 4ul}) {
+            ExperimentRunner runner(threads);
+            ServingSim sim(servingSpec(2, 4), runner);
+            std::vector<JobResult> out;
+            ServeStats st;
+            const sim::Error err = sim.run(arr, out, st);
+            if (!err.ok()) {
+                std::fprintf(stderr, "FAIL: %s\n",
+                             err.message().c_str());
+                return 1;
+            }
+            serialized.push_back(serializeResults(out));
+            // Second run on the same simulator joins the comparison.
+            const sim::Error err2 = sim.run(arr, out, st);
+            if (!err2.ok()) {
+                std::fprintf(stderr, "FAIL: %s\n",
+                             err2.message().c_str());
+                return 1;
+            }
+            serialized.push_back(serializeResults(out));
+        }
+        for (const std::string &s : serialized)
+            deterministic_identical =
+                deterministic_identical && s == serialized.front();
+        std::printf("determinism (%zu jobs, threads {1,4}, repeated "
+                    "runs): %s\n\n",
+                    arr.size(),
+                    deterministic_identical ? "bit-identical"
+                                            : "BROKEN");
+    }
+
+    // Sections 2 and 3 share one estimator pool and one EvalCache, so
+    // every (class, warmness, bandwidth) price is replayed once.
+    ExperimentRunner runner(4);
+    tune::EvalCache cache;
+
+    // 2. Serving matrix.
+    std::printf("serving matrix (ARK/OC fleet @4 GB/s, batch target "
+                "4, 8-key cache):\n");
+    std::printf("  %-8s %5s | %5s %7s | %7s %7s %7s | %6s | %5s %5s\n",
+                "stream", "chips", "jobs", "batches", "p50ms", "p99ms",
+                "p999ms", "qps", "warm", "maxq");
+    benchutil::rule();
+    std::vector<Row> rows;
+    for (std::size_t chips : {1ul, 4ul}) {
+        runRow(runner, cache, "poisson", chips,
+               poissonArrivals(poissonSpec(chips), 2026), rows);
+        runRow(runner, cache, "trace", chips, burstTrace(chips), rows);
+    }
+    benchutil::rule();
+
+    // 3. Batching vs FIFO at saturation (single chip, 256 queued
+    // jobs, classes alternating so FIFO never keeps a warm cache).
+    const std::vector<JobArrival> sat = saturatedStream(256);
+    ServingSim fifo(servingSpec(1, 1), runner, &cache);
+    ServingSim batched(servingSpec(1, 8), runner, &cache);
+    std::vector<JobResult> out;
+    ServeStats fifoSt, batchSt;
+    if (!fifo.run(sat, out, fifoSt).ok() ||
+        !batched.run(sat, out, batchSt).ok()) {
+        std::fprintf(stderr, "FAIL: saturation run rejected\n");
+        return 1;
+    }
+    const double batching_qps_win =
+        fifoSt.qps > 0.0 ? batchSt.qps / fifoSt.qps : 0.0;
+    std::printf("\nsaturation (%zu queued jobs, 1 chip): FIFO %.2f "
+                "qps (p99 %.0f ms), target-8 batching %.2f qps "
+                "(p99 %.0f ms) -> %s\n",
+                sat.size(), fifoSt.qps, fifoSt.p99LatencySec * 1e3,
+                batchSt.qps, batchSt.p99LatencySec * 1e3,
+                benchutil::times(batching_qps_win).c_str());
+
+    // Machine-readable counters: the batched simulator's cumulative
+    // serving totals plus the shared estimator pool's replay counters.
+    obs::MetricsRegistry metrics;
+    batched.exportMetrics(metrics);
+    runner.exportMetrics(metrics);
+
+    std::ofstream jf("BENCH_serve.json");
+    if (jf) {
+        benchutil::JsonWriter w(jf);
+        w.field("bench", "serving");
+        w.field("deterministic_identical", deterministic_identical);
+        w.field("batching_qps_win", batching_qps_win);
+        w.field("fifo_qps", fifoSt.qps);
+        w.field("batched_qps", batchSt.qps);
+        w.field("fifo_p99_ms", fifoSt.p99LatencySec * 1e3);
+        w.field("batched_p99_ms", batchSt.p99LatencySec * 1e3);
+        w.field("saturated_jobs",
+                static_cast<std::uint64_t>(sat.size()));
+        w.beginArray("rows");
+        for (const Row &r : rows) {
+            w.beginObject();
+            w.field("scenario", r.scenario);
+            w.field("chips", static_cast<std::uint64_t>(r.chips));
+            w.field("jobs", static_cast<std::uint64_t>(r.st.jobs));
+            w.field("batches",
+                    static_cast<std::uint64_t>(r.st.batches));
+            w.field("batched_jobs",
+                    static_cast<std::uint64_t>(r.st.batchedJobs));
+            w.field("warm_jobs",
+                    static_cast<std::uint64_t>(r.st.warmJobs));
+            w.field("p50_ms", r.st.p50LatencySec * 1e3);
+            w.field("p99_ms", r.st.p99LatencySec * 1e3);
+            w.field("p999_ms", r.st.p999LatencySec * 1e3);
+            w.field("max_ms", r.st.maxLatencySec * 1e3);
+            w.field("qps", r.st.qps);
+            w.field("max_queue_depth",
+                    static_cast<std::uint64_t>(r.st.maxQueueDepth));
+            w.endObject();
+        }
+        w.endArray();
+        w.metrics("metrics", metrics);
+        w.finish();
+        jf.close();
+        std::printf("wrote BENCH_serve.json\n");
+    }
+
+    bool pass = deterministic_identical;
+    if (!deterministic_identical)
+        std::fprintf(stderr, "FAIL: seeded serving runs are no longer "
+                             "bit-identical across thread counts\n");
+    if (batching_qps_win < 1.5) {
+        std::fprintf(stderr,
+                     "FAIL: admission batching wins only %.2fx QPS "
+                     "over FIFO at saturation (floor: 1.5x)\n",
+                     batching_qps_win);
+        pass = false;
+    }
+    return pass ? 0 : 1;
+}

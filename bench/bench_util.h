@@ -8,12 +8,14 @@
 #ifndef CIFLOW_BENCH_BENCH_UTIL_H
 #define CIFLOW_BENCH_BENCH_UTIL_H
 
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <ostream>
 #include <string>
 #include <vector>
 
+#include "common/logging.h"
 #include "obs/metrics.h"
 #include "rpu/runner.h"
 
@@ -122,6 +124,12 @@ class JsonWriter
     void
     field(const char *name, double v)
     {
+        // %.9g would happily print "nan"/"inf", which no JSON parser
+        // (including the CI jq gates) accepts — a poisoned metric must
+        // fail the emitting harness, not the artifact's consumers.
+        panicIf(!std::isfinite(v),
+                std::string("JsonWriter: non-finite double for key \"") +
+                    name + "\"");
         key(name);
         char b[40];
         std::snprintf(b, sizeof b, "%.9g", v);

@@ -1,14 +1,14 @@
 #!/bin/sh
 # Fail when a public header of src/sim, src/shard, src/tune,
-# src/fault or src/obs declares a top-level struct or class without a
-# doc comment (/** ... */ or
+# src/fault, src/obs or src/serve declares a top-level struct or
+# class without a doc comment (/** ... */ or
 # ///) directly above it. template<> lines between the comment and
 # the declaration are transparent. Run from the repo root.
 set -u
 
 status=0
 for f in src/sim/*.h src/shard/*.h src/tune/*.h src/fault/*.h \
-         src/obs/*.h; do
+         src/obs/*.h src/serve/*.h; do
     [ -f "$f" ] || continue
     bad=$(awk '
         /^[[:space:]]*$/ { next }

@@ -1,10 +1,9 @@
 #include "fault/monte_carlo.h"
 
 #include <algorithm>
-#include <cmath>
 #include <thread>
 
-#include "common/logging.h"
+#include "common/stats.h"
 
 namespace ciflow::fault
 {
@@ -94,18 +93,10 @@ monteCarlo(FaultSim &sim, const McSpec &spec)
         sum / static_cast<double>(completed.size());
     st.worstMakespan = completed.back();
     // Nearest-rank percentiles over the completed scenarios.
-    const auto rank = [&](double p) {
-        const std::size_t n = completed.size();
-        std::size_t r = static_cast<std::size_t>(
-            std::ceil(p * static_cast<double>(n)));
-        if (r == 0)
-            r = 1;
-        if (r > n)
-            r = n;
-        return completed[r - 1];
-    };
-    st.p50Degradation = rank(0.50) / st.healthyMakespan;
-    st.p99Degradation = rank(0.99) / st.healthyMakespan;
+    st.p50Degradation =
+        stats::percentileSorted(completed, 0.50) / st.healthyMakespan;
+    st.p99Degradation =
+        stats::percentileSorted(completed, 0.99) / st.healthyMakespan;
     return st;
 }
 

@@ -157,7 +157,8 @@ writeChromeTrace(std::ostream &os, const ScenarioTrace &t)
                           rec.start - rec.ready,
                           rec.visible - rec.finish);
             w.complete("task " + std::to_string(rec.task),
-                       static_cast<int>(rec.resource) + 1,
+                       static_cast<int>(seg.resourceBase + rec.resource) +
+                           1,
                        seg.baseSec + rec.start,
                        rec.finish - rec.start, args);
         }
@@ -172,7 +173,8 @@ writeChromeTrace(std::ostream &os, const ScenarioTrace &t)
                 char label[48];
                 std::snprintf(label, sizeof label, "rate x%g",
                               seg.epochs.mult[j]);
-                w.instant(label, static_cast<int>(r) + 1,
+                w.instant(label,
+                          static_cast<int>(seg.resourceBase + r) + 1,
                           seg.baseSec + seg.epochs.at[j]);
             }
     }

@@ -48,6 +48,15 @@ struct TraceSegment
     /** Replay-local cutoff; records starting at or after it are
      * superseded by the next segment (+inf = keep everything). */
     double cutSec = std::numeric_limits<double>::infinity();
+    /**
+     * Track offset of this segment's replay-local resource ids: record
+     * resource r renders on scenario track resourceBase + r. A fault
+     * scenario replays one schedule, so every segment keeps the
+     * default 0; a serving fleet replays per-chip schedules whose
+     * local ids all start at 0, and places chip c's segments at
+     * c * resources-per-chip in the fleet-wide name table.
+     */
+    std::uint32_t resourceBase = 0;
     /** The traced replay of this segment. */
     TraceBuffer buf;
     /** Rate epochs the segment replayed under (may be empty). */

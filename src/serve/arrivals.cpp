@@ -1,0 +1,129 @@
+#include "serve/arrivals.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "fault/fault_trace.h"
+
+namespace ciflow::serve
+{
+
+namespace
+{
+
+/** Uniform double in (0, 1): (k + 0.5) * 2^-53 over the top 53 bits.
+ * Strictly positive, so -log(u) below is always finite. */
+double
+unitOpen(Rng &rng)
+{
+    return (static_cast<double>(rng.next() >> 11) + 0.5) * 0x1.0p-53;
+}
+
+/** Weighted class draw: first index whose cumulative weight exceeds
+ * u * total (ties impossible for u in (0,1) and positive weights). */
+std::uint32_t
+drawClass(Rng &rng, const std::vector<double> &w, double total)
+{
+    const double x = unitOpen(rng) * total;
+    double cum = 0.0;
+    for (std::size_t k = 0; k < w.size(); ++k) {
+        cum += w[k];
+        if (x < cum)
+            return static_cast<std::uint32_t>(k);
+    }
+    return static_cast<std::uint32_t>(w.size() - 1);
+}
+
+} // namespace
+
+std::vector<JobArrival>
+poissonArrivals(const ArrivalSpec &spec, std::uint64_t seed)
+{
+    fatalIf(!(std::isfinite(spec.horizonSec) && spec.horizonSec > 0.0),
+            "arrival horizon must be finite and positive");
+    std::vector<JobArrival> out;
+    for (std::size_t t = 0; t < spec.tenants.size(); ++t) {
+        const TenantSpec &ten = spec.tenants[t];
+        if (ten.ratePerSec <= 0.0)
+            continue;
+        fatalIf(!std::isfinite(ten.ratePerSec),
+                "tenant rate must be finite");
+        double total = 0.0;
+        for (double w : ten.classWeights) {
+            fatalIf(!(std::isfinite(w) && w >= 0.0),
+                    "class weights must be finite and >= 0");
+            total += w;
+        }
+        fatalIf(total <= 0.0,
+                "tenant needs at least one positive class weight");
+        // Independent stream per tenant: widening the tenant list
+        // never perturbs the arrivals of existing tenants.
+        Rng rng(fault::deriveSeed(seed, t));
+        double at = 0.0;
+        for (;;) {
+            at += -std::log(unitOpen(rng)) / ten.ratePerSec;
+            if (at >= spec.horizonSec)
+                break;
+            out.push_back({at, drawClass(rng, ten.classWeights, total),
+                           static_cast<std::uint32_t>(t)});
+        }
+    }
+    normalizeArrivals(out);
+    return out;
+}
+
+void
+normalizeArrivals(std::vector<JobArrival> &arrivals)
+{
+    std::stable_sort(arrivals.begin(), arrivals.end(),
+                     [](const JobArrival &a, const JobArrival &b) {
+                         if (a.atSec != b.atSec)
+                             return a.atSec < b.atSec;
+                         if (a.tenant != b.tenant)
+                             return a.tenant < b.tenant;
+                         return a.klass < b.klass;
+                     });
+}
+
+std::string
+serializeArrivals(const std::vector<JobArrival> &arrivals)
+{
+    std::string out;
+    char line[96];
+    for (const JobArrival &a : arrivals) {
+        std::snprintf(line, sizeof line, "%a c%u t%u\n", a.atSec,
+                      a.klass, a.tenant);
+        out += line;
+    }
+    return out;
+}
+
+sim::Error
+checkArrivals(const std::vector<JobArrival> &arrivals,
+              std::size_t classCount)
+{
+    double prev = 0.0;
+    for (std::size_t i = 0; i < arrivals.size(); ++i) {
+        const JobArrival &a = arrivals[i];
+        if (!(std::isfinite(a.atSec) && a.atSec >= 0.0))
+            return {sim::ErrorCode::BadServeSpec,
+                    "arrival " + std::to_string(i) +
+                        " has a negative or non-finite time"};
+        if (a.atSec < prev)
+            return {sim::ErrorCode::BadServeSpec,
+                    "arrival " + std::to_string(i) +
+                        " is out of order (normalize the stream)"};
+        if (a.klass >= classCount)
+            return {sim::ErrorCode::BadServeSpec,
+                    "arrival " + std::to_string(i) + " names class " +
+                        std::to_string(a.klass) + " of " +
+                        std::to_string(classCount)};
+        prev = a.atSec;
+    }
+    return {};
+}
+
+} // namespace ciflow::serve

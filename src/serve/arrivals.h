@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Arrival processes for the serving layer: seeded multi-tenant
+ * Poisson streams and trace-driven (scripted) job streams.
+ *
+ * A serving study needs jobs arriving *over time*, not a batch handed
+ * over at t=0. Arrivals are plain data — a time-sorted vector of
+ * JobArrival — produced either by poissonArrivals() (open-loop: each
+ * tenant is an independent seeded Poisson process over its own class
+ * mix, so adding a tenant or reordering the tenant list never
+ * perturbs another tenant's stream) or by normalizing a hand-built /
+ * replayed trace. Everything downstream (ServingSim) is a pure
+ * function of the arrival vector, which is what makes seeded serving
+ * runs reproducible bit for bit across runs and thread counts
+ * (tests/test_serve.cpp pins this, the same contract FaultTrace
+ * carries for the fault layer).
+ */
+
+#ifndef CIFLOW_SERVE_ARRIVALS_H
+#define CIFLOW_SERVE_ARRIVALS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/error.h"
+
+namespace ciflow::serve
+{
+
+/** One job arrival: when, which job class, which tenant issued it. */
+struct JobArrival
+{
+    /** Arrival time in seconds from stream start. */
+    double atSec = 0.0;
+    /** Index into the ServeSpec's job-class table. */
+    std::uint32_t klass = 0;
+    /** Issuing tenant (stream identity; reported, never scheduled on). */
+    std::uint32_t tenant = 0;
+};
+
+/** One tenant's open-loop request stream. */
+struct TenantSpec
+{
+    /** Mean request rate (jobs/s) of this tenant's Poisson process. */
+    double ratePerSec = 0.0;
+    /**
+     * Relative weight per job class (one entry per class in the
+     * ServeSpec, each >= 0, at least one > 0): each arrival draws its
+     * class from this mix.
+     */
+    std::vector<double> classWeights;
+};
+
+/** An open-loop multi-tenant arrival specification. */
+struct ArrivalSpec
+{
+    std::vector<TenantSpec> tenants;
+    /** Sampling horizon: no arrival at or after this time. */
+    double horizonSec = 1.0;
+};
+
+/**
+ * Sample a normalized arrival stream from `spec`, deterministically
+ * from `seed`: tenant t's inter-arrival and class draws come from an
+ * independent generator derived as mix(seed, t), so the same (spec,
+ * seed) yields the identical stream everywhere and tenants never
+ * perturb each other. Streams are merged and normalized.
+ */
+std::vector<JobArrival> poissonArrivals(const ArrivalSpec &spec,
+                                        std::uint64_t seed);
+
+/**
+ * Canonical order for arrival streams: stable-sort by (atSec, tenant,
+ * klass). poissonArrivals() emits normalized streams; hand-built
+ * traces must normalize before ServingSim::run (which checks).
+ */
+void normalizeArrivals(std::vector<JobArrival> &arrivals);
+
+/**
+ * Canonical one-line-per-arrival text form, exact to the bit (times
+ * are hex floats): equal streams serialize to equal bytes, which is
+ * how the determinism tests compare runs.
+ */
+std::string serializeArrivals(const std::vector<JobArrival> &arrivals);
+
+/**
+ * Non-aborting validation: BadServeSpec when an arrival's class is
+ * outside [0, classCount), its time is negative or non-finite, or the
+ * stream is not normalized (times not non-decreasing).
+ */
+sim::Error checkArrivals(const std::vector<JobArrival> &arrivals,
+                         std::size_t classCount);
+
+} // namespace ciflow::serve
+
+#endif // CIFLOW_SERVE_ARRIVALS_H

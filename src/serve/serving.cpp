@@ -1,0 +1,673 @@
+#include "serve/serving.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <deque>
+#include <functional>
+#include <list>
+
+#include "common/logging.h"
+#include "common/stats.h"
+#include "obs/traced_replay.h"
+#include "rpu/experiment.h"
+#include "shard/placement_search.h"
+#include "shard/sharded_engine.h"
+
+namespace ciflow::serve
+{
+
+namespace
+{
+
+/** Cache key identifying an evk: relin = -1, rotations by amount
+ * (the workload layer's convention). */
+long
+keyIdOf(const HeOp &op)
+{
+    return op.kind == HeOpKind::Multiply ? -1 : op.rotation;
+}
+
+/**
+ * One job's key-cache hit mask under LRU with `slots` resident keys,
+ * continuing from the caller's `lru` state (front = most recent).
+ * Called twice per class: once from an empty cache (the cold mask) and
+ * once more on the same state (the steady-state warm mask — what a
+ * job sees when the previous job on the chip ran the same class).
+ */
+void
+lruMask(const HeWorkload &wl, std::size_t slots, std::list<long> &lru,
+        std::vector<std::uint8_t> &mask)
+{
+    mask.assign(wl.ops.size(), 0);
+    if (slots == 0)
+        return;
+    for (std::size_t i = 0; i < wl.ops.size(); ++i) {
+        const long id = keyIdOf(wl.ops[i]);
+        bool hit = false;
+        for (auto it = lru.begin(); it != lru.end(); ++it) {
+            if (*it == id) {
+                lru.erase(it);
+                hit = true;
+                break;
+            }
+        }
+        lru.push_front(id);
+        if (lru.size() > slots)
+            lru.pop_back();
+        mask[i] = hit ? 1 : 0;
+    }
+}
+
+/**
+ * Whether an estimator point is representable as a tune::EvalKey,
+ * i.e. every chip/interconnect knob the key does *not* carry sits at
+ * its default. Off-key configurations are still priced (directly);
+ * they just bypass the shared cache instead of poisoning it.
+ */
+bool
+cacheKeyable(const FleetConfig &fleet, std::size_t shards)
+{
+    const RpuConfig def;
+    const RpuConfig &c = fleet.chip;
+    if (c.hples != def.hples || c.freqGHz != def.freqGHz ||
+        c.vectorLen != def.vectorLen ||
+        c.cyclesPerModOp != def.cyclesPerModOp || c.splitComputePipes ||
+        !c.channelGBps.empty())
+        return false;
+    if (shards > 1) {
+        const shard::InterconnectConfig dnet;
+        if (fleet.interconnect.linkGBps != dnet.linkGBps ||
+            fleet.interconnect.latencySec != dnet.latencySec ||
+            fleet.imbalanceTol != 0.10)
+            return false;
+    }
+    return true;
+}
+
+/** The tuner's canonical EvalKey for one serving estimator point. */
+tune::EvalKey
+keyOf(const FleetConfig &fleet, const HksParams &par, Dataflow d,
+      const MemoryConfig &mem, double bw, std::size_t shards)
+{
+    tune::EvalKey key;
+    key.graph = ExperimentKey::of(par, d, mem);
+    key.bandwidthGBps = bw;
+    key.modopsMult = fleet.chip.modopsMult;
+    key.memChannels = fleet.chip.channelCount();
+    if (fleet.chip.channelCount() > 1)
+        key.channelPolicy = fleet.chip.channelPolicy;
+    if (shards > 1) {
+        key.shards = shards;
+        key.topology = fleet.interconnect.topology;
+        key.strategy = fleet.strategy;
+    }
+    return key;
+}
+
+} // namespace
+
+sim::Error
+checkSpec(const ServeSpec &spec)
+{
+    const auto bad = [](const std::string &ctx) {
+        return sim::Error{sim::ErrorCode::BadServeSpec, ctx};
+    };
+    if (spec.fleet.chips == 0)
+        return bad("fleet needs at least one chip");
+    if (spec.classes.empty())
+        return bad("serving spec needs at least one job class");
+    bool anyGang = false;
+    for (std::size_t k = 0; k < spec.classes.size(); ++k) {
+        const JobClass &jc = spec.classes[k];
+        if (jc.workload.ops.empty())
+            return bad("class " + std::to_string(k) +
+                       " has an empty workload");
+        if (jc.shards == 0)
+            return bad("class " + std::to_string(k) +
+                       " has zero shards");
+        if (jc.shards > spec.fleet.chips)
+            return bad("class " + std::to_string(k) + " gangs " +
+                       std::to_string(jc.shards) + " chips of " +
+                       std::to_string(spec.fleet.chips));
+        anyGang = anyGang || jc.shards > 1;
+    }
+    const std::vector<double> &ovr = spec.fleet.chipBandwidthGBps;
+    if (!ovr.empty()) {
+        if (ovr.size() != spec.fleet.chips)
+            return bad("chipBandwidthGBps has " +
+                       std::to_string(ovr.size()) + " entries for " +
+                       std::to_string(spec.fleet.chips) + " chips");
+        for (double b : ovr)
+            if (!(std::isfinite(b) && b > 0.0))
+                return bad("chip bandwidth overrides must be finite "
+                           "and positive");
+        if (!spec.fleet.chip.channelGBps.empty())
+            return bad("per-chip bandwidth overrides and per-channel "
+                       "bandwidths are mutually exclusive");
+        if (anyGang)
+            return bad("gang-scheduled classes require a homogeneous "
+                       "fleet (no chip bandwidth overrides)");
+    }
+    if (anyGang && !spec.fleet.chip.channelGBps.empty())
+        return bad("gang-scheduled classes require symmetric DRAM "
+                   "channels");
+    if (ovr.empty() && !(std::isfinite(spec.fleet.chip.bandwidthGBps) &&
+                         spec.fleet.chip.bandwidthGBps > 0.0) &&
+        spec.fleet.chip.channelGBps.empty())
+        return bad("chip bandwidth must be finite and positive");
+    if (spec.batch.targetBatch == 0)
+        return bad("batch target must be at least 1");
+    if (!(std::isfinite(spec.batch.targetBatchSec) &&
+          spec.batch.targetBatchSec >= 0.0))
+        return bad("targetBatchSec must be finite and >= 0");
+    return {};
+}
+
+/**
+ * Per-class duration model: key-cache hit masks plus per-op hit/miss
+ * runtimes at every distinct chip bandwidth, and their ordered sums.
+ */
+struct ServingSim::ClassModel
+{
+    std::size_t shards = 1;
+    /** Per-op key-cache hit flags, from an empty cache. */
+    std::vector<std::uint8_t> coldMask;
+    /** Per-op hit flags in steady state (previous job = same class). */
+    std::vector<std::uint8_t> warmMask;
+    /** Per-op runtime with streamed (missed) keys, per uniqBw index. */
+    std::vector<double> missRt;
+    /** Per-op runtime with on-chip (hit) keys, per uniqBw index. */
+    std::vector<double> hitRt;
+    /** Whole-job service seconds (ordered per-op sums), per uniqBw. */
+    std::vector<double> coldSvc, warmSvc;
+    /** Key-cache hits one cold / warm job scores. */
+    std::size_t coldHits = 0, warmHits = 0;
+};
+
+/** Lazily built Chrome-trace assets (see ServingSim::buildViz). */
+struct ServingSim::VizAssets
+{
+    /** Resources per chip block (channels + pipes). */
+    std::size_t perChip = 0;
+    /** Track names of one chip block. */
+    std::vector<std::string> names;
+    /** bufs[k][variant][bwIdx]; variant 0 = miss, 1 = hit. Empty for
+     * gang-scheduled classes (those render as scenario marks). */
+    std::vector<std::array<std::vector<obs::TraceBuffer>, 2>> bufs;
+};
+
+ServingSim::ServingSim(const ServeSpec &spec, ExperimentRunner &runner,
+                       tune::EvalCache *cache)
+    : sp(spec), runnerRef(runner)
+{
+    const sim::Error err = checkSpec(sp);
+    panicIf(bool(err), err.message());
+
+    if (sp.fleet.chipBandwidthGBps.empty()) {
+        uniqBw.assign(1, sp.fleet.chip.bandwidthGBps);
+        chipBw.assign(sp.fleet.chips, 0);
+    } else {
+        uniqBw = sp.fleet.chipBandwidthGBps;
+        std::sort(uniqBw.begin(), uniqBw.end());
+        uniqBw.erase(std::unique(uniqBw.begin(), uniqBw.end()),
+                     uniqBw.end());
+        chipBw.resize(sp.fleet.chips);
+        for (std::size_t c = 0; c < sp.fleet.chips; ++c)
+            chipBw[c] = static_cast<std::size_t>(
+                std::lower_bound(uniqBw.begin(), uniqBw.end(),
+                                 sp.fleet.chipBandwidthGBps[c]) -
+                uniqBw.begin());
+    }
+    buildModels(runner, cache);
+}
+
+ServingSim::~ServingSim() = default;
+
+namespace
+{
+
+/** The chip configuration replayed at uniqBw[i]. */
+RpuConfig
+chipAt(const FleetConfig &fleet, const std::vector<double> &uniqBw,
+       std::size_t i)
+{
+    RpuConfig cfg = fleet.chip;
+    if (!fleet.chipBandwidthGBps.empty())
+        cfg.bandwidthGBps = uniqBw[i];
+    return cfg;
+}
+
+} // namespace
+
+void
+ServingSim::buildModels(ExperimentRunner &runner, tune::EvalCache *cache)
+{
+    models.resize(sp.classes.size());
+    const MemoryConfig missMem{sp.fleet.chip.dataMemBytes, false};
+    MemoryConfig hitMem = missMem;
+    hitMem.evkOnChip = true;
+
+    // Masks are cheap and serial; runtimes fan out below.
+    for (std::size_t k = 0; k < sp.classes.size(); ++k) {
+        const JobClass &jc = sp.classes[k];
+        ClassModel &m = models[k];
+        m.shards = jc.shards;
+        const std::uint64_t evk = jc.params.evkBytes();
+        const std::size_t slots =
+            evk ? static_cast<std::size_t>(sp.fleet.keyCacheBytes / evk)
+                : 0;
+        std::list<long> lru;
+        lruMask(jc.workload, slots, lru, m.coldMask);
+        lruMask(jc.workload, slots, lru, m.warmMask);
+        for (std::uint8_t h : m.coldMask)
+            m.coldHits += h;
+        for (std::uint8_t h : m.warmMask)
+            m.warmHits += h;
+        m.missRt.assign(uniqBw.size(), 0.0);
+        m.hitRt.assign(uniqBw.size(), 0.0);
+    }
+
+    // One pool job per (class, key-cache variant); each lands results
+    // into its own pre-sized slots, so the fan-out is bit-identical
+    // for any thread count (the runner/monte-carlo pattern).
+    std::vector<std::size_t> evalCount(sp.classes.size() * 2, 0);
+    std::vector<std::function<void()>> jobs;
+    for (std::size_t k = 0; k < sp.classes.size(); ++k) {
+        for (int variant = 0; variant < 2; ++variant) {
+            jobs.push_back([this, &runner, cache, &evalCount, &missMem,
+                            &hitMem, k, variant] {
+                const JobClass &jc = sp.classes[k];
+                ClassModel &m = models[k];
+                const MemoryConfig &mem =
+                    variant ? hitMem : missMem;
+                std::vector<double> &out =
+                    variant ? m.hitRt : m.missRt;
+                const bool keyable =
+                    cache && cacheKeyable(sp.fleet, jc.shards);
+                std::vector<std::size_t> missing;
+                for (std::size_t i = 0; i < uniqBw.size(); ++i) {
+                    tune::Measurement meas;
+                    if (keyable &&
+                        cache->lookup(keyOf(sp.fleet, jc.params,
+                                            jc.dataflow, mem,
+                                            uniqBw[i], jc.shards),
+                                      meas)) {
+                        out[i] = meas.runtime;
+                        continue;
+                    }
+                    missing.push_back(i);
+                }
+                if (missing.empty())
+                    return;
+                evalCount[k * 2 + static_cast<std::size_t>(variant)] =
+                    missing.size();
+                const auto exp = runner.experiment(
+                    jc.params, jc.dataflow, mem);
+                std::vector<double> rt(missing.size());
+                std::uint64_t cutBytes = 0;
+                std::size_t transferTasks = 0;
+                if (jc.shards <= 1) {
+                    // Batched compiled replay across the missing
+                    // bandwidths (the replayMany fast path).
+                    std::vector<RpuConfig> cfgs;
+                    cfgs.reserve(missing.size());
+                    for (std::size_t i : missing)
+                        cfgs.push_back(chipAt(sp.fleet, uniqBw, i));
+                    exp->simulateRuntimeMany(cfgs.data(), cfgs.size(),
+                                             rt.data());
+                } else {
+                    // Gang-scheduled classes price through the
+                    // sharded compiled-replay path (homogeneous
+                    // fleet, so exactly one bandwidth).
+                    const std::vector<double> w = shard::taskWeights(
+                        exp->graph(), sp.fleet.chip);
+                    const shard::Partition part = shard::partitionGraph(
+                        exp->graph(),
+                        shard::placementShardSpec(
+                            jc.params, jc.shards, sp.fleet.strategy,
+                            sp.fleet.imbalanceTol),
+                        w);
+                    const shard::ShardedEngine eng(
+                        sp.fleet.chip, sp.fleet.interconnect);
+                    const shard::ShardedCompiled sc =
+                        eng.compile(exp->graph(), part);
+                    for (std::size_t j = 0; j < missing.size(); ++j)
+                        rt[j] = eng.replayRuntime(sc);
+                    cutBytes = part.cutBytes;
+                    transferTasks = part.cutEdges.size();
+                }
+                for (std::size_t j = 0; j < missing.size(); ++j) {
+                    out[missing[j]] = rt[j];
+                    if (!keyable)
+                        continue;
+                    // Mirror the tuner's Measurement shape so a
+                    // shared cache stays consistent between layers.
+                    tune::Measurement meas;
+                    meas.runtime = rt[j];
+                    meas.aggregateGBps =
+                        uniqBw[missing[j]] *
+                        static_cast<double>(jc.shards);
+                    meas.capacityBytes =
+                        static_cast<double>(
+                            sp.fleet.chip.dataMemBytes) *
+                        static_cast<double>(jc.shards);
+                    meas.cutBytes = cutBytes;
+                    meas.transferTasks = transferTasks;
+                    cache->insert(keyOf(sp.fleet, jc.params,
+                                        jc.dataflow, mem,
+                                        uniqBw[missing[j]], jc.shards),
+                                  meas);
+                }
+            });
+        }
+    }
+    runner.runAll(jobs);
+    for (std::size_t n : evalCount)
+        nEvals += n;
+
+    // Whole-job service sums, accumulated in op order — the exact
+    // order run() accumulates per-op finishes, so the two agree
+    // bitwise.
+    for (std::size_t k = 0; k < sp.classes.size(); ++k) {
+        ClassModel &m = models[k];
+        m.coldSvc.assign(uniqBw.size(), 0.0);
+        m.warmSvc.assign(uniqBw.size(), 0.0);
+        for (std::size_t b = 0; b < uniqBw.size(); ++b) {
+            for (std::size_t i = 0; i < m.coldMask.size(); ++i) {
+                m.coldSvc[b] +=
+                    m.coldMask[i] ? m.hitRt[b] : m.missRt[b];
+                m.warmSvc[b] +=
+                    m.warmMask[i] ? m.hitRt[b] : m.missRt[b];
+            }
+        }
+    }
+}
+
+void
+ServingSim::buildViz(ExperimentRunner &runner)
+{
+    if (viz_)
+        return;
+    auto va = std::make_shared<VizAssets>();
+    va->bufs.resize(sp.classes.size());
+    const MemoryConfig missMem{sp.fleet.chip.dataMemBytes, false};
+    MemoryConfig hitMem = missMem;
+    hitMem.evkOnChip = true;
+
+    sim::ReplayRates rates;
+    sim::ReplayScratch scratch;
+    for (std::size_t k = 0; k < sp.classes.size(); ++k) {
+        const JobClass &jc = sp.classes[k];
+        if (jc.shards > 1)
+            continue; // rendered as scenario marks
+        for (int variant = 0; variant < 2; ++variant) {
+            const auto exp = runner.experiment(
+                jc.params, jc.dataflow, variant ? hitMem : missMem);
+            const sim::CompiledSchedule cs =
+                RpuEngine(chipAt(sp.fleet, uniqBw, 0))
+                    .compile(exp->graph());
+            if (va->names.empty()) {
+                va->perChip = cs.resourceCount();
+                for (std::size_t r = 0; r < cs.resourceCount(); ++r)
+                    va->names.push_back(cs.resourceName(
+                        static_cast<sim::ResourceId>(r)));
+            } else {
+                fatalIf(cs.resourceCount() != va->perChip,
+                        "serving viz: chip resource blocks disagree "
+                        "across classes");
+            }
+            auto &slot =
+                va->bufs[k][static_cast<std::size_t>(variant)];
+            slot.resize(uniqBw.size());
+            for (std::size_t b = 0; b < uniqBw.size(); ++b) {
+                RpuEngine(chipAt(sp.fleet, uniqBw, b))
+                    .rates(cs, rates);
+                obs::replayTraced(cs, rates, scratch, slot[b]);
+            }
+        }
+    }
+    viz_ = va;
+}
+
+sim::Error
+ServingSim::run(const std::vector<JobArrival> &arrivals,
+                std::vector<JobResult> &out, ServeStats &stats,
+                obs::ScenarioTrace *viz)
+{
+    const sim::Error err = checkArrivals(arrivals, sp.classes.size());
+    if (err)
+        return err;
+    if (viz)
+        buildViz(runnerRef);
+
+    out.assign(arrivals.size(), JobResult{});
+    stats = ServeStats{};
+    if (viz) {
+        *viz = obs::ScenarioTrace{};
+        if (viz_ && !viz_->names.empty())
+            for (std::size_t c = 0; c < sp.fleet.chips; ++c)
+                for (const std::string &n : viz_->names)
+                    viz->resourceNames.push_back(
+                        "chip" + std::to_string(c) + "/" + n);
+    }
+
+    struct ChipState
+    {
+        double freeAt = 0.0;
+        std::int64_t lastClass = -1;
+    };
+    std::vector<ChipState> chips(sp.fleet.chips);
+    std::deque<std::uint32_t> pending;
+    std::size_t next = 0;
+    std::uint32_t batchSeq = 0;
+    std::vector<std::size_t> chosen;
+    std::vector<std::uint32_t> batchIds;
+
+    while (next < arrivals.size() || !pending.empty()) {
+        if (pending.empty())
+            pending.push_back(static_cast<std::uint32_t>(next++));
+        const std::uint32_t head = pending.front();
+        const std::uint32_t k = arrivals[head].klass;
+        const ClassModel &m = models[k];
+
+        // The m.shards least-loaded chips, ties to the lowest id.
+        chosen.assign(sp.fleet.chips, 0);
+        for (std::size_t c = 0; c < sp.fleet.chips; ++c)
+            chosen[c] = c;
+        std::sort(chosen.begin(), chosen.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      if (chips[a].freeAt != chips[b].freeAt)
+                          return chips[a].freeAt < chips[b].freeAt;
+                      return a < b;
+                  });
+        chosen.resize(m.shards);
+        double start = arrivals[head].atSec;
+        for (std::size_t c : chosen)
+            start = std::max(start, chips[c].freeAt);
+        // Jobs arriving while the gang drains are admission
+        // candidates: they may join this batch.
+        while (next < arrivals.size() &&
+               arrivals[next].atSec <= start)
+            pending.push_back(static_cast<std::uint32_t>(next++));
+        stats.maxQueueDepth =
+            std::max(stats.maxQueueDepth, pending.size());
+
+        const std::size_t bwIdx =
+            m.shards > 1 ? 0
+                         : chipBw[*std::min_element(chosen.begin(),
+                                                    chosen.end())];
+        bool warmCtx = true;
+        for (std::size_t c : chosen)
+            warmCtx = warmCtx &&
+                      chips[c].lastClass == static_cast<std::int64_t>(k);
+
+        // p4db-style target batch: coalesce queued same-class jobs
+        // behind the head until the size target or the estimated
+        // batch duration is reached.
+        batchIds.assign(1, head);
+        double estSec =
+            warmCtx ? m.warmSvc[bwIdx] : m.coldSvc[bwIdx];
+        std::vector<char> taken(pending.size(), 0);
+        taken[0] = 1;
+        for (std::size_t i = 1; i < pending.size(); ++i) {
+            if (batchIds.size() >= sp.batch.targetBatch)
+                break;
+            if (sp.batch.targetBatchSec > 0.0 &&
+                estSec >= sp.batch.targetBatchSec)
+                break;
+            if (arrivals[pending[i]].klass != k)
+                continue;
+            taken[i] = 1;
+            batchIds.push_back(pending[i]);
+            estSec += m.warmSvc[bwIdx];
+        }
+        {
+            std::deque<std::uint32_t> rest;
+            for (std::size_t i = 0; i < pending.size(); ++i)
+                if (!taken[i])
+                    rest.push_back(pending[i]);
+            pending.swap(rest);
+        }
+
+        // Execute the batch: the leader runs cold unless the gang is
+        // already warm on this class; followers inherit a warmed key
+        // cache.
+        const std::uint32_t firstChip = static_cast<std::uint32_t>(
+            *std::min_element(chosen.begin(), chosen.end()));
+        double t = start;
+        for (std::size_t b = 0; b < batchIds.size(); ++b) {
+            const std::uint32_t j = batchIds[b];
+            const bool warm = b > 0 || warmCtx;
+            const std::vector<std::uint8_t> &mask =
+                warm ? m.warmMask : m.coldMask;
+            const double jobStart = t;
+            for (std::size_t i = 0; i < mask.size(); ++i) {
+                const double dur =
+                    mask[i] ? m.hitRt[bwIdx] : m.missRt[bwIdx];
+                if (viz && viz_ && m.shards == 1) {
+                    obs::TraceSegment seg;
+                    seg.baseSec = t;
+                    seg.resourceBase = static_cast<std::uint32_t>(
+                        firstChip * viz_->perChip);
+                    seg.buf = viz_->bufs[k][mask[i] ? 1 : 0][bwIdx];
+                    viz->segments.push_back(std::move(seg));
+                }
+                t += dur;
+            }
+            JobResult &res = out[j];
+            res.arriveSec = arrivals[j].atSec;
+            res.startSec = jobStart;
+            res.finishSec = t;
+            res.klass = k;
+            res.tenant = arrivals[j].tenant;
+            res.chip = firstChip;
+            res.batch = batchSeq;
+            res.warmStart = warm;
+            stats.warmJobs += warm ? 1 : 0;
+            stats.keyCacheHitOps += warm ? m.warmHits : m.coldHits;
+            stats.totalOps += mask.size();
+        }
+        for (std::size_t c : chosen) {
+            chips[c].freeAt = t;
+            chips[c].lastClass = static_cast<std::int64_t>(k);
+        }
+        if (viz) {
+            char label[128];
+            std::snprintf(label, sizeof label,
+                          "batch %u: %zux %s @chip%u%s", batchSeq,
+                          batchIds.size(),
+                          sp.classes[k].name.c_str(), firstChip,
+                          m.shards > 1 ? " (gang)" : "");
+            viz->marks.push_back({label, start, t - start});
+        }
+        ++batchSeq;
+        ++stats.batches;
+        if (batchIds.size() > 1)
+            stats.batchedJobs += batchIds.size();
+    }
+
+    // Aggregate: nearest-rank latency percentiles plus sustained QPS.
+    stats.jobs = out.size();
+    if (!out.empty()) {
+        std::vector<double> lat;
+        lat.reserve(out.size());
+        double sum = 0.0;
+        for (const JobResult &r : out) {
+            lat.push_back(r.latencySec());
+            sum += r.latencySec();
+            stats.makespanSec =
+                std::max(stats.makespanSec, r.finishSec);
+        }
+        std::sort(lat.begin(), lat.end());
+        stats.meanLatencySec = sum / static_cast<double>(lat.size());
+        stats.p50LatencySec = stats::percentileSorted(lat, 0.50);
+        stats.p99LatencySec = stats::percentileSorted(lat, 0.99);
+        stats.p999LatencySec = stats::percentileSorted(lat, 0.999);
+        stats.maxLatencySec = lat.back();
+        if (stats.makespanSec > 0.0)
+            stats.qps = static_cast<double>(stats.jobs) /
+                        stats.makespanSec;
+    }
+
+    if (viz)
+        for (const JobResult &r : out)
+            viz->marks.push_back(
+                {"arrive " + sp.classes[r.klass].name + " t" +
+                     std::to_string(r.tenant),
+                 r.arriveSec, 0.0});
+
+    nJobs += stats.jobs;
+    nBatches += stats.batches;
+    nBatchedJobs += stats.batchedJobs;
+    nWarmJobs += stats.warmJobs;
+    nHitOps += stats.keyCacheHitOps;
+    nOps += stats.totalOps;
+    lastStats = stats;
+    return {};
+}
+
+void
+ServingSim::exportMetrics(obs::MetricsRegistry &m,
+                          const std::string &prefix) const
+{
+    m.count(prefix + "jobs", nJobs);
+    m.count(prefix + "batches", nBatches);
+    m.count(prefix + "batched_jobs", nBatchedJobs);
+    m.count(prefix + "warm_jobs", nWarmJobs);
+    m.count(prefix + "key_cache_hit_ops", nHitOps);
+    m.count(prefix + "total_ops", nOps);
+    m.count(prefix + "estimator_evals", nEvals);
+    m.gauge(prefix + "qps", lastStats.qps);
+    m.gauge(prefix + "p50_latency_sec", lastStats.p50LatencySec);
+    m.gauge(prefix + "p99_latency_sec", lastStats.p99LatencySec);
+    m.gauge(prefix + "p999_latency_sec", lastStats.p999LatencySec);
+    m.gauge(prefix + "max_queue_depth",
+            static_cast<double>(lastStats.maxQueueDepth));
+}
+
+double
+ServingSim::classServiceSec(std::size_t klass, bool warm,
+                            std::size_t chip) const
+{
+    panicIf(klass >= models.size(), "class index out of range");
+    panicIf(chip >= chipBw.size(), "chip index out of range");
+    const ClassModel &m = models[klass];
+    const std::size_t b = m.shards > 1 ? 0 : chipBw[chip];
+    return warm ? m.warmSvc[b] : m.coldSvc[b];
+}
+
+std::size_t
+ServingSim::distinctBandwidths() const
+{
+    return uniqBw.size();
+}
+
+std::size_t
+ServingSim::estimatorEvals() const
+{
+    return nEvals;
+}
+
+} // namespace ciflow::serve

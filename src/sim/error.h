@@ -37,6 +37,8 @@ enum class ErrorCode : std::uint8_t {
     BadFaultTrace,
     /** A fault scenario killed every chip; the run cannot complete. */
     NoSurvivors,
+    /** A serving spec or arrival stream is malformed. */
+    BadServeSpec,
 };
 
 /** Short stable name of an error code ("rate-mismatch", ...). */
@@ -58,6 +60,8 @@ errorCodeName(ErrorCode c)
         return "bad-fault-trace";
     case ErrorCode::NoSurvivors:
         return "no-survivors";
+    case ErrorCode::BadServeSpec:
+        return "bad-serve-spec";
     }
     return "?";
 }

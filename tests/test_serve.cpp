@@ -1,0 +1,441 @@
+/**
+ * @file
+ * Tests for the serving layer: seeded Poisson arrival determinism and
+ * tenant-stream independence, spec/stream validation, bit-identity of
+ * serving runs across repeats and estimator thread counts, the
+ * batch-target-1 scheduler against a hand-rolled sequential reference
+ * (per-op accumulation over standalone experiments and an LRU
+ * replica), cross-layer agreement with simulateWorkload for a lone
+ * cold job, gang-scheduled classes against a sharded-replay
+ * reference, traced per-job segments, the batching throughput win at
+ * saturation, and EvalCache sharing across simulators.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <list>
+#include <string>
+#include <vector>
+
+#include "obs/chrome_trace.h"
+#include "rpu/experiment.h"
+#include "rpu/workload.h"
+#include "serve/arrivals.h"
+#include "serve/serving.h"
+#include "shard/placement_search.h"
+#include "shard/sharded_engine.h"
+#include "tune/eval_cache.h"
+
+using namespace ciflow;
+using namespace ciflow::serve;
+
+namespace
+{
+
+/**
+ * Two-class serving spec on ARK under the OC dataflow at a starved
+ * bandwidth — the configuration where evk streaming dominates and a
+ * warm key cache pays the most (miss/hit runtime ratio > 3x).
+ */
+ServeSpec
+twoClassSpec(std::size_t chips, std::size_t targetBatch)
+{
+    const HksParams &par = benchmarkByName("ARK");
+    ServeSpec sp;
+    sp.classes.push_back(
+        {"reduce8", HeWorkload::reduction(8), par, Dataflow::OC, 1});
+    sp.classes.push_back(
+        {"matvec4", HeWorkload::matVec(4), par, Dataflow::OC, 1});
+    sp.fleet.chip.bandwidthGBps = 4.0;
+    sp.fleet.chips = chips;
+    sp.fleet.keyCacheBytes = par.evkBytes() * 8;
+    sp.batch.targetBatch = targetBatch;
+    return sp;
+}
+
+/** A class-alternating all-at-t=0 stream (tenant i keeps sort order). */
+std::vector<JobArrival>
+saturatedStream(std::size_t n)
+{
+    std::vector<JobArrival> arr;
+    for (std::size_t i = 0; i < n; ++i)
+        arr.push_back({0.0, static_cast<std::uint32_t>(i % 2),
+                       static_cast<std::uint32_t>(i)});
+    normalizeArrivals(arr);
+    return arr;
+}
+
+bool
+sameResults(const std::vector<JobResult> &a,
+            const std::vector<JobResult> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const JobResult &x = a[i], &y = b[i];
+        if (x.arriveSec != y.arriveSec || x.startSec != y.startSec ||
+            x.finishSec != y.finishSec || x.klass != y.klass ||
+            x.tenant != y.tenant || x.chip != y.chip ||
+            x.batch != y.batch || x.warmStart != y.warmStart)
+            return false;
+    }
+    return true;
+}
+
+TEST(Arrivals, SeededStreamsAreBitReproducible)
+{
+    ArrivalSpec as;
+    as.horizonSec = 0.25;
+    as.tenants.push_back({200.0, {1.0, 3.0}});
+    as.tenants.push_back({50.0, {2.0, 1.0}});
+    const auto a = poissonArrivals(as, 7);
+    const auto b = poissonArrivals(as, 7);
+    ASSERT_FALSE(a.empty());
+    EXPECT_EQ(serializeArrivals(a), serializeArrivals(b));
+    EXPECT_TRUE(checkArrivals(a, 2).ok());
+
+    const auto c = poissonArrivals(as, 8);
+    EXPECT_NE(serializeArrivals(a), serializeArrivals(c));
+}
+
+TEST(Arrivals, TenantStreamsAreIndependent)
+{
+    // Adding a third tenant must not perturb the first two: each
+    // tenant draws from its own derived generator.
+    ArrivalSpec two;
+    two.horizonSec = 0.2;
+    two.tenants.push_back({150.0, {1.0}});
+    two.tenants.push_back({80.0, {1.0}});
+    ArrivalSpec three = two;
+    three.tenants.push_back({300.0, {1.0}});
+
+    const auto a = poissonArrivals(two, 42);
+    const auto b = poissonArrivals(three, 42);
+    const auto only = [](const std::vector<JobArrival> &v,
+                         std::uint32_t t) {
+        std::vector<JobArrival> out;
+        for (const JobArrival &x : v)
+            if (x.tenant == t)
+                out.push_back(x);
+        return out;
+    };
+    for (std::uint32_t t : {0u, 1u})
+        EXPECT_EQ(serializeArrivals(only(a, t)),
+                  serializeArrivals(only(b, t)))
+            << "tenant " << t;
+}
+
+TEST(Arrivals, CheckRejectsMalformedStreams)
+{
+    std::vector<JobArrival> ok{{0.1, 0, 0}, {0.2, 1, 0}};
+    EXPECT_TRUE(checkArrivals(ok, 2).ok());
+
+    std::vector<JobArrival> unsorted{{0.2, 0, 0}, {0.1, 0, 0}};
+    EXPECT_EQ(checkArrivals(unsorted, 2).code,
+              sim::ErrorCode::BadServeSpec);
+
+    std::vector<JobArrival> badClass{{0.1, 5, 0}};
+    EXPECT_EQ(checkArrivals(badClass, 2).code,
+              sim::ErrorCode::BadServeSpec);
+
+    std::vector<JobArrival> negative{{-0.5, 0, 0}};
+    EXPECT_EQ(checkArrivals(negative, 2).code,
+              sim::ErrorCode::BadServeSpec);
+}
+
+TEST(Serve, CheckSpecRejectsDegenerateSpecs)
+{
+    ServeSpec sp = twoClassSpec(1, 1);
+    EXPECT_TRUE(checkSpec(sp).ok());
+
+    ServeSpec empty = sp;
+    empty.classes.clear();
+    EXPECT_EQ(checkSpec(empty).code, sim::ErrorCode::BadServeSpec);
+
+    ServeSpec zeroBatch = sp;
+    zeroBatch.batch.targetBatch = 0;
+    EXPECT_EQ(checkSpec(zeroBatch).code, sim::ErrorCode::BadServeSpec);
+
+    ServeSpec wideGang = sp;
+    wideGang.classes[0].shards = 4; // fleet has 1 chip
+    EXPECT_EQ(checkSpec(wideGang).code, sim::ErrorCode::BadServeSpec);
+
+    ServeSpec badOverride = sp;
+    badOverride.fleet.chipBandwidthGBps = {8.0, 16.0}; // 1 chip
+    EXPECT_EQ(checkSpec(badOverride).code,
+              sim::ErrorCode::BadServeSpec);
+}
+
+TEST(Serve, LoneColdJobMatchesWorkloadLayer)
+{
+    // One job arriving at t=0 on an idle chip is exactly the workload
+    // layer's single-workload simulation: same per-op hit/miss
+    // runtimes, same LRU, same accumulation order.
+    ServeSpec sp = twoClassSpec(1, 1);
+    ExperimentRunner runner(2);
+    ServingSim sim(sp, runner);
+
+    std::vector<JobArrival> arr{{0.0, 0, 0}};
+    std::vector<JobResult> out;
+    ServeStats st;
+    ASSERT_TRUE(sim.run(arr, out, st).ok());
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_FALSE(out[0].warmStart);
+    EXPECT_EQ(out[0].startSec, 0.0);
+
+    const KeyCacheConfig kc{sp.fleet.keyCacheBytes};
+    const WorkloadStats ws = simulateWorkload(
+        runner, sp.classes[0].workload, sp.classes[0].params,
+        sp.classes[0].dataflow,
+        MemoryConfig{sp.fleet.chip.dataMemBytes, false},
+        sp.fleet.chip.bandwidthGBps, kc);
+    EXPECT_EQ(out[0].finishSec, ws.runtime);
+    EXPECT_EQ(st.keyCacheHitOps, ws.keyCacheHits);
+    EXPECT_EQ(st.totalOps, ws.keySwitches);
+    EXPECT_EQ(st.jobs, 1u);
+    EXPECT_EQ(st.qps, 1.0 / ws.runtime);
+}
+
+TEST(Serve, BatchTargetOneMatchesSequentialReference)
+{
+    // batch target 1 on one chip is plain FIFO: replicate it with
+    // standalone per-op experiments and an LRU replica, accumulating
+    // finishes op by op exactly as the scheduler does.
+    ServeSpec sp = twoClassSpec(1, 1);
+    ExperimentRunner runner(2);
+    ServingSim sim(sp, runner);
+
+    ArrivalSpec as;
+    as.horizonSec = 0.4;
+    as.tenants.push_back({120.0, {1.0, 1.0}});
+    as.tenants.push_back({60.0, {3.0, 1.0}});
+    const auto arr = poissonArrivals(as, 3);
+    ASSERT_GT(arr.size(), 10u);
+
+    std::vector<JobResult> out;
+    ServeStats st;
+    ASSERT_TRUE(sim.run(arr, out, st).ok());
+
+    // Reference per-op runtimes from the experiment layer.
+    const MemoryConfig missMem{sp.fleet.chip.dataMemBytes, false};
+    MemoryConfig hitMem = missMem;
+    hitMem.evkOnChip = true;
+    std::vector<double> missRt, hitRt;
+    for (std::size_t k = 0; k < sp.classes.size(); ++k) {
+        RpuConfig cfg = sp.fleet.chip;
+        missRt.push_back(runner
+                             .experiment(sp.classes[k].params,
+                                         sp.classes[k].dataflow,
+                                         missMem)
+                             ->simulateRuntime(cfg));
+        hitRt.push_back(runner
+                            .experiment(sp.classes[k].params,
+                                        sp.classes[k].dataflow, hitMem)
+                            ->simulateRuntime(cfg));
+    }
+
+    // Reference scheduler: FIFO, one chip, LRU key cache flushed on
+    // class switch (warm = previous job ran the same class).
+    const auto keyId = [](const HeOp &op) {
+        return op.kind == HeOpKind::Multiply ? -1L : op.rotation;
+    };
+    double freeAt = 0.0;
+    long last = -1;
+    std::list<long> lru;
+    for (std::size_t j = 0; j < arr.size(); ++j) {
+        const std::size_t k = arr[j].klass;
+        const HeWorkload &wl = sp.classes[k].workload;
+        const std::uint64_t evk = sp.classes[k].params.evkBytes();
+        const std::size_t slots = static_cast<std::size_t>(
+            sp.fleet.keyCacheBytes / evk);
+        if (last != static_cast<long>(k))
+            lru.clear(); // class switch flushes the key cache
+        double t = std::max(arr[j].atSec, freeAt);
+        const double start = t;
+        for (const HeOp &op : wl.ops) {
+            bool hit = false;
+            for (auto it = lru.begin(); it != lru.end(); ++it)
+                if (*it == keyId(op)) {
+                    lru.erase(it);
+                    hit = true;
+                    break;
+                }
+            lru.push_front(keyId(op));
+            if (lru.size() > slots)
+                lru.pop_back();
+            t += hit ? hitRt[k] : missRt[k];
+        }
+        EXPECT_EQ(out[j].startSec, start) << "job " << j;
+        EXPECT_EQ(out[j].finishSec, t) << "job " << j;
+        freeAt = t;
+        last = static_cast<long>(k);
+    }
+    EXPECT_EQ(st.batches, arr.size());
+    EXPECT_EQ(st.batchedJobs, 0u);
+}
+
+TEST(Serve, BitIdenticalAcrossRepeatsAndThreadCounts)
+{
+    ServeSpec sp = twoClassSpec(2, 4);
+    ArrivalSpec as;
+    as.horizonSec = 0.3;
+    as.tenants.push_back({150.0, {1.0, 2.0}});
+    as.tenants.push_back({90.0, {1.0, 0.5}});
+    const auto arr = poissonArrivals(as, 11);
+    ASSERT_GT(arr.size(), 20u);
+
+    std::vector<std::vector<JobResult>> results;
+    std::vector<ServeStats> statss;
+    for (std::size_t threads : {1u, 2u, 5u}) {
+        ExperimentRunner runner(threads);
+        ServingSim sim(sp, runner);
+        std::vector<JobResult> out;
+        ServeStats st;
+        ASSERT_TRUE(sim.run(arr, out, st).ok());
+        // Same simulator, same stream, run again: identical.
+        std::vector<JobResult> out2;
+        ServeStats st2;
+        ASSERT_TRUE(sim.run(arr, out2, st2).ok());
+        EXPECT_TRUE(sameResults(out, out2));
+        EXPECT_EQ(st.qps, st2.qps);
+        results.push_back(std::move(out));
+        statss.push_back(st);
+    }
+    for (std::size_t i = 1; i < results.size(); ++i) {
+        EXPECT_TRUE(sameResults(results[0], results[i]))
+            << "thread variant " << i;
+        EXPECT_EQ(statss[0].qps, statss[i].qps);
+        EXPECT_EQ(statss[0].p50LatencySec, statss[i].p50LatencySec);
+        EXPECT_EQ(statss[0].p99LatencySec, statss[i].p99LatencySec);
+        EXPECT_EQ(statss[0].p999LatencySec, statss[i].p999LatencySec);
+    }
+}
+
+TEST(Serve, BatchingBeatsNoBatchingAtSaturation)
+{
+    const auto arr = saturatedStream(160);
+    ExperimentRunner runner(2);
+
+    ServeStats noBatch, batched;
+    std::vector<JobResult> out;
+    {
+        ServingSim sim(twoClassSpec(1, 1), runner);
+        ASSERT_TRUE(sim.run(arr, out, noBatch).ok());
+        EXPECT_EQ(noBatch.batchedJobs, 0u);
+    }
+    {
+        ServingSim sim(twoClassSpec(1, 8), runner);
+        ASSERT_TRUE(sim.run(arr, out, batched).ok());
+        EXPECT_GT(batched.batchedJobs, 100u);
+        EXPECT_GT(batched.warmJobs, batched.jobs / 2);
+    }
+    // The class-alternating stream defeats FIFO key reuse entirely;
+    // an 8-deep batch runs one cold leader and seven warm followers.
+    EXPECT_GT(batched.qps, 1.5 * noBatch.qps);
+    EXPECT_LT(batched.p99LatencySec, noBatch.p99LatencySec);
+}
+
+TEST(Serve, TracedSegmentsMatchJobLatencies)
+{
+    // Single-op class: each job renders as exactly one trace segment
+    // whose buffer makespan is the job's service time.
+    const HksParams &par = benchmarkByName("BTS1");
+    ServeSpec sp;
+    sp.classes.push_back(
+        {"reduce2", HeWorkload::reduction(2), par, Dataflow::MP, 1});
+    sp.fleet.chip.bandwidthGBps = 8.0;
+    sp.fleet.chips = 2;
+    sp.fleet.keyCacheBytes = par.evkBytes() * 2;
+    sp.batch.targetBatch = 2;
+    ExperimentRunner runner(2);
+    ServingSim sim(sp, runner);
+
+    std::vector<JobArrival> arr{{0.0, 0, 0}, {0.0, 0, 1}, {0.001, 0, 2}};
+    normalizeArrivals(arr);
+    std::vector<JobResult> out;
+    ServeStats st;
+    obs::ScenarioTrace viz;
+    ASSERT_TRUE(sim.run(arr, out, st, &viz).ok());
+
+    ASSERT_EQ(viz.segments.size(), 3u); // one op per job
+    const std::size_t perChip =
+        viz.resourceNames.size() / sp.fleet.chips;
+    ASSERT_GT(perChip, 0u);
+    // Segments are emitted in dispatch order, which here is arrival
+    // order: each job's segment starts at its startSec and its traced
+    // makespan reproduces the scheduler's own finish accumulation
+    // (finish = start + makespan, the identical expression) — so the
+    // comparison is exact, not approximate.
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        const obs::TraceSegment &seg = viz.segments[i];
+        EXPECT_EQ(seg.resourceBase % perChip, 0u);
+        EXPECT_EQ(seg.baseSec, out[i].startSec) << "job " << i;
+        EXPECT_EQ(out[i].finishSec, out[i].startSec + seg.buf.makespan)
+            << "job " << i;
+    }
+    // The late job landed on the second chip's track block.
+    EXPECT_EQ(viz.segments[2].resourceBase, perChip);
+    // Chip-qualified track names and batch marks made it out.
+    EXPECT_EQ(viz.resourceNames[0].rfind("chip0/", 0), 0u);
+    ASSERT_GE(viz.marks.size(), st.batches);
+}
+
+TEST(Serve, GangClassMatchesShardedReference)
+{
+    const HksParams &par = benchmarkByName("BTS1");
+    ServeSpec sp;
+    sp.classes.push_back(
+        {"gang", HeWorkload::reduction(4), par, Dataflow::MP, 2});
+    sp.fleet.chip.bandwidthGBps = 8.0;
+    sp.fleet.chips = 2;
+    sp.batch.targetBatch = 1;
+    ExperimentRunner runner(2);
+    ServingSim sim(sp, runner);
+
+    std::vector<JobArrival> arr{{0.0, 0, 0}};
+    std::vector<JobResult> out;
+    ServeStats st;
+    ASSERT_TRUE(sim.run(arr, out, st).ok());
+    ASSERT_EQ(out.size(), 1u);
+
+    // Reference: the sharded compiled replay of the miss graph (no
+    // key cache, so every op misses), accumulated per op.
+    const MemoryConfig mem{sp.fleet.chip.dataMemBytes, false};
+    const auto exp = runner.experiment(par, Dataflow::MP, mem);
+    const std::vector<double> w =
+        shard::taskWeights(exp->graph(), sp.fleet.chip);
+    const shard::Partition part = shard::partitionGraph(
+        exp->graph(),
+        shard::placementShardSpec(
+            par, 2, shard::PartitionStrategy::MinCutGreedy, 0.10),
+        w);
+    const shard::ShardedEngine eng(sp.fleet.chip,
+                                   sp.fleet.interconnect);
+    const double opRt = eng.replayRuntime(eng.compile(exp->graph(), part));
+    double t = 0.0;
+    for (std::size_t i = 0; i < sp.classes[0].workload.ops.size(); ++i)
+        t += opRt;
+    EXPECT_EQ(out[0].finishSec, t);
+}
+
+TEST(Serve, EvalCacheSharedAcrossSimulators)
+{
+    ServeSpec sp = twoClassSpec(1, 4);
+    ExperimentRunner runner(2);
+    tune::EvalCache cache;
+
+    ServingSim first(sp, runner, &cache);
+    EXPECT_GT(first.estimatorEvals(), 0u);
+    ServingSim second(sp, runner, &cache);
+    EXPECT_EQ(second.estimatorEvals(), 0u); // fully served by cache
+    for (std::size_t k = 0; k < sp.classes.size(); ++k)
+        for (bool warm : {false, true})
+            EXPECT_EQ(first.classServiceSec(k, warm),
+                      second.classServiceSec(k, warm))
+                << "class " << k << " warm " << warm;
+    EXPECT_GE(cache.hits(), 4u);
+}
+
+} // namespace
