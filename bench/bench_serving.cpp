@@ -21,11 +21,28 @@
  *     .batching_qps_win >= 1.5 (measured ~2.6x: ARK under OC at
  *     4 GB/s has a >3x evk-miss/hit runtime ratio).
  *
+ *  4. Serving under faults: the same fleet plus a gang-scheduled
+ *     class, driven by a seeded fault trace (stalls sampled from the
+ *     disjoint faultStreamSeed stream, chip failures and channel
+ *     degrades scripted mid-run so three of four chips die and the
+ *     gang class fails over through the partition patch path).
+ *     Before any number is reported, two invariants are asserted:
+ *     the zero-fault fault-serving run is byte-identical to the
+ *     healthy serving loop (.zero_fault_serving_identical), and no
+ *     arrival is silently lost (.lost_jobs == 0) — every job either
+ *     completes or is explicitly rejected. The degraded-tail SLO
+ *     headline (.degraded_p99_over_healthy_p99) and the failover
+ *     recovery time (.fault_recovery_sec) are CI-gated to stay
+ *     present and finite, and the degraded run's Perfetto trace is
+ *     written to serve_degraded.trace.json for the artifact trail.
+ *
  * Exits nonzero when a gate fails: a serving run that drifts across
- * thread counts or a batching path that lost its win is a regression,
+ * thread counts, a batching path that lost its win, a zero-fault run
+ * that diverged from the healthy loop, or a lost job is a regression,
  * not a warning.
  */
 
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
@@ -33,6 +50,9 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "fault/fault_trace.h"
+#include "obs/chrome_trace.h"
+#include "serve/fault_serving.h"
 #include "serve/serving.h"
 
 using namespace ciflow;
@@ -246,10 +266,126 @@ main()
                 batchSt.qps, batchSt.p99LatencySec * 1e3,
                 benchutil::times(batching_qps_win).c_str());
 
+    // 4. Serving under faults: 4 chips, the two single-chip classes
+    // plus a 2-wide gang class; three chips die mid-run on top of
+    // channel degrades and seeded stalls.
+    ServeSpec fsp = servingSpec(4, 4);
+    fsp.classes.push_back({"gang2", HeWorkload::reduction(2),
+                           benchmarkByName("BTS1"), Dataflow::MP, 2});
+    ArrivalSpec fas;
+    fas.tenants.push_back({4.0, {3.0, 1.0, 1.0}});
+    fas.tenants.push_back({4.0, {1.0, 3.0, 1.0}});
+    fas.tenants.push_back({2.0, {1.0, 1.0, 2.0}});
+    fas.horizonSec = 20.0;
+    const std::vector<JobArrival> farr = poissonArrivals(fas, 2026);
+
+    ServingSim healthySim(fsp, runner, &cache);
+    std::vector<JobResult> healthyOut;
+    ServeStats healthySt;
+    if (!healthySim.run(farr, healthyOut, healthySt).ok()) {
+        std::fprintf(stderr, "FAIL: healthy fault-spec run rejected\n");
+        return 1;
+    }
+
+    // Gate 1, before any fault number is reported: an empty trace
+    // must reproduce the healthy serving loop byte for byte.
+    FaultServingSim faultSim(healthySim);
+    std::vector<JobResult> zeroFaultOut;
+    FaultServeStats zeroFaultSt;
+    if (!faultSim
+             .run(farr, fault::FaultTrace{}, RetryPolicy{},
+                  zeroFaultOut, zeroFaultSt)
+             .ok()) {
+        std::fprintf(stderr, "FAIL: zero-fault serving run rejected\n");
+        return 1;
+    }
+    bool zero_fault_serving_identical =
+        serializeResults(healthyOut) == serializeResults(zeroFaultOut);
+    for (const JobResult &r : zeroFaultOut)
+        zero_fault_serving_identical = zero_fault_serving_identical &&
+                                       !r.rejected && !r.degraded &&
+                                       r.retries == 0;
+
+    // The fault script, scaled by the healthy makespan: seeded
+    // transient stalls (from the tenant-disjoint fault seed stream)
+    // plus scripted channel degrades and three chip deaths — the last
+    // one pushes the gang class below its width and forces a
+    // patch-path failover.
+    const double M = healthySt.makespanSec;
+    fault::FaultModel fm;
+    fm.stallMtbfSec = 3.0 * M;
+    fm.stallFactor = 0.3;
+    fm.stallDurSec = 0.02 * M;
+    fm.horizonSec = 0.9 * M;
+    fault::FaultTrace ftr = fault::sampleTrace(fm, faultSim.shape(),
+                                               faultStreamSeed(2026, 0));
+    ftr.events.push_back(
+        {0.15 * M, fault::FaultKind::ChannelDegrade, 0, 0, 0.6, 0.0});
+    ftr.events.push_back(
+        {0.25 * M, fault::FaultKind::ChannelDegrade, 1, 0, 0.5, 0.0});
+    ftr.events.push_back(
+        {0.30 * M, fault::FaultKind::ChipFail, 3, 0, 1.0, 0.0});
+    ftr.events.push_back(
+        {0.50 * M, fault::FaultKind::ChipFail, 2, 0, 1.0, 0.0});
+    ftr.events.push_back(
+        {0.70 * M, fault::FaultKind::ChipFail, 1, 0, 1.0, 0.0});
+    ftr.normalize();
+    RetryPolicy pol;
+    pol.maxRetries = 3;
+    pol.backoffSec = 0.01 * M;
+
+    std::vector<JobResult> faultOut;
+    FaultServeStats faultSt;
+    obs::ScenarioTrace faultViz;
+    if (!faultSim.run(farr, ftr, pol, faultOut, faultSt, &faultViz)
+             .ok()) {
+        std::fprintf(stderr, "FAIL: degraded serving run rejected\n");
+        return 1;
+    }
+    const double degraded_over_healthy_p99 =
+        faultSt.degradedOverHealthyP99;
+
+    std::printf("\nfault-aware serving (%zu jobs, 4 chips + gang "
+                "class, 3 chip fails + degrades + stalls):\n",
+                farr.size());
+    std::printf("  zero-fault identity: %s | completed %zu, rejected "
+                "%zu (timeouts %zu), lost %zu\n",
+                zero_fault_serving_identical ? "bit-identical"
+                                             : "BROKEN",
+                faultSt.completedJobs, faultSt.rejectedJobs,
+                faultSt.timedOutJobs, faultSt.lostJobs);
+    std::printf("  retries %zu (salvaged %zu), chip failures %zu, "
+                "failovers %zu (%.0f KB migrated, %.2f ms pause)\n",
+                faultSt.retries, faultSt.salvagedJobs,
+                faultSt.chipFailures, faultSt.failovers,
+                static_cast<double>(faultSt.migratedBytes) / 1024.0,
+                faultSt.migrationSec * 1e3);
+    std::printf("  healthy window p50/p99 %.1f/%.1f ms (%zu jobs) | "
+                "degraded window p50/p99 %.1f/%.1f ms (%zu jobs) -> "
+                "tail ratio %s | recovery %.2f s\n",
+                faultSt.healthyP50Sec * 1e3, faultSt.healthyP99Sec * 1e3,
+                faultSt.healthyJobs, faultSt.degradedP50Sec * 1e3,
+                faultSt.degradedP99Sec * 1e3, faultSt.degradedJobs,
+                benchutil::times(degraded_over_healthy_p99).c_str(),
+                faultSt.recoverySec);
+
+    // Perfetto artifact of exactly this degraded outcome.
+    {
+        std::ofstream tf("serve_degraded.trace.json");
+        if (tf) {
+            obs::writeChromeTrace(tf, faultViz);
+            std::printf("wrote serve_degraded.trace.json (%zu "
+                        "segments, %zu marks)\n",
+                        faultViz.segments.size(), faultViz.marks.size());
+        }
+    }
+
     // Machine-readable counters: the batched simulator's cumulative
-    // serving totals plus the shared estimator pool's replay counters.
+    // serving totals, the fault-serving ledger, plus the shared
+    // estimator pool's replay counters.
     obs::MetricsRegistry metrics;
     batched.exportMetrics(metrics);
+    faultSim.exportMetrics(metrics);
     runner.exportMetrics(metrics);
 
     std::ofstream jf("BENCH_serve.json");
@@ -264,6 +400,36 @@ main()
         w.field("batched_p99_ms", batchSt.p99LatencySec * 1e3);
         w.field("saturated_jobs",
                 static_cast<std::uint64_t>(sat.size()));
+        w.field("zero_fault_serving_identical",
+                zero_fault_serving_identical);
+        w.field("lost_jobs",
+                static_cast<std::uint64_t>(faultSt.lostJobs));
+        w.field("completed_jobs",
+                static_cast<std::uint64_t>(faultSt.completedJobs));
+        w.field("rejected_jobs",
+                static_cast<std::uint64_t>(faultSt.rejectedJobs));
+        w.field("timed_out_jobs",
+                static_cast<std::uint64_t>(faultSt.timedOutJobs));
+        w.field("job_retries",
+                static_cast<std::uint64_t>(faultSt.retries));
+        w.field("salvaged_jobs",
+                static_cast<std::uint64_t>(faultSt.salvagedJobs));
+        w.field("chip_failures",
+                static_cast<std::uint64_t>(faultSt.chipFailures));
+        w.field("failovers",
+                static_cast<std::uint64_t>(faultSt.failovers));
+        w.field("migrated_bytes",
+                static_cast<std::uint64_t>(faultSt.migratedBytes));
+        w.field("migration_sec", faultSt.migrationSec);
+        w.field("fault_recovery_sec", faultSt.recoverySec);
+        w.field("healthy_jobs",
+                static_cast<std::uint64_t>(faultSt.healthyJobs));
+        w.field("degraded_jobs",
+                static_cast<std::uint64_t>(faultSt.degradedJobs));
+        w.field("healthy_p99_ms", faultSt.healthyP99Sec * 1e3);
+        w.field("degraded_p99_ms", faultSt.degradedP99Sec * 1e3);
+        w.field("degraded_p99_over_healthy_p99",
+                degraded_over_healthy_p99);
         w.beginArray("rows");
         for (const Row &r : rows) {
             w.beginObject();
@@ -301,6 +467,35 @@ main()
                      "FAIL: admission batching wins only %.2fx QPS "
                      "over FIFO at saturation (floor: 1.5x)\n",
                      batching_qps_win);
+        pass = false;
+    }
+    if (!zero_fault_serving_identical) {
+        std::fprintf(stderr,
+                     "FAIL: zero-fault fault-serving run diverged "
+                     "from the healthy serving loop\n");
+        pass = false;
+    }
+    if (faultSt.lostJobs != 0) {
+        std::fprintf(stderr,
+                     "FAIL: %zu jobs silently lost under faults "
+                     "(every job must complete or be rejected)\n",
+                     faultSt.lostJobs);
+        pass = false;
+    }
+    if (faultSt.healthyJobs == 0 || faultSt.degradedJobs == 0 ||
+        !std::isfinite(degraded_over_healthy_p99)) {
+        std::fprintf(stderr,
+                     "FAIL: degraded-tail SLO is vacuous (healthy %zu "
+                     "jobs, degraded %zu jobs, p99 ratio %f)\n",
+                     faultSt.healthyJobs, faultSt.degradedJobs,
+                     degraded_over_healthy_p99);
+        pass = false;
+    }
+    if (faultSt.chipFailures == 0 || faultSt.failovers == 0) {
+        std::fprintf(stderr,
+                     "FAIL: fault script exercised no chip failure "
+                     "(%zu) or gang failover (%zu)\n",
+                     faultSt.chipFailures, faultSt.failovers);
         pass = false;
     }
     return pass ? 0 : 1;

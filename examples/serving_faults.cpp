@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Fault-serving explorer: stream multi-tenant jobs at an RPU fleet
+ * while a seeded fault trace degrades channels, stalls chips and
+ * kills one mid-run — and report the retry/reject ledger, the
+ * healthy-vs-degraded latency split and the failover recovery time.
+ *
+ * Usage:
+ *   serving_faults [chips] [seed] [horizon_s] [rate_per_tenant]
+ *                  [fail_chip] [fail_at_s] [backoff_s]
+ *                  [out.trace.json]
+ *
+ * Defaults: 2 2026 10 3.0 1 1.0 0.05 (no trace file). Negative
+ * fail_chip disables the scripted chip failure and leaves only the
+ * seeded transient stalls. The zero-fault run is always performed
+ * first and compared against the healthy serving loop — the example
+ * exits nonzero if they ever diverge, the same identity
+ * bench_serving gates in CI. Rerunning with the same arguments
+ * reproduces every number to the bit, on any thread count.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/chrome_trace.h"
+#include "serve/fault_serving.h"
+
+using namespace ciflow;
+using namespace ciflow::serve;
+
+namespace
+{
+
+/** Canonical byte form of a run, for the zero-fault identity check. */
+std::string
+serialize(const std::vector<JobResult> &out)
+{
+    std::string s;
+    char line[160];
+    for (const JobResult &r : out) {
+        std::snprintf(line, sizeof line, "%a %a %a k%u c%u b%u\n",
+                      r.arriveSec, r.startSec, r.finishSec, r.klass,
+                      r.chip, r.batch);
+        s += line;
+    }
+    return s;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::size_t chips =
+        argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 2;
+    const std::uint64_t seed =
+        argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2]))
+                 : 2026;
+    const double horizon = argc > 3 ? std::atof(argv[3]) : 10.0;
+    const double rate = argc > 4 ? std::atof(argv[4]) : 3.0;
+    const int failChip = argc > 5 ? std::atoi(argv[5]) : 1;
+    const double failAt = argc > 6 ? std::atof(argv[6]) : 1.0;
+    const double backoff = argc > 7 ? std::atof(argv[7]) : 0.05;
+    const std::string out = argc > 8 ? argv[8] : "";
+
+    const HksParams &par = benchmarkByName("ARK");
+    ServeSpec sp;
+    sp.classes.push_back(
+        {"reduce8", HeWorkload::reduction(8), par, Dataflow::OC, 1});
+    sp.classes.push_back(
+        {"matvec4", HeWorkload::matVec(4), par, Dataflow::OC, 1});
+    sp.fleet.chip.bandwidthGBps = 4.0;
+    sp.fleet.chips = chips;
+    sp.fleet.keyCacheBytes = par.evkBytes() * 8;
+    sp.batch.targetBatch = 4;
+
+    ArrivalSpec as;
+    as.tenants.push_back({rate, {3.0, 1.0}});
+    as.tenants.push_back({rate, {1.0, 3.0}});
+    as.tenants.push_back({rate, {1.0, 1.0}});
+    as.horizonSec = horizon;
+    const std::vector<JobArrival> arr = poissonArrivals(as, seed);
+
+    std::printf("%s\n", par.describe().c_str());
+    std::printf("fleet=%zux4 GB/s seed=%llu horizon=%.1fs "
+                "rate=%.2f/tenant fail_chip=%d@%.2fs backoff=%.3fs\n",
+                chips, static_cast<unsigned long long>(seed), horizon,
+                rate, failChip, failAt, backoff);
+
+    ExperimentRunner runner;
+    ServingSim healthy(sp, runner);
+    std::vector<JobResult> href;
+    ServeStats hst;
+    if (!healthy.run(arr, href, hst).ok()) {
+        std::fprintf(stderr, "healthy serving run rejected\n");
+        return 2;
+    }
+
+    // The zero-fault identity every fault-serving run is anchored to.
+    FaultServingSim sim(healthy);
+    std::vector<JobResult> zref;
+    FaultServeStats zst;
+    if (!sim.run(arr, fault::FaultTrace{}, RetryPolicy{}, zref, zst)
+             .ok()) {
+        std::fprintf(stderr, "zero-fault serving run rejected\n");
+        return 2;
+    }
+    if (serialize(href) != serialize(zref)) {
+        std::fprintf(stderr, "BROKEN: zero-fault run diverged from "
+                             "the healthy serving loop\n");
+        return 1;
+    }
+    std::printf("\nzero-fault run: bit-identical to the healthy "
+                "serving loop (%zu jobs, makespan %.2fs)\n",
+                hst.jobs, hst.makespanSec);
+
+    // Seeded transient stalls from the tenant-disjoint fault seed
+    // stream, plus the scripted chip failure.
+    fault::FaultModel fm;
+    fm.stallMtbfSec = 0.5 * horizon;
+    fm.stallFactor = 0.3;
+    fm.stallDurSec = 0.02 * horizon;
+    fm.horizonSec = horizon;
+    fault::FaultTrace tr =
+        fault::sampleTrace(fm, sim.shape(), faultStreamSeed(seed, 0));
+    if (failChip >= 0) {
+        tr.events.push_back({failAt, fault::FaultKind::ChipFail,
+                             static_cast<std::uint32_t>(failChip), 0,
+                             1.0, 0.0});
+        tr.normalize();
+    }
+    std::printf("fault trace: %zu events (%zu seeded stalls)\n",
+                tr.events.size(),
+                tr.events.size() - (failChip >= 0 ? 1u : 0u));
+
+    RetryPolicy pol;
+    pol.backoffSec = backoff;
+    std::vector<JobResult> res;
+    FaultServeStats st;
+    obs::ScenarioTrace viz;
+    const sim::Error err =
+        sim.run(arr, tr, pol, res, st, out.empty() ? nullptr : &viz);
+    if (!err.ok()) {
+        std::fprintf(stderr, "fault-serving run rejected: %s\n",
+                     err.message().c_str());
+        return 2;
+    }
+
+    std::printf("\n%zu jobs: %zu completed, %zu rejected (%zu timed "
+                "out), %zu lost\n",
+                st.done.jobs + st.rejectedJobs, st.completedJobs,
+                st.rejectedJobs, st.timedOutJobs, st.lostJobs);
+    std::printf("  chip failures %zu, salvaged %zu jobs over %zu "
+                "retries; failovers %zu (%.0f KB, %.2f ms pause), "
+                "recovery %.2fs\n",
+                st.chipFailures, st.salvagedJobs, st.retries,
+                st.failovers,
+                static_cast<double>(st.migratedBytes) / 1024.0,
+                st.migrationSec * 1e3, st.recoverySec);
+    std::printf("  healthy window: %4zu jobs, p50 %7.1f ms, p99 "
+                "%7.1f ms\n",
+                st.healthyJobs, st.healthyP50Sec * 1e3,
+                st.healthyP99Sec * 1e3);
+    std::printf("  degraded window: %3zu jobs, p50 %7.1f ms, p99 "
+                "%7.1f ms -> tail ratio %.2fx\n",
+                st.degradedJobs, st.degradedP50Sec * 1e3,
+                st.degradedP99Sec * 1e3, st.degradedOverHealthyP99);
+
+    if (!out.empty()) {
+        std::ofstream os(out);
+        obs::writeChromeTrace(os, viz);
+        std::printf("\nwrote %s (open in https://ui.perfetto.dev or "
+                    "chrome://tracing)\n",
+                    out.c_str());
+    }
+    return 0;
+}

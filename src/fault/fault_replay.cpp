@@ -13,25 +13,91 @@ namespace ciflow::fault
 using shard::Partition;
 using shard::ShardedCompiled;
 
+namespace
+{
+
+/**
+ * Per-resource fault contribution, in normalized trace order so
+ * multiplier products fold identically everywhere. A contribution
+ * is active on [at, end); permanent degrades have end = +inf.
+ */
+struct Span
+{
+    double at;
+    double end;
+    double factor;
+};
+
+/**
+ * Shared fold of per-resource spans into a RateEpochs table: epoch
+ * boundaries are the span edges shifted into the replay's local clock
+ * (edges already past fold into one state at time 0; edges at or past
+ * `horizonSec` are dropped — a replay that ends before the horizon
+ * never reaches them), and the multiplier at each boundary is the
+ * product of every active span's factor in span order, so the folded
+ * products are reproducible to the bit across builders.
+ */
+sim::RateEpochs
+foldSpans(const std::vector<std::vector<Span>> &spans, double timeShift,
+          double horizonSec)
+{
+    const double inf = std::numeric_limits<double>::infinity();
+    const std::size_t nres = spans.size();
+    sim::RateEpochs ep;
+    ep.off.assign(nres + 1, 0);
+    std::vector<double> bounds;
+    for (std::size_t r = 0; r < nres; ++r) {
+        ep.off[r] = static_cast<std::uint32_t>(ep.at.size());
+        if (spans[r].empty())
+            continue;
+        bounds.clear();
+        for (const Span &s : spans[r]) {
+            bounds.push_back(std::max(0.0, s.at - timeShift));
+            if (s.end < inf)
+                bounds.push_back(std::max(0.0, s.end - timeShift));
+        }
+        std::sort(bounds.begin(), bounds.end());
+        bounds.erase(std::unique(bounds.begin(), bounds.end()),
+                     bounds.end());
+        double prev = 1.0;
+        for (double t : bounds) {
+            if (t >= horizonSec)
+                break;
+            const double abs = t + timeShift;
+            // Multiplier at local time t: the product of every active
+            // span's factor, folded in trace order.
+            double m = 1.0;
+            for (const Span &s : spans[r])
+                if (s.at <= abs && abs < s.end)
+                    m *= s.factor;
+            if (m == prev)
+                continue;
+            ep.at.push_back(t);
+            ep.mult.push_back(m);
+            prev = m;
+        }
+    }
+    ep.off[nres] = static_cast<std::uint32_t>(ep.at.size());
+    if (ep.mult.empty()) {
+        // Every event was a ChipFail, already recovered, or beyond
+        // the horizon: no epochs.
+        ep.off.clear();
+        ep.at.clear();
+    }
+    return ep;
+}
+
+} // namespace
+
 sim::RateEpochs
 buildEpochs(const FaultTrace &trace, const ShardedCompiled &sc,
-            double timeShift)
+            double timeShift, double horizonSec)
 {
     const std::size_t nres =
         sc.shards * sc.perChip + sc.links;
-    sim::RateEpochs ep;
     if (trace.events.empty())
-        return ep;
+        return {};
 
-    // Per-resource fault contributions, in normalized trace order so
-    // multiplier products fold identically everywhere. A contribution
-    // is active on [at, end); permanent degrades have end = +inf.
-    struct Span
-    {
-        double at;
-        double end;
-        double factor;
-    };
     const double inf = std::numeric_limits<double>::infinity();
     std::vector<std::vector<Span>> spans(nres);
     const auto add = [&](std::size_t r, double at, double end,
@@ -59,48 +125,39 @@ buildEpochs(const FaultTrace &trace, const ShardedCompiled &sc,
             break;
         }
     }
+    return foldSpans(spans, timeShift, horizonSec);
+}
 
-    ep.off.assign(nres + 1, 0);
-    std::vector<double> bounds;
-    for (std::size_t r = 0; r < nres; ++r) {
-        ep.off[r] = static_cast<std::uint32_t>(ep.at.size());
-        if (spans[r].empty())
+sim::RateEpochs
+buildChipEpochs(const FaultTrace &trace, std::uint32_t shard,
+                std::size_t chipResources, double timeShift,
+                double horizonSec)
+{
+    if (trace.events.empty())
+        return {};
+    const double inf = std::numeric_limits<double>::infinity();
+    std::vector<std::vector<Span>> spans(chipResources);
+    for (const FaultEvent &e : trace.events) {
+        if (e.shard != shard)
             continue;
-        // Candidate epoch starts: every span boundary, shifted into
-        // the replay's local clock; boundaries already past fold into
-        // one state at time 0.
-        bounds.clear();
-        for (const Span &s : spans[r]) {
-            bounds.push_back(std::max(0.0, s.at - timeShift));
-            if (s.end < inf)
-                bounds.push_back(std::max(0.0, s.end - timeShift));
-        }
-        std::sort(bounds.begin(), bounds.end());
-        bounds.erase(std::unique(bounds.begin(), bounds.end()),
-                     bounds.end());
-        double prev = 1.0;
-        for (double t : bounds) {
-            const double abs = t + timeShift;
-            // Multiplier at local time t: the product of every active
-            // span's factor, folded in trace order.
-            double m = 1.0;
-            for (const Span &s : spans[r])
-                if (s.at <= abs && abs < s.end)
-                    m *= s.factor;
-            if (m == prev)
-                continue;
-            ep.at.push_back(t);
-            ep.mult.push_back(m);
-            prev = m;
+        switch (e.kind) {
+        case FaultKind::ChannelDegrade:
+            panicIf(e.channel >= chipResources,
+                    "fault event outside the chip block");
+            spans[e.channel].push_back({e.atSec, inf, e.factor});
+            break;
+        case FaultKind::TransientStall:
+            for (std::size_t r = 0; r < chipResources; ++r)
+                spans[r].push_back(
+                    {e.atSec, e.atSec + e.durSec, e.factor});
+            break;
+        default:
+            // ChipFail is failover's job; LinkDegrade has no meaning
+            // inside one chip's resource block.
+            break;
         }
     }
-    ep.off[nres] = static_cast<std::uint32_t>(ep.at.size());
-    if (ep.mult.empty()) {
-        // Every event was a ChipFail or already recovered: no epochs.
-        ep.off.clear();
-        ep.at.clear();
-    }
-    return ep;
+    return foldSpans(spans, timeShift, horizonSec);
 }
 
 FaultSim::FaultSim(const TaskGraph &g, const shard::ShardSpec &sp,

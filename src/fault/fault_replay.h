@@ -29,6 +29,8 @@
 #ifndef CIFLOW_FAULT_FAULT_REPLAY_H
 #define CIFLOW_FAULT_FAULT_REPLAY_H
 
+#include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "fault/failover.h"
@@ -50,10 +52,36 @@ namespace ciflow::fault
  * compound in normalized trace order, so the folded products are
  * reproducible to the bit. ChipFail events are ignored here — failure
  * is handled by failover, not by rates. The trace must be normalized.
+ *
+ * `horizonSec` bounds the table for open-ended runs: epoch boundaries
+ * at local time >= horizonSec are dropped. A replay that finishes (or
+ * is cut) before the horizon never reaches those epochs, so the bounded
+ * table is bit-identical to the unbounded one for every such replay —
+ * events beyond the last departure are validated by checkTrace and
+ * then cleanly ignored here instead of growing every segment's table.
+ * The default (+inf) keeps every boundary.
  */
-sim::RateEpochs buildEpochs(const FaultTrace &trace,
-                            const shard::ShardedCompiled &sc,
-                            double timeShift = 0.0);
+sim::RateEpochs buildEpochs(
+    const FaultTrace &trace, const shard::ShardedCompiled &sc,
+    double timeShift = 0.0,
+    double horizonSec = std::numeric_limits<double>::infinity());
+
+/**
+ * Epoch table for ONE chip's resource block, for replaying a
+ * single-chip compiled schedule of `chipResources` resources (DRAM
+ * channels first, then the compute pipes — the engine's chip-block
+ * layout): channel degrades of chip `shard` land on local resource
+ * `channel`, stalls of that chip on every local resource; events
+ * targeting other chips, links, and ChipFail events are ignored.
+ * Same time shift, horizon, and bit-exact fold semantics as
+ * buildEpochs. The fault-aware serving loop prices each in-flight op
+ * on a degraded chip through this table (ops replay in the op's local
+ * clock, so timeShift is the op's absolute start).
+ */
+sim::RateEpochs buildChipEpochs(
+    const FaultTrace &trace, std::uint32_t shard,
+    std::size_t chipResources, double timeShift = 0.0,
+    double horizonSec = std::numeric_limits<double>::infinity());
 
 /** Outcome of one fault scenario. */
 struct DegradedOutcome

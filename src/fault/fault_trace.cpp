@@ -102,6 +102,12 @@ checkTrace(const FaultTrace &t, const MachineShape &shape)
                 return bad(i, "stall duration " +
                                   std::to_string(e.durSec) +
                                   " is not finite and positive");
+            // Open-ended horizons admit events at arbitrarily large
+            // times; a stall whose end overflows to +inf would silently
+            // become a permanent degrade in the epoch fold.
+            if (!std::isfinite(e.atSec + e.durSec))
+                return bad(i, "stall end time overflows (atSec + "
+                              "durSec is not finite)");
             break;
         }
         if (e.kind != FaultKind::ChipFail &&

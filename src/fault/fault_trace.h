@@ -104,7 +104,15 @@ struct MachineShape
 /**
  * Non-aborting trace validation: BadFaultTrace when an event targets a
  * shard/channel/link outside `shape`, carries a non-finite or
- * non-positive time/factor, or a TransientStall has no duration.
+ * non-positive time/factor, a TransientStall has no duration, or a
+ * stall's end time (atSec + durSec) is not finite. Validation is
+ * horizon-independent by design: a run has no fixed makespan from the
+ * trace's point of view (serving runs are open-ended), so events far
+ * beyond any replay's last departure are validated exactly like near
+ * ones and then simply never fire — the epoch builders emit their
+ * boundaries at local times the replay never reaches (or drop them
+ * when given an explicit horizon), and FaultSim returns before a
+ * post-completion ChipFail is acted on.
  */
 sim::Error checkTrace(const FaultTrace &t, const MachineShape &shape);
 

@@ -1,5 +1,6 @@
 #include "obs/chrome_trace.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 
@@ -156,11 +157,15 @@ writeChromeTrace(std::ostream &os, const ScenarioTrace &t)
                           rec.task, rec.op, rec.bytes, rec.epoch,
                           rec.start - rec.ready,
                           rec.visible - rec.finish);
+            // An op straddling the cut renders only up to it: the
+            // remainder was superseded (re-planned by the next
+            // segment), so drawing its full length would overlap the
+            // successor's records on the same track.
+            const double end = std::min(rec.finish, seg.cutSec);
             w.complete("task " + std::to_string(rec.task),
                        static_cast<int>(seg.resourceBase + rec.resource) +
                            1,
-                       seg.baseSec + rec.start,
-                       rec.finish - rec.start, args);
+                       seg.baseSec + rec.start, end - rec.start, args);
         }
         // Rate-change instants on the degraded resource's own track,
         // so a bandwidth fault lines up visually with the ops it

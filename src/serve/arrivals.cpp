@@ -61,7 +61,7 @@ poissonArrivals(const ArrivalSpec &spec, std::uint64_t seed)
                 "tenant needs at least one positive class weight");
         // Independent stream per tenant: widening the tenant list
         // never perturbs the arrivals of existing tenants.
-        Rng rng(fault::deriveSeed(seed, t));
+        Rng rng(tenantStreamSeed(seed, t));
         double at = 0.0;
         for (;;) {
             at += -std::log(unitOpen(rng)) / ten.ratePerSec;
@@ -92,10 +92,10 @@ std::string
 serializeArrivals(const std::vector<JobArrival> &arrivals)
 {
     std::string out;
-    char line[96];
+    char line[128];
     for (const JobArrival &a : arrivals) {
-        std::snprintf(line, sizeof line, "%a c%u t%u\n", a.atSec,
-                      a.klass, a.tenant);
+        std::snprintf(line, sizeof line, "%a c%u t%u d%a\n", a.atSec,
+                      a.klass, a.tenant, a.deadlineSec);
         out += line;
     }
     return out;
@@ -124,6 +124,38 @@ checkArrivals(const std::vector<JobArrival> &arrivals,
         prev = a.atSec;
     }
     return {};
+}
+
+sim::Error
+checkStreams(const std::vector<JobArrival> &arrivals,
+             std::size_t classCount)
+{
+    if (sim::Error err = checkArrivals(arrivals, classCount))
+        return err;
+    for (std::size_t i = 0; i < arrivals.size(); ++i) {
+        const double d = arrivals[i].deadlineSec;
+        // +inf (no deadline) passes; NaN and <= 0 do not.
+        if (std::isnan(d) || !(d > 0.0))
+            return {sim::ErrorCode::BadServeSpec,
+                    "arrival " + std::to_string(i) + " has deadline " +
+                        std::to_string(d) +
+                        " (must be positive or +inf)"};
+    }
+    return {};
+}
+
+std::uint64_t
+tenantStreamSeed(std::uint64_t seed, std::uint64_t tenant)
+{
+    return fault::deriveSeed(seed, tenant);
+}
+
+std::uint64_t
+faultStreamSeed(std::uint64_t seed, std::uint64_t scenario)
+{
+    // Disjoint from every tenant index by construction: tenants are
+    // vector indices (< 2^32), scenarios live at 2^32 + s.
+    return fault::deriveSeed(seed, (std::uint64_t{1} << 32) + scenario);
 }
 
 } // namespace ciflow::serve

@@ -20,6 +20,7 @@
 #define CIFLOW_SERVE_ARRIVALS_H
 
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -37,6 +38,14 @@ struct JobArrival
     std::uint32_t klass = 0;
     /** Issuing tenant (stream identity; reported, never scheduled on). */
     std::uint32_t tenant = 0;
+    /**
+     * Latency budget in seconds from atSec (+inf = none). Only the
+     * fault-aware serving path acts on it: a job whose deadline passes
+     * before it can be dispatched (or re-dispatched after a chip
+     * failure) is rejected, never silently dropped. ServingSim::run
+     * ignores deadlines, so default streams behave exactly as before.
+     */
+    double deadlineSec = std::numeric_limits<double>::infinity();
 };
 
 /** One tenant's open-loop request stream. */
@@ -87,10 +96,43 @@ std::string serializeArrivals(const std::vector<JobArrival> &arrivals);
 /**
  * Non-aborting validation: BadServeSpec when an arrival's class is
  * outside [0, classCount), its time is negative or non-finite, or the
- * stream is not normalized (times not non-decreasing).
+ * stream is not normalized (times not non-decreasing). Deadlines are
+ * not inspected (ServingSim::run ignores them); the fault-aware path
+ * validates them through checkStreams.
  */
 sim::Error checkArrivals(const std::vector<JobArrival> &arrivals,
                          std::size_t classCount);
+
+/**
+ * Full job-stream validation for the fault-aware serving path:
+ * everything checkArrivals rejects, plus BadServeSpec when an
+ * arrival's deadlineSec is NaN or <= 0 (a deadline of +inf — the
+ * default — is valid and means "no deadline"). Mirrors sim::tryReplay:
+ * harnesses check untrusted streams instead of letting the simulator
+ * panic.
+ */
+sim::Error checkStreams(const std::vector<JobArrival> &arrivals,
+                        std::size_t classCount);
+
+/**
+ * Seed of tenant `tenant`'s arrival stream, derived from the run seed
+ * with fault::deriveSeed(seed, tenant). poissonArrivals draws every
+ * tenant stream through this helper, so tenant streams are decorrelated
+ * from each other and — because fault scenarios draw from the disjoint
+ * index range of faultStreamSeed — provably uncorrelated from any
+ * fault trace sampled from the same run seed.
+ */
+std::uint64_t tenantStreamSeed(std::uint64_t seed, std::uint64_t tenant);
+
+/**
+ * Seed of fault-scenario stream `scenario`, derived as
+ * fault::deriveSeed(seed, 2^32 + scenario). The 2^32 offset keeps the
+ * scenario index range disjoint from every plausible tenant index, so
+ * a harness that samples arrivals and fault traces from one run seed
+ * never feeds the same derived stream to both (the shared-seed-offset
+ * overlap the fault-serving tests pin against).
+ */
+std::uint64_t faultStreamSeed(std::uint64_t seed, std::uint64_t scenario);
 
 } // namespace ciflow::serve
 

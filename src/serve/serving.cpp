@@ -165,39 +165,6 @@ checkSpec(const ServeSpec &spec)
     return {};
 }
 
-/**
- * Per-class duration model: key-cache hit masks plus per-op hit/miss
- * runtimes at every distinct chip bandwidth, and their ordered sums.
- */
-struct ServingSim::ClassModel
-{
-    std::size_t shards = 1;
-    /** Per-op key-cache hit flags, from an empty cache. */
-    std::vector<std::uint8_t> coldMask;
-    /** Per-op hit flags in steady state (previous job = same class). */
-    std::vector<std::uint8_t> warmMask;
-    /** Per-op runtime with streamed (missed) keys, per uniqBw index. */
-    std::vector<double> missRt;
-    /** Per-op runtime with on-chip (hit) keys, per uniqBw index. */
-    std::vector<double> hitRt;
-    /** Whole-job service seconds (ordered per-op sums), per uniqBw. */
-    std::vector<double> coldSvc, warmSvc;
-    /** Key-cache hits one cold / warm job scores. */
-    std::size_t coldHits = 0, warmHits = 0;
-};
-
-/** Lazily built Chrome-trace assets (see ServingSim::buildViz). */
-struct ServingSim::VizAssets
-{
-    /** Resources per chip block (channels + pipes). */
-    std::size_t perChip = 0;
-    /** Track names of one chip block. */
-    std::vector<std::string> names;
-    /** bufs[k][variant][bwIdx]; variant 0 = miss, 1 = hit. Empty for
-     * gang-scheduled classes (those render as scenario marks). */
-    std::vector<std::array<std::vector<obs::TraceBuffer>, 2>> bufs;
-};
-
 ServingSim::ServingSim(const ServeSpec &spec, ExperimentRunner &runner,
                        tune::EvalCache *cache)
     : sp(spec), runnerRef(runner)
@@ -668,6 +635,20 @@ std::size_t
 ServingSim::estimatorEvals() const
 {
     return nEvals;
+}
+
+sim::Error
+trySimulateServing(const ServeSpec &spec,
+                   const std::vector<JobArrival> &arrivals,
+                   ExperimentRunner &runner, std::vector<JobResult> &out,
+                   ServeStats &stats, tune::EvalCache *cache)
+{
+    if (sim::Error err = checkSpec(spec))
+        return err;
+    if (sim::Error err = checkStreams(arrivals, spec.classes.size()))
+        return err;
+    ServingSim sim(spec, runner, cache);
+    return sim.run(arrivals, out, stats);
 }
 
 } // namespace ciflow::serve

@@ -30,6 +30,7 @@
 #ifndef CIFLOW_SERVE_SERVING_H
 #define CIFLOW_SERVE_SERVING_H
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -146,6 +147,25 @@ struct JobResult
     std::uint32_t batch = 0;
     /** True when the job ran entirely on steady-state warm masks. */
     bool warmStart = false;
+    /**
+     * Times the job was salvaged off a failed chip and re-queued
+     * (fault-aware serving only; ServingSim::run leaves it 0).
+     */
+    std::uint32_t retries = 0;
+    /**
+     * True when the job was rejected instead of served — its deadline
+     * passed, its retry budget ran out, or the fleet died. Rejected
+     * jobs carry startSec == finishSec == the rejection time and are
+     * excluded from latency distributions (fault-aware serving only).
+     */
+    bool rejected = false;
+    /**
+     * True when any of the job's ops was priced through a degraded
+     * (piecewise-rate) replay, it was retried, or it ran on a
+     * failed-over gang — the degraded-window population of the
+     * latency split (fault-aware serving only).
+     */
+    bool degraded = false;
 
     double latencySec() const { return finishSec - arriveSec; }
 };
@@ -187,6 +207,24 @@ struct ServeStats
  * ServingSim's constructor panics through this check.
  */
 sim::Error checkSpec(const ServeSpec &spec);
+
+/** Forward declaration for trySimulateServing's signature. */
+class ServingSim;
+
+/**
+ * Non-panicking end-to-end serving run, mirroring sim::tryReplay:
+ * validates the spec (checkSpec) and the job stream (checkStreams,
+ * including per-job deadlines) before constructing a ServingSim, so
+ * malformed input returns a sim::Error instead of aborting. On Ok the
+ * results are bit-identical to building a ServingSim on `spec` (with
+ * the same optional shared cache) and calling run().
+ */
+sim::Error trySimulateServing(const ServeSpec &spec,
+                              const std::vector<JobArrival> &arrivals,
+                              ExperimentRunner &runner,
+                              std::vector<JobResult> &out,
+                              ServeStats &stats,
+                              tune::EvalCache *cache = nullptr);
 
 /**
  * The serving simulator: prices every job class at construction (one
@@ -249,8 +287,44 @@ class ServingSim
     const ServeSpec &spec() const { return sp; }
 
   private:
-    /** Per-class duration model (details in serving.cpp). */
-    struct ClassModel;
+    /**
+     * Per-class duration model: key-cache hit masks plus per-op
+     * hit/miss runtimes at every distinct chip bandwidth, and their
+     * ordered sums. Defined here (not in serving.cpp) so the
+     * fault-aware serving loop prices through the identical model.
+     */
+    struct ClassModel
+    {
+        std::size_t shards = 1;
+        /** Per-op key-cache hit flags, from an empty cache. */
+        std::vector<std::uint8_t> coldMask;
+        /** Per-op hit flags in steady state (prev job = same class). */
+        std::vector<std::uint8_t> warmMask;
+        /** Per-op runtime with streamed (missed) keys, per uniqBw. */
+        std::vector<double> missRt;
+        /** Per-op runtime with on-chip (hit) keys, per uniqBw. */
+        std::vector<double> hitRt;
+        /** Whole-job service seconds (ordered per-op sums). */
+        std::vector<double> coldSvc, warmSvc;
+        /** Key-cache hits one cold / warm job scores. */
+        std::size_t coldHits = 0, warmHits = 0;
+    };
+    /** Lazily built Chrome-trace assets (see buildViz): the clean
+     * per-op replay of every (single-chip class, variant, bandwidth),
+     * copied into fleet-placed segments at render time. Defined here
+     * so the fault-aware serving loop reuses the identical buffers for
+     * its healthy ops. */
+    struct VizAssets
+    {
+        /** Resources per chip block (channels + pipes). */
+        std::size_t perChip = 0;
+        /** Track names of one chip block. */
+        std::vector<std::string> names;
+        /** bufs[k][variant][bwIdx]; variant 0 = miss, 1 = hit. Empty
+         * for gang-scheduled classes (those render as marks). */
+        std::vector<std::array<std::vector<obs::TraceBuffer>, 2>> bufs;
+    };
+    friend class FaultServingSim;
 
     void buildModels(ExperimentRunner &runner, tune::EvalCache *cache);
     void buildViz(ExperimentRunner &runner);
@@ -264,7 +338,6 @@ class ServingSim
     ExperimentRunner &runnerRef;
 
     // Lazily built viz assets (first run() with viz != nullptr).
-    struct VizAssets;
     std::shared_ptr<VizAssets> viz_;
 
     // Cumulative counters for exportMetrics.
